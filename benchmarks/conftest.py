@@ -1,0 +1,55 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Every ``test_fig*`` / ``test_table*`` file regenerates one artefact of the
+paper's evaluation via :mod:`repro.harness.experiments`, asserts the
+paper's qualitative shape, and records the full table under
+``benchmarks/out/`` for EXPERIMENTS.md.
+
+Scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+``tiny`` (CI smoke), ``bench`` (default), or ``full`` (closest to the
+paper; minutes per figure).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness import Scale
+
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> Scale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if name == "tiny":
+        return Scale.tiny()
+    if name == "full":
+        return Scale.full()
+    # default: small enough for a laptop run of the whole suite
+    return Scale(n_keys=800, n_clients=24, clients_sweep=(4, 12, 24),
+                 duration_us=1_000.0, warmup_us=200.0, latency_ops=150)
+
+
+@pytest.fixture
+def scale() -> Scale:
+    return bench_scale()
+
+
+@pytest.fixture
+def record():
+    """Persist an ExperimentResult table under benchmarks/out/."""
+
+    def _record(result):
+        _OUT_DIR.mkdir(exist_ok=True)
+        path = _OUT_DIR / f"{result.name}.txt"
+        path.write_text(result.format() + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,19 @@
+"""Extension artefact: the index keeps accepting inserts past its initial
+capacity by splitting subtables (RACE extendible resize)."""
+
+from repro.harness import ablation_expansion
+
+from .conftest import run_once
+
+
+def test_ablation_expansion(benchmark, scale, record):
+    result = run_once(benchmark, ablation_expansion, scale)
+    record(result)
+    first, last = result.rows[0], result.rows[-1]
+    # three initial-capacities' worth of keys were all inserted
+    assert last[1] >= first[1] * 3
+    # the directory actually grew
+    assert last[3] > 2
+    assert last[4] >= 1
+    # insert throughput stays positive in every phase (no livelock)
+    assert all(row[2] > 0 for row in result.rows)

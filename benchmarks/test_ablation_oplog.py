@@ -1,0 +1,15 @@
+"""DESIGN.md ablation: the embedded log saves one RTT per write (§4.5)."""
+
+from repro.harness import ablation_oplog
+
+from .conftest import run_once
+
+
+def test_ablation_oplog(benchmark, scale, record):
+    result = run_once(benchmark, ablation_oplog, scale)
+    record(result)
+    rows = {scheme: (p50, mops) for scheme, p50, mops in result.rows}
+    # the separate log adds about one RTT of median update latency
+    assert rows["separate"][0] > rows["embedded"][0] + 1.0
+    # and costs write throughput
+    assert rows["separate"][1] < rows["embedded"][1]

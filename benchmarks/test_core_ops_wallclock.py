@@ -1,0 +1,61 @@
+"""Wall-clock microbenchmarks of the simulator itself (not paper figures).
+
+These time how fast the reproduction executes on the host machine —
+useful for catching performance regressions in the DES kernel and the
+client code paths.
+"""
+
+import itertools
+
+from repro.core import ClusterConfig, FuseeCluster
+from repro.core.addressing import RegionConfig
+from repro.core.race import RaceConfig
+
+
+def _cluster():
+    return FuseeCluster(ClusterConfig(
+        n_memory_nodes=2, replication_factor=2, regions_per_mn=4,
+        region=RegionConfig(region_size=1 << 20, block_size=1 << 14),
+        race=RaceConfig(n_subtables=4, n_groups=64)))
+
+
+def test_insert_wallclock(benchmark):
+    cluster = _cluster()
+    client = cluster.new_client()
+    counter = itertools.count()
+
+    def one_insert():
+        i = next(counter)
+        return cluster.run_op(client.insert(f"bench-{i}".encode(), b"v" * 64))
+
+    result = benchmark(one_insert)
+
+
+def test_search_wallclock(benchmark):
+    cluster = _cluster()
+    client = cluster.new_client()
+    for i in range(64):
+        cluster.run_op(client.insert(f"bench-{i}".encode(), b"v" * 64))
+    counter = itertools.count()
+
+    def one_search():
+        i = next(counter) % 64
+        return cluster.run_op(client.search(f"bench-{i}".encode()))
+
+    benchmark(one_search)
+
+
+def test_update_wallclock(benchmark):
+    cluster = _cluster()
+    client = cluster.new_client()
+    cluster.run_op(client.insert(b"bench-key", b"v" * 64))
+    counter = itertools.count()
+
+    def one_update():
+        i = next(counter)
+        ok = cluster.run_op(client.update(b"bench-key", f"v{i}".encode()))
+        if i % 64 == 63:
+            cluster.run_op(client.maintenance())
+        return ok
+
+    benchmark(one_update)

@@ -1,0 +1,15 @@
+"""Fig. 2: Clover's throughput needs many metadata-server CPU cores."""
+
+from repro.harness import fig02_clover_metadata_cpu
+
+from .conftest import run_once
+
+
+def test_fig02_clover_metadata_cpu(benchmark, scale, record):
+    result = run_once(benchmark, fig02_clover_metadata_cpu, scale)
+    record(result)
+    mops = {cores: m for cores, m in result.rows}
+    # shape: throughput rises with cores...
+    assert mops[4] > mops[1] * 1.5
+    # ...and saturates near the high end (metadata-server RNIC bound)
+    assert mops[8] < mops[6] * 1.35

@@ -1,0 +1,20 @@
+"""Fig. 3: consensus and lock-based replication do not scale with clients."""
+
+from repro.harness import fig03_serialization
+
+from .conftest import run_once
+
+
+def test_fig03_serialization(benchmark, scale, record):
+    result = run_once(benchmark, fig03_serialization, scale)
+    record(result)
+    rows = {clients: (cons, lock, snap)
+            for clients, cons, lock, snap in result.rows}
+    lo, hi = min(rows), max(rows)
+    # consensus and lock stay flat/low while SNAPSHOT scales
+    assert rows[hi][0] < rows[lo][0] * 3.0
+    assert rows[hi][1] < rows[lo][1] * 3.0
+    assert rows[hi][2] > rows[lo][2] * 1.8
+    # at full concurrency SNAPSHOT beats both serializers
+    assert rows[hi][2] > rows[hi][0]
+    assert rows[hi][2] > rows[hi][1]

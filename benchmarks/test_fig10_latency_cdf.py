@@ -1,0 +1,23 @@
+"""Fig. 10: per-operation latency distributions, single client."""
+
+from repro.harness import fig10_latency_cdf
+
+from .conftest import run_once
+
+
+def test_fig10_latency_cdf(benchmark, scale, record):
+    result = run_once(benchmark, fig10_latency_cdf, scale)
+    record(result)
+    p50 = {(r[0], r[1]): r[2] for r in result.rows}
+    # FUSEE has the lowest write-path latency (bounded SNAPSHOT RTTs)
+    assert p50[("fusee", "update")] < p50[("pdpm-direct", "update")]
+    assert p50[("fusee", "insert")] < p50[("pdpm-direct", "insert")]
+    assert p50[("fusee", "update")] < p50[("clover", "update")]
+    # Clover's SEARCH is (slightly) the fastest: it reads only the KV pair
+    assert p50[("clover", "search")] <= p50[("fusee", "search")] * 1.10
+    # DELETE divergence (documented in EXPERIMENTS.md): the paper's
+    # pDPM-Direct edges out FUSEE on DELETE because it only clears the
+    # index under its lock; our pDPM model also tombstones the record for
+    # reader coherence, so here FUSEE wins DELETE as well.  Both stay in
+    # the same order of magnitude.
+    assert p50[("pdpm-direct", "delete")] < p50[("fusee", "delete")] * 5

@@ -1,0 +1,19 @@
+"""Fig. 11: microbenchmark throughput per operation type."""
+
+from repro.harness import fig11_micro_throughput
+
+from .conftest import run_once
+
+
+def test_fig11_micro_throughput(benchmark, scale, record):
+    result = run_once(benchmark, fig11_micro_throughput, scale)
+    record(result)
+    rows = {op: (fusee, clover, pdpm)
+            for op, fusee, clover, pdpm in result.rows}
+    # FUSEE leads the write-path ops; pDPM-Direct trails everywhere
+    assert rows["update"][0] > rows["update"][2]
+    assert rows["insert"][0] > rows["insert"][2]
+    assert rows["search"][0] > rows["search"][2]
+    # Clover has no DELETE
+    assert rows["delete"][1] is None
+    assert rows["delete"][0] > rows["delete"][2]

@@ -1,0 +1,16 @@
+"""Fig. 12: FUSEE throughput grows as KV pairs shrink (RNIC-bandwidth bound)."""
+
+from repro.harness import fig12_kv_sizes
+
+from .conftest import run_once
+
+
+def test_fig12_kv_sizes(benchmark, scale, record):
+    result = run_once(benchmark, fig12_kv_sizes, scale)
+    record(result)
+    rows = {size: (a, c) for size, a, c in result.rows}
+    # read-only YCSB-C is bandwidth-bound: smaller pairs -> more ops
+    assert rows[256][1] > rows[1024][1] * 1.25
+    assert rows[512][1] > rows[1024][1] * 1.10
+    # YCSB-A also improves, more modestly
+    assert rows[256][0] >= rows[1024][0]

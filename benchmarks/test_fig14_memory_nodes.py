@@ -1,0 +1,16 @@
+"""Fig. 14: throughput vs number of memory nodes (fixed client pool)."""
+
+from repro.harness import fig14_memory_nodes
+
+from .conftest import run_once
+
+
+def test_fig14_memory_nodes(benchmark, scale, record):
+    result = run_once(benchmark, fig14_memory_nodes, scale)
+    record(result)
+    table = {(w, m): (f, c, p) for w, m, f, c, p in result.rows}
+    # FUSEE gains from 2 -> 3 MNs, then plateaus (client-bound)
+    assert table[("A", 3)][0] >= table[("A", 2)][0] * 0.95
+    assert table[("A", 5)][0] < table[("A", 3)][0] * 1.5
+    # Clover stays metadata-bound regardless of MN count
+    assert table[("A", 5)][1] < table[("A", 2)][1] * 1.4

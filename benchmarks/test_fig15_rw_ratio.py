@@ -1,0 +1,21 @@
+"""Fig. 15: throughput under different SEARCH:UPDATE ratios."""
+
+from repro.harness import fig15_rw_ratio
+
+from .conftest import run_once
+
+
+def test_fig15_rw_ratio(benchmark, scale, record):
+    result = run_once(benchmark, fig15_rw_ratio, scale)
+    record(result)
+    rows = {ratio: (f, c, p) for ratio, f, c, p in result.rows}
+    # every system slows as updates grow
+    assert rows["0:100"][0] < rows["100:0"][0]
+    assert rows["0:100"][1] < rows["100:0"][1]
+    assert rows["0:100"][2] < rows["100:0"][2]
+    # FUSEE leads at every ratio (paper Fig. 15)
+    for ratio, (fusee, clover, pdpm) in rows.items():
+        assert fusee >= clover * 0.9, ratio
+        assert fusee >= pdpm * 0.9, ratio
+    # and decisively on the write-heavy end
+    assert rows["0:100"][0] > rows["0:100"][1] * 1.5

@@ -1,0 +1,14 @@
+"""Fig. 16: YCSB-A throughput vs the adaptive-cache bypass threshold."""
+
+from repro.harness import fig16_cache_threshold
+
+from .conftest import run_once
+
+
+def test_fig16_cache_threshold(benchmark, scale, record):
+    result = run_once(benchmark, fig16_cache_threshold, scale)
+    record(result)
+    rows = dict(result.rows)
+    # high thresholds waste bandwidth on invalidated pairs
+    assert rows[0.0] > rows[8.0]
+    assert rows[0.2] >= rows[2.0] * 0.98

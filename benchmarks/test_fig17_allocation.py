@@ -1,0 +1,15 @@
+"""Fig. 17: two-level vs MN-centric memory allocation."""
+
+from repro.harness import fig17_allocation
+
+from .conftest import run_once
+
+
+def test_fig17_allocation(benchmark, scale, record):
+    result = run_once(benchmark, fig17_allocation, scale)
+    record(result)
+    rows = {w: (two, central) for w, two, central in result.rows}
+    # write-heavy: the weak MN cores collapse under per-object allocation
+    assert rows["A"][1] < rows["A"][0] * 0.35
+    # read-only: no allocation involved, identical throughput
+    assert abs(rows["C"][1] - rows["C"][0]) / rows["C"][0] < 0.05

@@ -1,0 +1,16 @@
+"""Fig. 18: FUSEE YCSB throughput vs replication factor."""
+
+from repro.harness import fig18_replication_throughput
+
+from .conftest import run_once
+
+
+def test_fig18_replication_throughput(benchmark, scale, record):
+    result = run_once(benchmark, fig18_replication_throughput, scale)
+    record(result)
+    rows = {r: (a, b, c, d) for r, a, b, c, d in result.rows}
+    # write-heavy workloads pay for replication
+    assert rows[3][0] < rows[1][0]
+    assert rows[3][1] < rows[1][1] * 1.05
+    # read-only YCSB-C is unaffected by the replication factor
+    assert rows[3][2] > rows[1][2] * 0.85

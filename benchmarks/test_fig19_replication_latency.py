@@ -1,0 +1,22 @@
+"""Fig. 19: median latency vs replication factor for FUSEE/-NC/-CR."""
+
+from repro.harness import fig19_replication_latency
+
+from .conftest import run_once
+
+
+def test_fig19_replication_latency(benchmark, scale, record):
+    result = run_once(benchmark, fig19_replication_latency, scale,
+                      factors=(1, 2, 3, 4))
+    record(result)
+    table = {(v, r): (ins, upd, srch, dele)
+             for v, r, ins, upd, srch, dele in result.rows}
+    # FUSEE-CR write latency grows with every extra replica...
+    assert table[("fusee-cr", 4)][1] > table[("fusee-cr", 2)][1] * 1.15
+    # ...while SNAPSHOT's RTT count is bounded: r=4 ~ r=2
+    assert table[("fusee", 4)][1] < table[("fusee", 2)][1] * 1.10
+    # and CR is strictly worse than FUSEE at high replication
+    assert table[("fusee-cr", 4)][1] > table[("fusee", 4)][1]
+    # no-cache pays extra read RTTs on SEARCH/UPDATE/DELETE
+    assert table[("fusee-nc", 2)][2] > table[("fusee", 2)][2]
+    assert table[("fusee-nc", 2)][3] > table[("fusee", 2)][3]

@@ -1,0 +1,17 @@
+"""Fig. 20: YCSB-C throughput timeline across a memory-node crash."""
+
+from repro.harness import fig20_mn_crash
+
+from .conftest import run_once
+
+
+def test_fig20_mn_crash(benchmark, scale, record):
+    result = run_once(benchmark, fig20_mn_crash, scale)
+    record(result)
+    mops = [m for _b, _t, m in result.rows]
+    before = sum(mops[2:5]) / 3
+    after = sum(mops[6:9]) / 3
+    # searches continue after the crash...
+    assert after > 0.2 * before
+    # ...but throughput drops to about half (one RNIC serves everything)
+    assert after < 0.75 * before

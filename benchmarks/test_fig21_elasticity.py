@@ -1,0 +1,17 @@
+"""Fig. 21: dynamically adding and removing clients."""
+
+from repro.harness import fig21_elasticity
+
+from .conftest import run_once
+
+
+def test_fig21_elasticity(benchmark, scale, record):
+    result = run_once(benchmark, fig21_elasticity, scale)
+    record(result)
+    mops = [m for _b, _t, m in result.rows]
+    base = sum(mops[1:3]) / 2
+    doubled = sum(mops[4:6]) / 2
+    back = sum(mops[7:9]) / 2
+    # throughput steps up with the extra clients and returns after removal
+    assert doubled > base * 1.3
+    assert back < doubled * 0.8

@@ -1,0 +1,19 @@
+"""The paper's resource-consumption claim: FUSEE needs no metadata server."""
+
+from repro.harness import resource_efficiency
+
+from .conftest import run_once
+
+
+def test_resource_efficiency(benchmark, scale, record):
+    result = run_once(benchmark, resource_efficiency, scale)
+    record(result)
+    rows = {r[0]: r for r in result.rows}
+    # Clover dedicates a monolithic server (8 cores) and burns real CPU
+    assert rows["clover"][2] == 8
+    assert rows["clover"][3] > 0
+    # FUSEE and pDPM dedicate zero metadata-server cores
+    assert rows["fusee"][2] == 0
+    assert rows["pdpm-direct"][2] == 0
+    # and FUSEE still out-performs Clover
+    assert rows["fusee"][1] > rows["clover"][1]

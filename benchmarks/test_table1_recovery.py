@@ -1,0 +1,18 @@
+"""Table 1: client recovery time breakdown after 1,000 UPDATEs."""
+
+from repro.harness import table1_recovery
+
+from .conftest import run_once
+
+
+def test_table1_recovery(benchmark, scale, record):
+    result = run_once(benchmark, table1_recovery, scale, n_updates=1000)
+    record(result)
+    rows = {step: (ms, pct) for step, ms, pct in result.rows}
+    # connection + MR re-registration dominates (paper: 92.1%)
+    assert rows["Recover connection & MR"][1] > 85.0
+    # log traversal is a small fraction (paper: 2.0%)
+    assert rows["Traverse Log"][1] < 6.0
+    assert rows["Traverse Log"][0] > 0.5  # but real work: ~2us x 1000 objs
+    # total stays in the paper's ballpark (177 ms measured on CloudLab)
+    assert 160.0 < rows["Total"][0] < 220.0

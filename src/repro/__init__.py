@@ -1,0 +1,40 @@
+"""FUSEE — a fully memory-disaggregated key-value store (FAST'23).
+
+Python reproduction on a simulated RDMA fabric.  The public surface:
+
+* :class:`repro.FuseeKV` — synchronous single-client store for apps.
+* :class:`repro.FuseeCluster` / :class:`repro.ClusterConfig` — full
+  deployments with many clients, failure injection, and the master.
+* :mod:`repro.workloads` — YCSB and microbenchmark generators.
+* :mod:`repro.harness` — throughput/latency experiment drivers that
+  regenerate every table and figure of the paper's evaluation.
+* :mod:`repro.baselines` — Clover, pDPM-Direct, and the Fig. 3
+  consensus/lock replication comparators.
+"""
+
+from .core import (
+    ClientConfig,
+    ClusterConfig,
+    FuseeClient,
+    FuseeCluster,
+    FuseeKV,
+    OpResult,
+)
+from .rdma import Fabric, FabricConfig, MemoryNode
+from .sim import Environment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientConfig",
+    "ClusterConfig",
+    "FuseeClient",
+    "FuseeCluster",
+    "FuseeKV",
+    "OpResult",
+    "Fabric",
+    "FabricConfig",
+    "MemoryNode",
+    "Environment",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every reproducible paper artefact and its description.
+``run <name> [...]``
+    Regenerate one artefact (or ``all``) and print its table; optionally
+    write tables to a directory.
+``demo``
+    A 30-second smoke demo of the store itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .harness import ALL_EXPERIMENTS, Scale
+from .harness.report import render
+
+
+def _scale_from(name: str) -> Scale:
+    presets = {"tiny": Scale.tiny, "bench": Scale.bench, "full": Scale.full}
+    if name not in presets:
+        raise SystemExit(f"unknown scale {name!r}; pick from "
+                         f"{sorted(presets)}")
+    return presets[name]()
+
+
+def cmd_list(_args) -> int:
+    width = max(len(name) for name in ALL_EXPERIMENTS)
+    for name, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<{width}}  {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    names = list(ALL_EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    scale = _scale_from(args.scale)
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](scale)
+        elapsed = time.time() - started
+        print(render(result, args.format))
+        print(f"[{elapsed:.1f}s wall]\n")
+        if out_dir:
+            ext = {"table": "txt", "csv": "csv", "md": "md",
+                   "chart": "txt"}[args.format]
+            (out_dir / f"{name}.{ext}").write_text(
+                render(result, args.format) + "\n")
+    return 0
+
+
+def cmd_demo(_args) -> int:
+    from . import ClusterConfig, FuseeKV
+
+    kv = FuseeKV(ClusterConfig(n_memory_nodes=2, replication_factor=2))
+    kv.insert(b"demo", b"it works")
+    print("insert/search:", kv.search(b"demo").decode())
+    kv.update(b"demo", b"it still works")
+    print("update/search:", kv.search(b"demo").decode())
+    kv.delete(b"demo")
+    print("after delete:", kv.search(b"demo"))
+    stats = kv.cluster.fabric.stats
+    print(f"verbs used: {stats.reads} reads, {stats.writes} writes, "
+          f"{stats.atomics} atomics ({kv.now_us:.1f} simulated us)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FUSEE (FAST'23) reproduction — experiment runner")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible paper artefacts") \
+        .set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="regenerate artefacts")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment names (or 'all')")
+    run_parser.add_argument("--scale", default="bench",
+                            choices=("tiny", "bench", "full"))
+    run_parser.add_argument("--out", default=None,
+                            help="directory to write tables into")
+    run_parser.add_argument("--format", default="table",
+                            choices=("table", "csv", "md", "chart"))
+    run_parser.set_defaults(func=cmd_run)
+
+    sub.add_parser("demo", help="smoke-test the store") \
+        .set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

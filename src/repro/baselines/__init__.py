@@ -1,0 +1,28 @@
+"""Baseline systems the paper compares against (§6.1, §3.1)."""
+
+from .clover import CloverClient, CloverCluster, CloverConfig
+from .common import BumpGrantAllocator, RpcServer, decode_record, encode_record
+from .fig3 import (
+    ConsensusReplicatedObject,
+    LockReplicatedObject,
+    ReplicatedObjectBed,
+    SnapshotReplicatedObject,
+)
+from .pdpm import PdpmClient, PdpmCluster, PdpmConfig
+
+__all__ = [
+    "CloverClient",
+    "CloverCluster",
+    "CloverConfig",
+    "BumpGrantAllocator",
+    "RpcServer",
+    "decode_record",
+    "encode_record",
+    "ConsensusReplicatedObject",
+    "LockReplicatedObject",
+    "ReplicatedObjectBed",
+    "SnapshotReplicatedObject",
+    "PdpmClient",
+    "PdpmCluster",
+    "PdpmConfig",
+]

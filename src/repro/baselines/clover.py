@@ -1,0 +1,264 @@
+"""Clover (Tsai et al., ATC'20): the semi-disaggregated baseline (§2.2).
+
+Clover stores KV pairs on memory nodes but keeps *metadata* — the hash
+index and memory-management information — on a monolithic metadata server
+with real CPU cores.  Its flows, as Fig. 1a describes:
+
+* SEARCH — look up the KV address (client-side index cache, falling back
+  to a metadata-server RPC), then fetch the pair with one RDMA_READ.
+  Out-of-place updates leave a *version chain*: a stale cached address is
+  followed through per-record next-version pointers, one RTT per hop.
+* UPDATE / INSERT — allocate from a client-local grant (batched block
+  allocation from the metadata server), write the pair to the data
+  replicas with RDMA_WRITE, then RPC the metadata server to point the
+  index at the new version; the server also links the old version's
+  next-pointer (served by its CPU).
+* DELETE — unsupported by the open-source Clover (§6.2), and here.
+
+The metadata server's CPU is the scaling bottleneck (Figs. 2, 13): every
+INSERT/UPDATE costs CPU service time on one of its ``metadata_cores``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rdma import Fabric, FabricConfig, MemoryNode, ReadOp, WriteOp
+from ..sim import Environment, NicProfile
+from .common import (
+    BumpGrantAllocator,
+    RpcServer,
+    decode_record,
+    encode_record,
+    record_size,
+)
+
+__all__ = ["CloverConfig", "CloverCluster", "CloverClient"]
+
+
+@dataclass(frozen=True)
+class CloverConfig:
+    n_memory_nodes: int = 2
+    data_replicas: int = 2
+    metadata_cores: int = 8
+    mn_capacity: int = 1 << 28
+    grant_size: int = 1 << 17
+    # CPU costs on the metadata server (per request).  Calibrated against
+    # the paper: an index update (out-of-place chaining + GC bookkeeping)
+    # costs ~5us of a 2.1 GHz Xeon core, so 6 cores serve the ~2.25 Mops
+    # plateau of Fig. 2, and the metadata server's single RNIC caps RPCs
+    # at ~2.3M/s so adding cores beyond ~6 stops helping.
+    lookup_cpu_us: float = 2.0
+    update_cpu_us: float = 5.0
+    alloc_cpu_us: float = 8.0
+    fabric: FabricConfig = FabricConfig()
+    nic: NicProfile = NicProfile()
+    metadata_nic: NicProfile = NicProfile(rpc_overhead=0.22)
+
+
+class CloverCluster:
+    """Memory pool + metadata server + client factory."""
+
+    def __init__(self, config: Optional[CloverConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config or CloverConfig()
+        self.env = env or Environment()
+        cfg = self.config
+        self.fabric = Fabric(self.env, cfg.fabric)
+        for mn in range(cfg.n_memory_nodes):
+            self.fabric.add_node(MemoryNode(self.env, mn, cfg.mn_capacity,
+                                            nic_profile=cfg.nic))
+        self.metadata = RpcServer(self.env, cores=cfg.metadata_cores,
+                                  nic_profile=cfg.metadata_nic)
+        # server-side state: the hash index and MM info (plain structures —
+        # they live in the metadata server's DRAM, not on the fabric)
+        self._index: Dict[bytes, Tuple[Tuple[Tuple[int, int], ...], int]] = {}
+        self._bump: Dict[int, int] = {mn: 64 for mn in
+                                      range(cfg.n_memory_nodes)}
+        self._rr = itertools.count()
+        self.metadata.register("lookup", self._h_lookup)
+        self.metadata.register("update_index", self._h_update_index)
+        self.metadata.register("alloc_grant", self._h_alloc_grant)
+        self.clients: List["CloverClient"] = []
+
+    # ---------------------------------------------------- metadata handlers
+    def _h_lookup(self, payload):
+        entry = self._index.get(payload["key"])
+        if entry is None:
+            return {"found": False}, self.config.lookup_cpu_us
+        locs, size = entry
+        return ({"found": True, "locs": list(locs), "size": size},
+                self.config.lookup_cpu_us)
+
+    def _h_update_index(self, payload):
+        key = payload["key"]
+        old = self._index.get(key)
+        if payload.get("insert") and old is not None:
+            return {"ok": False, "exists": True}, self.config.update_cpu_us
+        if not payload.get("insert") and old is None:
+            return {"ok": False, "exists": False}, self.config.update_cpu_us
+        self._index[key] = (tuple(payload["locs"]), payload["size"])
+        reply = {"ok": True}
+        if old is not None:
+            # the server hands back the old locations so the client can
+            # link the version chain (one unsignaled write, off-path)
+            reply["old_locs"] = list(old[0])
+            reply["old_size"] = old[1]
+        return reply, self.config.update_cpu_us
+
+    def _h_alloc_grant(self, payload):
+        mn = payload["mn"]
+        base = self._bump[mn]
+        self._bump[mn] += self.config.grant_size
+        if self._bump[mn] > self.config.mn_capacity:
+            return {"ok": False}, self.config.alloc_cpu_us
+        return {"ok": True, "base": base}, self.config.alloc_cpu_us
+
+    # ------------------------------------------------------------- clients
+    def new_client(self) -> "CloverClient":
+        client = CloverClient(self, len(self.clients) + 1)
+        self.clients.append(client)
+        return client
+
+    def replica_mns(self, serial: int) -> List[int]:
+        """Round-robin data placement across MNs."""
+        cfg = self.config
+        first = serial % cfg.n_memory_nodes
+        return [(first + i) % cfg.n_memory_nodes
+                for i in range(cfg.data_replicas)]
+
+    def run_op(self, generator):
+        return self.env.run(until=self.env.process(generator))
+
+
+@dataclass
+class _CacheEntry:
+    locs: Tuple[Tuple[int, int], ...]
+    size: int
+
+
+class CloverClient:
+    """One Clover compute-node client."""
+
+    MAX_CHAIN_HOPS = 16
+
+    def __init__(self, cluster: CloverCluster, cid: int):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.fabric = cluster.fabric
+        self.cid = cid
+        self.alloc = BumpGrantAllocator(cluster.config.grant_size)
+        self.cache: Dict[bytes, _CacheEntry] = {}
+        self._serial = cid * 7
+
+    # ------------------------------------------------------------ helpers
+    def _write_record(self, key: bytes, value: bytes):
+        """Allocate + write a record to the data replicas (generator).
+
+        Returns the replica locations of the new record."""
+        size = record_size(key, value)
+        self._serial += 1
+        mns = self.cluster.replica_mns(self._serial)
+        locs = []
+        for mn in mns:
+            if self.alloc.needs_grant(mn, size):
+                reply = yield self.cluster.metadata.call("alloc_grant",
+                                                         {"mn": mn})
+                if not reply["ok"]:
+                    raise MemoryError("Clover memory pool exhausted")
+                self.alloc.install_grant(mn, reply["base"])
+            locs.append((mn, self.alloc.alloc(mn, size)))
+        record = encode_record(key, value)
+        yield self.fabric.post([WriteOp(mn, addr, record)
+                                for mn, addr in locs])
+        return tuple(locs), size
+
+    def _link_old_version(self, old_locs, old_size, new_loc) -> None:
+        """Point the old record's next-version field at the new record.
+
+        Encoded as (mn_id << 48 | addr); posted unsignaled, off-path."""
+        mn, addr = new_loc
+        pointer = ((mn + 1) << 48) | addr
+        ops = [WriteOp(omn, oaddr, pointer.to_bytes(8, "big"))
+               for omn, oaddr in old_locs]
+        self.fabric.post(ops)
+
+    # ------------------------------------------------------------ operations
+    def search(self, key: bytes):
+        entry = self.cache.get(key)
+        if entry is None:
+            reply = yield self.cluster.metadata.call("lookup", {"key": key})
+            if not reply["found"]:
+                return None
+            entry = _CacheEntry(tuple(tuple(l) for l in reply["locs"]),
+                                reply["size"])
+            self.cache[key] = entry
+        mn, addr = entry.locs[0]
+        size = entry.size
+        # Follow the version chain from the (possibly stale) cached copy.
+        for _hop in range(self.MAX_CHAIN_HOPS):
+            comps = yield self.fabric.post([ReadOp(mn, addr, size)])
+            record = decode_record(comps[0].value)
+            if record is None:
+                # torn/unknown: fall back to a fresh metadata lookup
+                reply = yield self.cluster.metadata.call("lookup",
+                                                         {"key": key})
+                if not reply["found"]:
+                    self.cache.pop(key, None)
+                    return None
+                entry = _CacheEntry(tuple(tuple(l) for l in reply["locs"]),
+                                    reply["size"])
+                self.cache[key] = entry
+                (mn, addr), size = entry.locs[0], entry.size
+                continue
+            next_version, rkey, rvalue = record
+            if next_version:
+                mn = (next_version >> 48) - 1
+                addr = next_version & ((1 << 48) - 1)
+                # chain hops read generously (the new size is unknown)
+                size = min(max(size, 4096),
+                           self.cluster.config.mn_capacity - addr)
+                continue
+            if rkey != key:
+                reply = yield self.cluster.metadata.call("lookup",
+                                                         {"key": key})
+                if not reply["found"]:
+                    self.cache.pop(key, None)
+                    return None
+                entry = _CacheEntry(tuple(tuple(l) for l in reply["locs"]),
+                                    reply["size"])
+                self.cache[key] = entry
+                (mn, addr), size = entry.locs[0], entry.size
+                continue
+            self.cache[key] = _CacheEntry(((mn, addr),) + entry.locs[1:],
+                                          size)
+            return rvalue
+        return None
+
+    def update(self, key: bytes, value: bytes):
+        locs, size = yield from self._write_record(key, value)
+        reply = yield self.cluster.metadata.call(
+            "update_index", {"key": key, "locs": list(locs), "size": size})
+        if not reply["ok"]:
+            return False
+        if "old_locs" in reply:
+            self._link_old_version([tuple(l) for l in reply["old_locs"]],
+                                   reply["old_size"], locs[0])
+        self.cache[key] = _CacheEntry(locs, size)
+        return True
+
+    def insert(self, key: bytes, value: bytes):
+        locs, size = yield from self._write_record(key, value)
+        reply = yield self.cluster.metadata.call(
+            "update_index", {"key": key, "locs": list(locs), "size": size,
+                             "insert": True})
+        if not reply["ok"]:
+            return False
+        self.cache[key] = _CacheEntry(locs, size)
+        return True
+
+    def delete(self, key: bytes):
+        raise NotImplementedError(
+            "the open-source Clover does not support DELETE (§6.2)")

@@ -1,0 +1,134 @@
+"""Shared infrastructure for the baseline systems.
+
+* :class:`RpcServer` — a monolithic server (CPU cores + NIC) reachable by
+  RPC: Clover's metadata server (§2.2, Fig. 2) and the consensus leader of
+  Fig. 3 are instances.  This is exactly the component whose resource
+  consumption FUSEE eliminates.
+* A minimal KV record codec (header + key + value + CRC) for baselines
+  that do not carry FUSEE's embedded log.
+* :class:`BumpGrantAllocator` — Clover-style client-side allocation from
+  coarse block grants handed out by a server, amortising allocation RPCs.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..sim import Environment, NicPort, NicProfile, Resource
+
+__all__ = ["RpcServer", "ServerStats", "encode_record", "decode_record",
+           "record_size", "BumpGrantAllocator"]
+
+_RECORD_HEADER = struct.Struct(">QHLL")  # next-version ptr, keylen, vallen, crc
+RECORD_HEADER_SIZE = _RECORD_HEADER.size
+
+
+@dataclass
+class ServerStats:
+    calls: int = 0
+    busy_us: float = 0.0
+    per_op: Dict[str, int] = field(default_factory=dict)
+
+
+class RpcServer:
+    """A monolithic server with ``cores`` CPUs serving named RPC handlers.
+
+    Handlers are ``payload -> (reply, cpu_us)``.  Calls traverse the
+    network (one-way each direction), occupy the server NIC, queue for a
+    CPU core, and burn the handler's reported CPU time — so a small core
+    count becomes the throughput bottleneck, which is the phenomenon
+    Figure 2 demonstrates for Clover's metadata server.
+    """
+
+    def __init__(self, env: Environment, cores: int = 8,
+                 nic_profile: Optional[NicProfile] = None,
+                 one_way_delay_us: float = 0.9):
+        self.env = env
+        self.cpu = Resource(env, capacity=max(1, cores))
+        self.nic = NicPort(env, nic_profile or NicProfile())
+        self.one_way_delay_us = one_way_delay_us
+        self.stats = ServerStats()
+        self._handlers: Dict[str, Callable] = {}
+
+    def register(self, name: str, handler: Callable) -> None:
+        self._handlers[name] = handler
+
+    def call(self, name: str, payload: dict):
+        """RPC as an event (spawned process); fires with the reply."""
+        return self.env.process(self._call_proc(name, payload),
+                                name=f"rpc:{name}")
+
+    def _call_proc(self, name: str, payload: dict):
+        self.stats.calls += 1
+        self.stats.per_op[name] = self.stats.per_op.get(name, 0) + 1
+        yield self.env.timeout(self.one_way_delay_us)
+        yield self.nic.occupy(self.nic.profile.rpc_overhead)
+        req = self.cpu.request()
+        yield req
+        try:
+            reply, cpu_us = self._handlers[name](payload)
+            self.stats.busy_us += cpu_us
+            yield self.env.timeout(cpu_us)
+        finally:
+            req.release()
+        yield self.nic.occupy(self.nic.profile.rpc_overhead)
+        yield self.env.timeout(self.one_way_delay_us)
+        return reply
+
+
+def record_size(key: bytes, value: bytes) -> int:
+    return RECORD_HEADER_SIZE + len(key) + len(value)
+
+
+def encode_record(key: bytes, value: bytes, next_version: int = 0) -> bytes:
+    crc = zlib.crc32(key + value) & 0xFFFFFFFF
+    return _RECORD_HEADER.pack(next_version, len(key), len(value), crc) \
+        + key + value
+
+
+def decode_record(data: bytes) -> Optional[Tuple[int, bytes, bytes]]:
+    """``(next_version, key, value)`` or None if torn/corrupt."""
+    if len(data) < RECORD_HEADER_SIZE:
+        return None
+    next_version, key_len, value_len, crc = _RECORD_HEADER.unpack_from(data, 0)
+    end = RECORD_HEADER_SIZE + key_len + value_len
+    if end > len(data):
+        return None
+    key = bytes(data[RECORD_HEADER_SIZE:RECORD_HEADER_SIZE + key_len])
+    value = bytes(data[RECORD_HEADER_SIZE + key_len:end])
+    if zlib.crc32(key + value) & 0xFFFFFFFF != crc:
+        return None
+    return next_version, key, value
+
+
+class BumpGrantAllocator:
+    """Client-side bump allocation from coarse per-MN grants.
+
+    ``grant(mn_id, nbytes)`` is called (rarely) to obtain a new extent;
+    allocations then cost nothing — Clover's "clients allocate a batch of
+    memory blocks one at a time" behaviour (§2.2).
+    """
+
+    def __init__(self, grant_size: int = 1 << 20):
+        self.grant_size = grant_size
+        self._extents: Dict[int, Tuple[int, int]] = {}  # mn -> (cursor, end)
+        self.grants_requested = 0
+
+    def needs_grant(self, mn_id: int, nbytes: int) -> bool:
+        cursor, end = self._extents.get(mn_id, (0, 0))
+        return cursor + nbytes > end
+
+    def install_grant(self, mn_id: int, base: int) -> None:
+        self.grants_requested += 1
+        self._extents[mn_id] = (base, base + self.grant_size)
+
+    def alloc(self, mn_id: int, nbytes: int) -> int:
+        cursor, end = self._extents[mn_id]
+        if cursor + nbytes > end:
+            raise RuntimeError("allocation without grant")
+        aligned = (nbytes + 63) // 64 * 64
+        self._extents[mn_id] = (cursor + aligned, end)
+        return cursor

@@ -1,0 +1,129 @@
+"""The Figure 3 motivation study: why consensus and remote locks don't
+scale for client-centric replication on DM (§3.1).
+
+Both comparators replicate one 8-byte object on two memory nodes and let
+N clients write it concurrently:
+
+* :class:`ConsensusReplicatedObject` — a Derecho-style totally-ordered
+  replication: every write is sequenced by a leader process (CPU-bound
+  serialization) which then applies it to all replicas.
+* :class:`LockReplicatedObject` — an RDMA CAS spin lock guarding the
+  replicas; the lock is held for the whole replica-update critical
+  section.
+
+:class:`SnapshotReplicatedObject` wraps SNAPSHOT over the same replicas
+so experiments can show the contrast (the paper's Fig. 3 shows only the
+two poor scalers; the SNAPSHOT series corresponds to its Fig. 11/13
+behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.race import SlotRef
+from ..core.snapshot import snapshot_write
+from ..rdma import CasOp, Fabric, FabricConfig, MemoryNode, ReadOp, WriteOp
+from ..sim import Environment, NicProfile
+from .common import RpcServer
+
+__all__ = [
+    "ReplicatedObjectBed",
+    "ConsensusReplicatedObject",
+    "LockReplicatedObject",
+    "SnapshotReplicatedObject",
+]
+
+
+class ReplicatedObjectBed:
+    """A fabric with r memory nodes, each holding one 8-byte replica at
+    address 8 (address 0 holds the lock word for the lock variant)."""
+
+    def __init__(self, replicas: int = 2, env: Optional[Environment] = None,
+                 fabric_config: Optional[FabricConfig] = None,
+                 nic: Optional[NicProfile] = None):
+        self.env = env or Environment()
+        self.fabric = Fabric(self.env, fabric_config or FabricConfig())
+        for mn in range(replicas):
+            self.fabric.add_node(MemoryNode(self.env, mn, capacity=64,
+                                            nic_profile=nic or NicProfile()))
+        self.replicas = replicas
+
+    def replica_locs(self) -> List[tuple]:
+        return [(mn, 8) for mn in range(self.replicas)]
+
+    def run_op(self, generator):
+        return self.env.run(until=self.env.process(generator))
+
+
+class ConsensusReplicatedObject:
+    """Derecho-like: writes are sequenced by a leader, then replicated."""
+
+    def __init__(self, bed: ReplicatedObjectBed, leader_cores: int = 1,
+                 sequence_cpu_us: float = 1.5):
+        self.bed = bed
+        self.leader = RpcServer(bed.env, cores=leader_cores)
+        self._sequence_cpu_us = sequence_cpu_us
+        self.leader.register("write", self._h_write)
+        self._seq = 0
+
+    def _h_write(self, payload):
+        self._seq += 1
+        return {"seq": self._seq}, self._sequence_cpu_us
+
+    def write(self, value: int):
+        """Generator: one totally-ordered write."""
+        # 1. obtain a sequence number from the leader (its CPU serializes)
+        yield self.leader.call("write", {"value": value})
+        # 2. the sequenced write is applied to all replicas
+        data = value.to_bytes(8, "big")
+        yield self.bed.fabric.post([WriteOp(mn, addr, data)
+                                    for mn, addr in self.bed.replica_locs()])
+        return True
+
+
+class LockReplicatedObject:
+    """RDMA CAS spin lock + replica writes under the lock."""
+
+    def __init__(self, bed: ReplicatedObjectBed, backoff_us: float = 2.0):
+        self.bed = bed
+        self.backoff_us = backoff_us
+        self.lock_mn = 0
+        self.lock_addr = 0
+
+    def write(self, value: int, owner: int = 1):
+        """Generator: acquire, update replicas, release."""
+        fabric = self.bed.fabric
+        while True:
+            comps = yield fabric.post([CasOp(self.lock_mn, self.lock_addr,
+                                             expected=0, swap=owner)])
+            if comps[0].cas_succeeded():
+                break
+            yield self.bed.env.timeout(self.backoff_us)
+        data = value.to_bytes(8, "big")
+        yield fabric.post([WriteOp(mn, addr, data)
+                           for mn, addr in self.bed.replica_locs()])
+        yield fabric.post([WriteOp(self.lock_mn, self.lock_addr, bytes(8))])
+        return True
+
+
+class SnapshotReplicatedObject:
+    """The same replicated object driven by the SNAPSHOT protocol."""
+
+    def __init__(self, bed: ReplicatedObjectBed):
+        self.bed = bed
+        self.ref = SlotRef(subtable=0, slot_index=0,
+                           placement=tuple((mn, 8)
+                                           for mn in range(bed.replicas)))
+
+    def write(self, value: int):
+        """Generator: read primary + SNAPSHOT write (out-of-place values
+        must be distinct, so callers pass unique values)."""
+        fabric = self.bed.fabric
+        mn, addr = self.ref.primary()
+        comps = yield fabric.post([ReadOp(mn, addr, 8)])
+        v_old = int.from_bytes(comps[0].value, "big")
+        if v_old == value:
+            return True
+        result = yield from snapshot_write(fabric, self.ref, v_old, value)
+        return result.outcome.completed

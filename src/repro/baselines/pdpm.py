@@ -1,0 +1,288 @@
+"""pDPM-Direct (Tsai et al., ATC'20): the client-managed, lock-based
+baseline (§6.1).
+
+pDPM-Direct disaggregates metadata like FUSEE, but resolves conflicts
+with *remote spin locks*: each hash-index bucket on the metadata memory
+node carries an 8-byte lock word that writers acquire with RDMA_CAS and
+spin on.  Updates are in-place under the lock, written as an un-committed
+copy then a committed copy (pDPM-Direct's crash-consistency scheme), so
+the lock is held for several RTTs and hot keys serialize — the behaviour
+that caps its throughput in Figs. 11, 13 and 15.
+
+Reads are lock-free: fetch the record and verify its CRC, retrying on a
+torn (concurrently written) image.
+
+Layout.  The index (buckets of a lock word + 8 slots) lives on MN 0.
+Records live in a *record area* carved at the same relative offsets on
+every MN, so a slot word ``(primary_mn+1) << 48 | offset`` identifies all
+``data_replicas`` copies of a record (successive MNs, same offset).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rdma import CasOp, Fabric, FabricConfig, MemoryNode, ReadOp, WriteOp
+from ..sim import Environment, NicProfile
+from .common import decode_record, encode_record
+
+__all__ = ["PdpmConfig", "PdpmCluster", "PdpmClient"]
+
+SLOT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class PdpmConfig:
+    n_memory_nodes: int = 2
+    data_replicas: int = 2
+    n_buckets: int = 4096
+    slots_per_bucket: int = 8
+    record_capacity: int = 1 << 11   # fixed per-key record slab
+    record_area: int = 1 << 25
+    lock_backoff_us: float = 2.0
+    max_lock_spins: int = 100_000
+    fabric: FabricConfig = FabricConfig()
+    nic: NicProfile = NicProfile()
+
+    @property
+    def bucket_bytes(self) -> int:
+        return SLOT_BYTES * (1 + self.slots_per_bucket)
+
+
+class PdpmCluster:
+    """Memory pool with a client-managed, lock-protected index on MN 0."""
+
+    def __init__(self, config: Optional[PdpmConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config or PdpmConfig()
+        self.env = env or Environment()
+        cfg = self.config
+        self.fabric = Fabric(self.env, cfg.fabric)
+        capacity = cfg.record_area + cfg.n_buckets * cfg.bucket_bytes + (1 << 12)
+        for mn in range(cfg.n_memory_nodes):
+            self.fabric.add_node(MemoryNode(self.env, mn, capacity,
+                                            nic_profile=cfg.nic))
+        self.index_mn = 0
+        self.index_base = self.fabric.node(0).carve(
+            cfg.n_buckets * cfg.bucket_bytes)
+        # record area: identical offsets on every MN
+        self.record_base: Dict[int, int] = {
+            mn: self.fabric.node(mn).carve(cfg.record_area)
+            for mn in range(cfg.n_memory_nodes)}
+        self._record_cursor = 64  # offset 0 reserved (null slot word)
+        self._rr_mn = 0
+        self.clients: List["PdpmClient"] = []
+
+    # ------------------------------------------------------------- layout
+    def bucket_of(self, key: bytes) -> int:
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.config.n_buckets
+
+    def bucket_addr(self, bucket: int) -> int:
+        return self.index_base + bucket * self.config.bucket_bytes
+
+    def alloc_record(self) -> Tuple[int, int]:
+        """Returns (primary_mn, offset) of a fresh record home."""
+        cfg = self.config
+        offset = self._record_cursor
+        self._record_cursor += cfg.record_capacity
+        if self._record_cursor > cfg.record_area:
+            raise MemoryError("pDPM record area exhausted")
+        primary = self._rr_mn
+        self._rr_mn = (self._rr_mn + 1) % cfg.n_memory_nodes
+        return primary, offset
+
+    def record_locs(self, primary_mn: int, offset: int):
+        """All replica locations of a record, primary first."""
+        cfg = self.config
+        return tuple(((primary_mn + i) % cfg.n_memory_nodes,
+                      self.record_base[(primary_mn + i) % cfg.n_memory_nodes]
+                      + offset)
+                     for i in range(cfg.data_replicas))
+
+    @staticmethod
+    def slot_word(primary_mn: int, offset: int) -> int:
+        return ((primary_mn + 1) << 48) | offset
+
+    @staticmethod
+    def split_word(word: int) -> Tuple[int, int]:
+        return (word >> 48) - 1, word & ((1 << 48) - 1)
+
+    def new_client(self) -> "PdpmClient":
+        client = PdpmClient(self, len(self.clients) + 1)
+        self.clients.append(client)
+        return client
+
+    def run_op(self, generator):
+        return self.env.run(until=self.env.process(generator))
+
+
+class PdpmClient:
+    """One pDPM-Direct client."""
+
+    def __init__(self, cluster: PdpmCluster, cid: int):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.fabric = cluster.fabric
+        self.cid = cid
+        self.cache: Dict[bytes, Tuple[int, int]] = {}  # key -> (mn, offset)
+        self.lock_spins = 0
+
+    # ------------------------------------------------------------ locking
+    def _acquire(self, bucket: int):
+        cfg = self.cluster.config
+        addr = self.cluster.bucket_addr(bucket)
+        for _ in range(cfg.max_lock_spins):
+            comps = yield self.fabric.post(
+                [CasOp(self.cluster.index_mn, addr, expected=0,
+                       swap=self.cid)])
+            if comps[0].cas_succeeded():
+                return True
+            self.lock_spins += 1
+            yield self.env.timeout(cfg.lock_backoff_us)
+        return False
+
+    def _release_op(self, bucket: int) -> WriteOp:
+        return WriteOp(self.cluster.index_mn,
+                       self.cluster.bucket_addr(bucket), bytes(8))
+
+    # ------------------------------------------------------------ index I/O
+    def _read_bucket(self, bucket: int):
+        cfg = self.cluster.config
+        comps = yield self.fabric.post(
+            [ReadOp(self.cluster.index_mn, self.cluster.bucket_addr(bucket),
+                    cfg.bucket_bytes)])
+        data = comps[0].value
+        return [int.from_bytes(data[SLOT_BYTES * (1 + i):
+                                    SLOT_BYTES * (2 + i)], "big")
+                for i in range(cfg.slots_per_bucket)]
+
+    def _slot_addr(self, bucket: int, slot_index: int) -> int:
+        return (self.cluster.bucket_addr(bucket)
+                + SLOT_BYTES * (1 + slot_index))
+
+    def _read_record(self, mn: int, offset: int):
+        cfg = self.cluster.config
+        addr = self.cluster.record_base[mn] + offset
+        comps = yield self.fabric.post([ReadOp(mn, addr,
+                                               cfg.record_capacity)])
+        return decode_record(comps[0].value)
+
+    def _locate(self, key: bytes, slots):
+        """(slot_index, (mn, offset)) of the key, or (free_index, None)."""
+        free = None
+        for i, word in enumerate(slots):
+            if word == 0:
+                if free is None:
+                    free = i
+                continue
+            mn, offset = self.cluster.split_word(word)
+            record = yield from self._read_record(mn, offset)
+            if record is not None and record[1] == key:
+                return i, (mn, offset)
+        return free, None
+
+    # ------------------------------------------------------------ operations
+    def search(self, key: bytes):
+        """Lock-free read with CRC verification and torn-read retry."""
+        cfg = self.cluster.config
+        home = self.cache.get(key)
+        for _attempt in range(64):
+            if home is None:
+                slots = yield from self._read_bucket(
+                    self.cluster.bucket_of(key))
+                _i, home = yield from self._locate(key, slots)
+                if home is None:
+                    return None
+                self.cache[key] = home
+            record = yield from self._read_record(*home)
+            if record is None:
+                yield self.env.timeout(cfg.lock_backoff_us)  # torn: retry
+                continue
+            _next, rkey, rvalue = record
+            if rkey != key:
+                self.cache.pop(key, None)
+                home = None
+                continue
+            return rvalue
+
+    def _write_record_locked(self, primary_mn: int, offset: int,
+                             key: bytes, value: bytes):
+        """In-place double write: un-committed copy, then committed copy."""
+        record = encode_record(key, value)
+        if len(record) > self.cluster.config.record_capacity:
+            raise ValueError("record exceeds pDPM slab capacity")
+        locs = self.cluster.record_locs(primary_mn, offset)
+        backups = [WriteOp(mn, addr, record) for mn, addr in locs[1:]]
+        if backups:
+            yield self.fabric.post(backups)
+        yield self.fabric.post([WriteOp(locs[0][0], locs[0][1], record)])
+
+    def update(self, key: bytes, value: bytes):
+        bucket = self.cluster.bucket_of(key)
+        if not (yield from self._acquire(bucket)):
+            return False
+        ok = yield from self._update_locked(bucket, key, value)
+        yield self.fabric.post([self._release_op(bucket)])
+        return ok
+
+    def _update_locked(self, bucket: int, key: bytes, value: bytes):
+        # pDPM-Direct re-resolves the key under the lock (the index may
+        # have changed since the cached lookup), which is part of why its
+        # critical section spans several RTTs.
+        slots = yield from self._read_bucket(bucket)
+        _i, home = yield from self._locate(key, slots)
+        if home is None:
+            return False
+        self.cache[key] = home
+        yield from self._write_record_locked(home[0], home[1], key, value)
+        return True
+
+    def insert(self, key: bytes, value: bytes):
+        bucket = self.cluster.bucket_of(key)
+        if not (yield from self._acquire(bucket)):
+            return False
+        ok = yield from self._insert_locked(bucket, key, value)
+        yield self.fabric.post([self._release_op(bucket)])
+        return ok
+
+    def _insert_locked(self, bucket: int, key: bytes, value: bytes):
+        slots = yield from self._read_bucket(bucket)
+        slot_index, home = yield from self._locate(key, slots)
+        if home is not None:
+            return False  # already present
+        if slot_index is None:
+            raise RuntimeError("pDPM bucket full")
+        primary_mn, offset = self.cluster.alloc_record()
+        yield from self._write_record_locked(primary_mn, offset, key, value)
+        word = self.cluster.slot_word(primary_mn, offset)
+        yield self.fabric.post(
+            [WriteOp(self.cluster.index_mn,
+                     self._slot_addr(bucket, slot_index),
+                     word.to_bytes(8, "big"))])
+        self.cache[key] = (primary_mn, offset)
+        return True
+
+    def delete(self, key: bytes):
+        bucket = self.cluster.bucket_of(key)
+        if not (yield from self._acquire(bucket)):
+            return False
+        ok = yield from self._delete_locked(bucket, key)
+        yield self.fabric.post([self._release_op(bucket)])
+        return ok
+
+    def _delete_locked(self, bucket: int, key: bytes):
+        slots = yield from self._read_bucket(bucket)
+        slot_index, home = yield from self._locate(key, slots)
+        if home is None:
+            return False
+        # Overwrite the record so readers holding a cached home see a
+        # foreign key and re-resolve (then miss), and clear the slot.
+        yield from self._write_record_locked(home[0], home[1], b"", b"")
+        yield self.fabric.post(
+            [WriteOp(self.cluster.index_mn,
+                     self._slot_addr(bucket, slot_index), bytes(8))])
+        self.cache.pop(key, None)
+        return True

@@ -1,0 +1,913 @@
+"""The FUSEE client: SEARCH / INSERT / UPDATE / DELETE (§4, Fig. 9).
+
+Each operation is a DES generator composed of *phases*; every phase posts
+one doorbell batch (1 RTT), reproducing the paper's RTT counts:
+
+* INSERT — ① write KV to all data replicas + read primary combined
+  buckets; ② CAS backup slots; ③ commit old value into the embedded log;
+  ④ CAS primary slot.
+* UPDATE / DELETE — ① write KV (or the DELETE temp object) + read the
+  primary slot + (cache hit) read the KV pair in parallel; ②-④ as above.
+* SEARCH — ① read primary slot + cached KV pair in parallel; ② read the
+  KV pair on a miss/invalidation.
+
+Index replication is pluggable: the SNAPSHOT protocol (default) or
+sequential CAS replication (the FUSEE-CR ablation).  Disabling the cache
+yields FUSEE-NC.  Crash points ``c0``-``c3`` (Fig. 9) can be armed to
+leave real partial state behind for the recovery path (§5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rdma import Fabric, ReadOp, WriteOp
+from .addressing import RegionMap
+from .cache import AdaptiveIndexCache, CacheEntry
+from .memory import AllocResult, ClientAllocator, ClientTable
+from .oplog import clear_used_ops, commit_old_value_ops, entry_for_alloc
+from .race import IndexFullError, KeyMeta, RaceHashing, SlotRef
+from .snapshot import Outcome, snapshot_write, sequential_write
+from .wire import (
+    FLAG_INVALID,
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    decode_kv_payload,
+    encode_kv_block,
+    kv_block_size,
+    kv_len_units,
+    pack_slot,
+    unpack_slot,
+)
+
+__all__ = ["FuseeClient", "ClientConfig", "OpResult", "ClientCrashed",
+           "CrashPoint"]
+
+
+class ClientCrashed(Exception):
+    """Raised when an armed crash point fires; the client is dead after."""
+
+
+class CrashPoint(str, enum.Enum):
+    C0 = "c0"  # mid KV write: torn object
+    C1 = "c1"  # winner decided, log not committed
+    C2 = "c2"  # log committed, primary slot not CASed
+    C3 = "c3"  # primary CASed, cleanup not done
+
+
+@dataclass
+class ClientConfig:
+    """Behavioural switches; defaults are full FUSEE."""
+
+    replication_mode: str = "snapshot"  # "snapshot" | "sequential" (FUSEE-CR)
+    cache_enabled: bool = True          # False => FUSEE-NC
+    cache_capacity: int = 1 << 16
+    cache_threshold: float = 0.5        # adaptive bypass threshold (Fig. 16)
+    retry_sleep_us: float = 2.0
+    max_op_retries: int = 64
+    # Fig. 17 ablation: allocate every object via an MN-side RPC.
+    mn_centric_alloc: bool = False
+    # Log-maintenance ablation: False adds the separate log-entry write
+    # RTT that the embedded scheme (§4.5) eliminates.
+    embedded_log: bool = True
+
+    def __post_init__(self):
+        if self.replication_mode not in ("snapshot", "sequential"):
+            raise ValueError(f"unknown replication mode "
+                             f"{self.replication_mode!r}")
+
+
+@dataclass(frozen=True)
+class OpResult:
+    ok: bool
+    value: Optional[bytes] = None
+    existed: bool = False       # INSERT: the key was already present
+    outcome: Optional[Outcome] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class ClientStats:
+    ops: Dict[str, int] = field(default_factory=dict)
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    master_escalations: int = 0
+
+    def count_op(self, kind: str) -> None:
+        self.ops[kind] = self.ops.get(kind, 0) + 1
+
+    def count_outcome(self, outcome: Outcome) -> None:
+        self.outcomes[outcome.value] = self.outcomes.get(outcome.value, 0) + 1
+
+
+@dataclass(frozen=True)
+class _PreparedKv:
+    """A freshly allocated, not-yet-linked KV object."""
+
+    alloc: AllocResult
+    slot_word: int
+    write_ops: List[WriteOp]
+
+
+class FuseeClient:
+    """One compute-pool client of the fully memory-disaggregated store."""
+
+    def __init__(self, env, fabric: Fabric, region_map: RegionMap,
+                 race: RaceHashing, client_table: ClientTable,
+                 cid: int, size_classes: List[int],
+                 master=None, config: Optional[ClientConfig] = None):
+        self.env = env
+        self.fabric = fabric
+        self.region_map = region_map
+        self.race = race
+        self.cid = cid
+        self.config = config or ClientConfig()
+        self.master = master
+        self.allocator = ClientAllocator(
+            env, fabric, region_map, client_table, cid, size_classes,
+            mn_centric=self.config.mn_centric_alloc)
+        self.cache = AdaptiveIndexCache(capacity=self.config.cache_capacity,
+                                        threshold=self.config.cache_threshold,
+                                        enabled=self.config.cache_enabled)
+        self.stats = ClientStats()
+        self.crashed = False
+        self._crash_point: Optional[CrashPoint] = None
+
+    # ------------------------------------------------------------------ utils
+    def arm_crash(self, point: CrashPoint) -> None:
+        """Make the next operation crash at the given Fig. 9 point."""
+        self._crash_point = CrashPoint(point)
+
+    def _maybe_crash(self, point: CrashPoint) -> None:
+        if self._crash_point is point:
+            self.crashed = True
+            raise ClientCrashed(point.value)
+
+    def _require_alive(self) -> None:
+        if self.crashed:
+            raise ClientCrashed("client has crashed")
+
+    def _slot_word_for(self, meta: KeyMeta, key: bytes, value: bytes,
+                       alloc: AllocResult) -> int:
+        return pack_slot(meta.fingerprint, kv_len_units(len(key), len(value)),
+                         alloc.gaddr)
+
+    def _kv_read_op(self, gaddr: int, nbytes: int) -> Optional[ReadOp]:
+        """READ a KV block from the first alive data replica."""
+        for mn_id, addr in self.region_map.translate(gaddr):
+            if not self.fabric.node(mn_id).crashed:
+                return ReadOp(mn_id, addr, nbytes)
+        return None
+
+    def _prepare_kv(self, key: bytes, value: bytes, opcode: int,
+                    meta: KeyMeta):
+        """Allocate an object and build its replica WRITE ops (generator)."""
+        class_idx = self.allocator.class_for(kv_block_size(len(key),
+                                                           len(value)))
+        alloc = yield from self.allocator.alloc(class_idx)
+        entry = entry_for_alloc(alloc, opcode)
+        block = encode_kv_block(key, value, alloc.size, entry)
+        # The padding between the KV body and the trailing log entry is
+        # never transmitted: one doorbell batch carries two WRITEs per
+        # replica (body, then entry — order-preserving, so the used bit
+        # still lands last).
+        from .wire import LOG_ENTRY_SIZE
+        body = block[:kv_block_size(len(key), len(value)) - LOG_ENTRY_SIZE]
+        entry_bytes = block[alloc.size - LOG_ENTRY_SIZE:]
+        if self._crash_point is CrashPoint.C0:
+            body = body[:len(body) // 2]  # torn write: no used bit
+            entry_bytes = b""
+        ops = []
+        for mn_id, addr in self.region_map.translate(alloc.gaddr):
+            if self.fabric.node(mn_id).crashed:
+                continue
+            ops.append(WriteOp(mn_id, addr, body))
+            if entry_bytes:
+                ops.append(WriteOp(mn_id, addr + alloc.size - LOG_ENTRY_SIZE,
+                                   entry_bytes))
+        return _PreparedKv(alloc=alloc,
+                           slot_word=self._slot_word_for(meta, key, value,
+                                                         alloc),
+                           write_ops=ops)
+
+    def _discard_object(self, alloc: AllocResult, opcode: int) -> None:
+        """Free an object that lost its round (used bit reset, §4.5).
+
+        The used-bit write is posted unsignaled (fire-and-forget): the
+        fabric applies it immediately and the client does not block, which
+        is the paper's off-critical-path behaviour.
+        """
+        ops = clear_used_ops(self.region_map, self.fabric, alloc.gaddr,
+                             alloc.size, opcode)
+        if ops:
+            self.fabric.post(ops)
+        self.allocator.note_free(alloc.gaddr)
+
+    def _invalidate_object_ops(self, slot_word: int) -> List[WriteOp]:
+        """WRITEs setting the invalidation flag of an old KV pair (§4.6)."""
+        gaddr = unpack_slot(slot_word).pointer
+        ops = []
+        for mn_id, addr in self.region_map.translate(gaddr):
+            if not self.fabric.node(mn_id).crashed:
+                ops.append(WriteOp(mn_id, addr, bytes([FLAG_INVALID])))
+        return ops
+
+    def _maybe_separate_log(self, prepared: _PreparedKv):
+        """Ablation: a conventional (non-embedded) operation log writes its
+        entry in its own round trip (generator)."""
+        if self.config.embedded_log:
+            return
+        from .wire import LOG_ENTRY_SIZE
+        entry_off = prepared.alloc.size - LOG_ENTRY_SIZE
+        ops = []
+        for mn_id, addr in self.region_map.translate(prepared.alloc.gaddr):
+            if not self.fabric.node(mn_id).crashed:
+                ops.append(WriteOp(mn_id, addr + entry_off,
+                                   bytes(LOG_ENTRY_SIZE)))
+        if ops:
+            yield self.fabric.post(ops)
+
+    def _log_committer(self, prepared: _PreparedKv):
+        """The ``on_win`` hook: Fig. 9 phase ③ plus crash points c1/c2.
+
+        With a single index replica the paper skips the commit (it exists
+        to make multi-replica rounds recoverable), so the hook is only
+        installed when there are backups — see ``_replicated_write``.
+        """
+        def hook(v_old: int):
+            self._maybe_crash(CrashPoint.C1)
+            ops = commit_old_value_ops(self.region_map, self.fabric,
+                                       prepared.alloc.gaddr,
+                                       prepared.alloc.size, v_old)
+            if ops:
+                yield self.fabric.post(ops)
+            self._maybe_crash(CrashPoint.C2)
+        return hook
+
+    def _replicated_write(self, ref: SlotRef, v_old: int, v_new: int,
+                          prepared: Optional[_PreparedKv]):
+        """Run the configured replication protocol on one slot (generator)."""
+        on_win = None
+        if prepared is not None and len(ref.placement) > 1:
+            on_win = self._log_committer(prepared)
+        if self.config.replication_mode == "sequential":
+            result = yield from sequential_write(self.fabric, ref, v_old,
+                                                 v_new, on_win=on_win)
+        else:
+            result = yield from snapshot_write(
+                self.fabric, ref, v_old, v_new, on_win=on_win,
+                retry_sleep_us=self.config.retry_sleep_us,
+                phase_guard=lambda: self._wait_if_blocked(ref.subtable))
+        self._maybe_crash(CrashPoint.C3)
+        self.stats.count_outcome(result.outcome)
+        return result
+
+    # ------------------------------------------------------------- SEARCH
+    def search(self, key: bytes):
+        """SEARCH (generator): returns OpResult with the value or ok=False."""
+        self._require_alive()
+        self.stats.count_op("search")
+        result = OpResult(ok=False)
+        for _attempt in range(4):
+            epoch0 = self.master.epoch if self.master else -1
+            meta = self.race.key_meta(key)
+            yield from self._wait_if_blocked(meta.subtable)
+            entry, bypassed = self.cache.lookup_for_access(key)
+            if entry is not None:
+                if bypassed:
+                    result = yield from self._search_bypass(key, meta,
+                                                            entry)
+                else:
+                    result = yield from self._search_via_cache(key, meta,
+                                                               entry)
+                if result is not None:
+                    return result
+            result = yield from self._search_full(key, meta)
+            if result.ok or self.master is None \
+                    or self.master.epoch == epoch0:
+                return result
+            # a membership/directory change (failover or index split)
+            # raced with this op: re-hash the key and retry
+            self.stats.retries += 1
+        return result
+
+    def _search_via_cache(self, key: bytes, meta: KeyMeta,
+                          entry: CacheEntry):
+        """The 1-RTT fast path; returns None to fall back to the full path."""
+        slot = unpack_slot(entry.slot_word)
+        # Re-materialise the ref: the master may have reconfigured the
+        # subtable placement since this entry was cached (§5.2).
+        ref = self.race.slot_ref(entry.slot_ref.subtable,
+                                 entry.slot_ref.slot_index)
+        primary_mn, primary_addr = ref.primary()
+        kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
+        if self.fabric.node(primary_mn).crashed or kv_read is None:
+            return None
+        comps = yield self.fabric.post(
+            [ReadOp(primary_mn, primary_addr, 8), kv_read])
+        if comps[0].failed or comps[1].failed:
+            return None
+        word_now = int.from_bytes(comps[0].value, "big")
+        if word_now == entry.slot_word:
+            try:
+                header, kv_key, kv_value = decode_kv_payload(comps[1].value)
+            except ValueError:
+                header = None
+            if header is not None and not header.invalid and kv_key == key:
+                return OpResult(ok=True, value=kv_value)
+        # The cached address was stale: charge the invalid counter (§4.6).
+        self.cache.record_invalid(key)
+        if word_now == 0:
+            self.cache.drop(key)
+            return None  # likely deleted; confirm via the full path
+        now = unpack_slot(word_now)
+        if now.fingerprint == meta.fingerprint:
+            # Same slot, new version: one more RTT fetches it.
+            comp = yield self.fabric.post_one(
+                self._kv_read_op(now.pointer, now.block_bytes))
+            if not comp.failed:
+                try:
+                    header, kv_key, kv_value = decode_kv_payload(comp.value)
+                    if not header.invalid and kv_key == key:
+                        self.cache.store(key, ref, word_now)
+                        return OpResult(ok=True, value=kv_value)
+                except ValueError:
+                    pass
+        return None
+
+    def _search_bypass(self, key: bytes, meta: KeyMeta,
+                       entry: CacheEntry):
+        """Write-intensive key: read the cached *slot* first, then the KV
+        pair it currently names — 2 RTTs, but no bandwidth wasted on a
+        probably-invalidated pair (§4.6)."""
+        ref = self.race.slot_ref(entry.slot_ref.subtable,
+                                 entry.slot_ref.slot_index)
+        primary_mn, primary_addr = ref.primary()
+        if self.fabric.node(primary_mn).crashed:
+            return None
+        comp = yield self.fabric.post_one(
+            ReadOp(primary_mn, primary_addr, 8))
+        if comp.failed:
+            return None
+        word = int.from_bytes(comp.value, "big")
+        if word == 0:
+            self.cache.drop(key)
+            return None
+        slot = unpack_slot(word)
+        if slot.fingerprint != meta.fingerprint:
+            return None
+        kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
+        if kv_read is None:
+            return None
+        comp = yield self.fabric.post_one(kv_read)
+        if comp.failed:
+            return None
+        try:
+            header, kv_key, kv_value = decode_kv_payload(comp.value)
+        except ValueError:
+            return None
+        if kv_key != key:
+            return None
+        if header.invalid:
+            self.cache.record_invalid(key)
+            return None
+        self.cache.store(key, ref, word)
+        return OpResult(ok=True, value=kv_value)
+
+    def _search_full(self, key: bytes, meta: KeyMeta):
+        for _ in range(self.config.max_op_retries):
+            view = yield from self._read_buckets(meta)
+            if view is None:
+                return OpResult(ok=False, error="index unavailable")
+            if not view.matches:
+                return OpResult(ok=False)
+            found, saw_invalid = yield from self._match_candidates(
+                key, view.matches)
+            if found is not None:
+                ref, word, value = found
+                self.cache.store(key, ref, word)
+                return OpResult(ok=True, value=value)
+            if not saw_invalid:
+                return OpResult(ok=False)
+            # The key's pair was invalidation-marked: a writer is
+            # mid-replacement; re-read the slot shortly.
+            self.stats.retries += 1
+            yield self.env.timeout(self.config.retry_sleep_us)
+        return OpResult(ok=False, error="retries exhausted")
+
+    def _read_buckets(self, meta: KeyMeta, extra_ops: Optional[list] = None):
+        """Read the key's combined buckets (generator); returns a
+        BucketView or None.
+
+        Normally reads the primary index replica.  When the primary has
+        crashed, Algorithm 4 READ applies: backup values may be *newer*
+        than the committed primary value during write conflicts, so the
+        backups are only safe to read if they all agree; on disagreement
+        the client waits for the master's repair and retries.
+        """
+        placement = self.race.placement(meta.subtable)
+        if not self.fabric.node(placement[0][0]).crashed:
+            ops = self.race.bucket_read_ops(meta, replica=0)
+            batch = ops + list(extra_ops or [])
+            comps = yield self.fabric.post(batch)
+            if not any(c.failed for c in comps[:len(ops)]):
+                payloads = [c.value for c in comps[:len(ops)]]
+                return self.race.parse_buckets(meta, payloads)
+            extra_ops = None  # crashed mid-read; writes were still posted
+        elif extra_ops:
+            # honour the piggy-backed KV writes exactly once
+            yield self.fabric.post(list(extra_ops))
+        for _attempt in range(self.config.max_op_retries):
+            placement = self.race.placement(meta.subtable)
+            if not self.fabric.node(placement[0][0]).crashed:
+                # the master reconfigured a new primary while we waited
+                ops = self.race.bucket_read_ops(meta, replica=0)
+                comps = yield self.fabric.post(ops)
+                if not any(c.failed for c in comps):
+                    return self.race.parse_buckets(
+                        meta, [c.value for c in comps])
+                yield self.env.timeout(self.config.retry_sleep_us)
+                continue
+            alive = [replica for replica, (mn, _b) in enumerate(placement)
+                     if not self.fabric.node(mn).crashed]
+            if not alive:
+                return None
+            all_ops = []
+            per_replica = 2
+            for replica in alive:
+                ops = self.race.bucket_read_ops(meta, replica=replica)
+                per_replica = len(ops)
+                all_ops.extend(ops)
+            comps = yield self.fabric.post(all_ops)
+            payload_sets = []
+            for i in range(0, len(comps), per_replica):
+                group = comps[i:i + per_replica]
+                if not any(c.failed for c in group):
+                    payload_sets.append(tuple(c.value for c in group))
+            if not payload_sets:
+                return None
+            if all(p == payload_sets[0] for p in payload_sets):
+                return self.race.parse_buckets(meta, list(payload_sets[0]))
+            # Backups disagree: a write was in flight when the primary
+            # died; wait for the master to act as representative last
+            # writer (Algorithm 4), then retry.
+            self.stats.master_escalations += 1
+            yield from self._wait_if_blocked(meta.subtable)
+            yield self.env.timeout(self.config.retry_sleep_us)
+        return None
+
+    def _match_candidates(self, key: bytes, matches):
+        """Read fingerprint-hit KV blocks and return the true key match
+        (lowest slot index wins so concurrent readers agree), as
+        ``((ref, word, value) | None, saw_invalid_match)`` (generator).
+
+        ``saw_invalid_match`` is True when a candidate held the key but was
+        invalidation-marked — i.e. a concurrent writer is mid-replacement
+        and the caller should re-read the slot rather than conclude the
+        key is absent.
+        """
+        reads = []
+        usable = []
+        for snap in matches:
+            op = self._kv_read_op(snap.slot.pointer, snap.slot.block_bytes)
+            if op is not None:
+                reads.append(op)
+                usable.append(snap)
+        if not reads:
+            return None, False
+        saw_invalid = False
+        comps = yield self.fabric.post(reads)
+        for snap, comp in zip(usable, comps):
+            if comp.failed:
+                continue
+            try:
+                header, kv_key, kv_value = decode_kv_payload(comp.value)
+            except ValueError:
+                saw_invalid = True  # torn read: a writer is mid-flight
+                continue
+            if kv_key != key:
+                continue
+            if header.invalid:
+                saw_invalid = True
+                continue
+            return (snap.ref, snap.word, kv_value), saw_invalid
+        return None, saw_invalid
+
+    # ------------------------------------------------------------- INSERT
+    def insert(self, key: bytes, value: bytes):
+        """INSERT (generator): ok=False with existed=True if already present."""
+        self._require_alive()
+        self.stats.count_op("insert")
+        meta = self.race.key_meta(key)
+        yield from self._wait_if_blocked(meta.subtable)
+        prepared = yield from self._prepare_kv(key, value, OP_INSERT, meta)
+        # Phase ①: KV replica writes + combined-bucket read, one batch.
+        view = yield from self._read_buckets(meta,
+                                             extra_ops=prepared.write_ops)
+        yield from self._maybe_separate_log(prepared)
+        self._maybe_crash(CrashPoint.C0)
+        if view is None:
+            self._discard_object(prepared.alloc, OP_INSERT)
+            return OpResult(ok=False, error="index unavailable")
+        for _expansion in range(8):
+            if view.matches:
+                found, saw_invalid = yield from self._match_candidates(
+                    key, view.matches)
+                if found is not None or saw_invalid:
+                    # present (or mid-replacement by a concurrent writer)
+                    self._discard_object(prepared.alloc, OP_INSERT)
+                    return OpResult(ok=False, existed=True)
+            if view.empties:
+                break
+            # Candidate buckets are full: ask the master to split the
+            # subtable (RACE extendible resize), re-hash, and retry.
+            if self.master is None:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                raise IndexFullError(
+                    f"no free slot for key {key!r} in subtable "
+                    f"{meta.subtable} and no master to expand it")
+            expanded = yield from self.master.request_expand(meta.subtable)
+            if not expanded:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                raise IndexFullError(
+                    f"subtable {meta.subtable} full and expansion failed")
+            meta = self.race.key_meta(key)
+            view = yield from self._read_buckets(meta)
+            if view is None:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                return OpResult(ok=False, error="index unavailable")
+        empties = list(view.empties)
+        for attempt in range(self.config.max_op_retries):
+            if not empties:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                raise IndexFullError(
+                    f"no free slot for key {key!r} in subtable "
+                    f"{meta.subtable} after conflict retries")
+            ref = empties.pop(0)
+            ref = self.race.slot_ref(ref.subtable, ref.slot_index)
+            result = yield from self._replicated_write(ref, 0,
+                                                       prepared.slot_word,
+                                                       prepared)
+            if result.outcome.won:
+                self.cache.store(key, ref, prepared.slot_word)
+                return OpResult(ok=True, outcome=result.outcome)
+            if result.outcome is Outcome.NEED_MASTER:
+                resolved = yield from self._escalate(ref, 0)
+                if resolved == prepared.slot_word:
+                    self.cache.store(key, ref, prepared.slot_word)
+                    return OpResult(ok=True, outcome=result.outcome)
+                # fall through: treat like a lost round on this slot
+                result = result
+            # Lost the slot to a concurrent writer.  If it was a concurrent
+            # INSERT of the same key, ours linearizes right before it.
+            committed = result.committed
+            if committed is not None and committed != 0:
+                other = unpack_slot(committed)
+                if other.fingerprint == meta.fingerprint:
+                    comp_op = self._kv_read_op(other.pointer,
+                                               other.block_bytes)
+                    if comp_op is not None:
+                        comp = yield self.fabric.post_one(comp_op)
+                        if not comp.failed:
+                            try:
+                                _h, kv_key, _v = decode_kv_payload(comp.value)
+                                if kv_key == key:
+                                    self._discard_object(prepared.alloc,
+                                                         OP_INSERT)
+                                    return OpResult(ok=True,
+                                                    outcome=result.outcome)
+                            except ValueError:
+                                pass
+            self.stats.retries += 1
+            if not empties:
+                view = yield from self._read_buckets(meta)
+                if view is None:
+                    break
+                empties = list(view.empties)
+        self._discard_object(prepared.alloc, OP_INSERT)
+        return OpResult(ok=False, error="retries exhausted")
+
+    # ------------------------------------------------------------- UPDATE
+    def update(self, key: bytes, value: bytes):
+        """UPDATE (generator): ok=False if the key does not exist."""
+        self._require_alive()
+        self.stats.count_op("update")
+        meta = self.race.key_meta(key)
+        yield from self._wait_if_blocked(meta.subtable)
+        prepared = yield from self._prepare_kv(key, value, OP_UPDATE, meta)
+        epoch0 = self.master.epoch if self.master else -1
+        located = yield from self._locate_for_write(key, meta,
+                                                    prepared.write_ops)
+        yield from self._maybe_separate_log(prepared)
+        self._maybe_crash(CrashPoint.C0)
+        if located is None and self.master is not None \
+                and self.master.epoch != epoch0:
+            # directory/membership changed under us: re-hash and re-locate
+            meta = self.race.key_meta(key)
+            located = yield from self._locate_for_write(key, meta, [])
+        if located is None:
+            self._discard_object(prepared.alloc, OP_UPDATE)
+            return OpResult(ok=False)
+        ref, v_old = located
+        return (yield from self._write_slot(key, meta, prepared, ref, v_old,
+                                            prepared.slot_word, OP_UPDATE))
+
+    # ------------------------------------------------------------- DELETE
+    def delete(self, key: bytes):
+        """DELETE (generator): sets the slot to null; ok=False if absent.
+
+        A temporary object carries the operation's log entry and target
+        key; it is freed once the request completes (§4.5).
+        """
+        self._require_alive()
+        self.stats.count_op("delete")
+        meta = self.race.key_meta(key)
+        yield from self._wait_if_blocked(meta.subtable)
+        prepared = yield from self._prepare_kv(key, b"", OP_DELETE, meta)
+        epoch0 = self.master.epoch if self.master else -1
+        located = yield from self._locate_for_write(key, meta,
+                                                    prepared.write_ops)
+        yield from self._maybe_separate_log(prepared)
+        self._maybe_crash(CrashPoint.C0)
+        if located is None and self.master is not None \
+                and self.master.epoch != epoch0:
+            meta = self.race.key_meta(key)
+            located = yield from self._locate_for_write(key, meta, [])
+        if located is None:
+            self._discard_object(prepared.alloc, OP_DELETE)
+            return OpResult(ok=False)
+        ref, v_old = located
+        result = yield from self._write_slot(key, meta, prepared, ref, v_old,
+                                             0, OP_DELETE)
+        # The temp object is reclaimed on completion regardless of outcome.
+        self._discard_object(prepared.alloc, OP_DELETE)
+        self.cache.drop(key)
+        return result
+
+    # --------------------------------------------------------- write common
+    def _write_slot(self, key: bytes, meta: KeyMeta, prepared: _PreparedKv,
+                    ref: SlotRef, v_old: int, v_new: int, opcode: int):
+        """Phases ②-④ for UPDATE/DELETE, including conflict retries."""
+        for attempt in range(self.config.max_op_retries):
+            # Pick up any placement reconfiguration done by the master.
+            ref = self.race.slot_ref(ref.subtable, ref.slot_index)
+            result = yield from self._replicated_write(ref, v_old, v_new,
+                                                       prepared)
+            if result.outcome.won:
+                self._after_win(key, meta, ref, v_old, v_new, opcode)
+                return OpResult(ok=True, outcome=result.outcome)
+            if result.outcome is Outcome.NEED_MASTER:
+                resolved = yield from self._escalate(ref, v_old)
+                if resolved is None:
+                    # the op failed for good: reclaim the staged object so
+                    # recovery never replays a request we reported failed
+                    self._discard_object(prepared.alloc, opcode)
+                    return OpResult(ok=False, error="unresolvable failure")
+                if resolved == v_new:
+                    # The master completed our round on our behalf.
+                    self._after_win(key, meta, ref, v_old, v_new, opcode)
+                    return OpResult(ok=True, outcome=result.outcome)
+                if resolved == v_old:
+                    self.stats.retries += 1
+                    continue  # retry the write (Algorithm 4 line 38)
+                v_old = resolved
+                self.stats.retries += 1
+                continue
+            if result.outcome in (Outcome.LOSE, Outcome.FINISH):
+                if self.config.replication_mode == "sequential":
+                    # FUSEE-CR serializes: a lost CAS means retry the op.
+                    refreshed = yield from self._refresh_v_old(key, meta, ref)
+                    if refreshed is None:
+                        if opcode == OP_UPDATE:
+                            self._discard_object(prepared.alloc, opcode)
+                        return OpResult(ok=False)
+                    v_old = refreshed
+                    self.stats.retries += 1
+                    continue
+                if (result.committed == 0 and v_new != 0
+                        and result.outcome is Outcome.LOSE):
+                    # The slot emptied under us: a concurrent DELETE won,
+                    # or an index split moved the key.  Re-resolve the key
+                    # (the directory may have changed) and retry; if it is
+                    # gone, the op fails like any update of a missing key.
+                    meta = self.race.key_meta(key)
+                    located = yield from self._locate_for_write(key, meta,
+                                                                [])
+                    if located is None:
+                        self._discard_object(prepared.alloc, opcode)
+                        return OpResult(ok=False)
+                    ref, v_old = located
+                    self.stats.retries += 1
+                    continue
+                # SNAPSHOT: last-writer-wins — ours linearized just before
+                # the winner's; the installed object is garbage now.
+                if opcode == OP_UPDATE:
+                    self._discard_object(prepared.alloc, opcode)
+                if result.committed is not None and result.committed != 0:
+                    self.cache.store(key, ref, result.committed)
+                return OpResult(ok=True, outcome=result.outcome)
+        return OpResult(ok=False, error="retries exhausted")
+
+    def _after_win(self, key: bytes, meta: KeyMeta, ref: SlotRef,
+                   v_old: int, v_new: int, opcode: int) -> None:
+        """Winner cleanup: invalidate + free the old object, fix the cache.
+
+        Posted unsignaled (no await): coherence marking and freeing are off
+        the critical path (§4.4, §4.6).
+        """
+        if v_old != 0:
+            ops = self._invalidate_object_ops(v_old)
+            if ops:
+                self.fabric.post(ops)
+            self.allocator.note_free(unpack_slot(v_old).pointer)
+        if opcode == OP_DELETE:
+            self.cache.drop(key)
+        else:
+            self.cache.store(key, ref, v_new)
+
+    def _locate_for_write(self, key: bytes, meta: KeyMeta,
+                          kv_write_ops: List[WriteOp]):
+        """Phase ① of UPDATE/DELETE: find the key's slot and read its
+        primary value, batching the new-KV writes into the same RTT.
+
+        Returns ``(ref, v_old)`` or None if the key is absent (generator).
+        """
+        entry, bypassed = self.cache.lookup_for_access(key)
+        if entry is not None and bypassed:
+            located = yield from self._locate_bypass(key, meta, entry,
+                                                     kv_write_ops)
+            if located is not None:
+                return located
+            kv_write_ops = []  # the KV writes were posted by the bypass
+            entry = None
+        if entry is not None:
+            slot = unpack_slot(entry.slot_word)
+            ref = self.race.slot_ref(entry.slot_ref.subtable,
+                                     entry.slot_ref.slot_index)
+            primary_mn, primary_addr = ref.primary()
+            kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
+            if not self.fabric.node(primary_mn).crashed and kv_read:
+                batch = list(kv_write_ops)
+                batch.append(ReadOp(primary_mn, primary_addr, 8))
+                batch.append(kv_read)
+                comps = yield self.fabric.post(batch)
+                slot_comp, kv_comp = comps[-2], comps[-1]
+                if not slot_comp.failed:
+                    word_now = int.from_bytes(slot_comp.value, "big")
+                    verified = False
+                    if not kv_comp.failed:
+                        try:
+                            _h, kv_key, _v = decode_kv_payload(kv_comp.value)
+                            verified = kv_key == key
+                        except ValueError:
+                            verified = False
+                    if word_now == entry.slot_word and verified:
+                        return ref, word_now
+                    self.cache.record_invalid(key)
+                    if word_now != 0 and (
+                            unpack_slot(word_now).fingerprint
+                            == meta.fingerprint):
+                        # Same slot, newer version: verify the key (1 RTT).
+                        now = unpack_slot(word_now)
+                        op = self._kv_read_op(now.pointer, now.block_bytes)
+                        if op is not None:
+                            comp = yield self.fabric.post_one(op)
+                            if not comp.failed:
+                                try:
+                                    _h, kv_key, _v = decode_kv_payload(
+                                        comp.value)
+                                    if kv_key == key:
+                                        return ref, word_now
+                                except ValueError:
+                                    pass
+                    self.cache.drop(key)
+                # fall through to the full path (the KV writes already
+                # happened; do not post them again)
+                kv_write_ops = []
+        # Cache miss / bypass / stale: full bucket path.
+        for attempt in range(self.config.max_op_retries):
+            view = yield from self._read_buckets(
+                meta, extra_ops=kv_write_ops if kv_write_ops else None)
+            kv_write_ops = []  # only piggy-back the KV writes once
+            if view is None or not view.matches:
+                return None
+            found, saw_invalid = yield from self._match_candidates(
+                key, view.matches)
+            if found is not None:
+                ref, word, _value = found
+                return ref, word
+            if not saw_invalid:
+                return None
+            self.stats.retries += 1
+            yield self.env.timeout(self.config.retry_sleep_us)
+        return None
+
+    def _locate_bypass(self, key: bytes, meta: KeyMeta,
+                       entry: CacheEntry, kv_write_ops: List[WriteOp]):
+        """Write path for a bypassed key: read the cached slot (batched
+        with the new-KV writes), then verify the key with one KV read."""
+        ref = self.race.slot_ref(entry.slot_ref.subtable,
+                                 entry.slot_ref.slot_index)
+        primary_mn, primary_addr = ref.primary()
+        if self.fabric.node(primary_mn).crashed:
+            if kv_write_ops:
+                yield self.fabric.post(kv_write_ops)
+            return None
+        batch = list(kv_write_ops) + [ReadOp(primary_mn, primary_addr, 8)]
+        comps = yield self.fabric.post(batch)
+        if comps[-1].failed:
+            return None
+        word = int.from_bytes(comps[-1].value, "big")
+        if word == 0:
+            self.cache.drop(key)
+            return None
+        slot = unpack_slot(word)
+        if slot.fingerprint != meta.fingerprint:
+            return None
+        kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
+        if kv_read is None:
+            return None
+        comp = yield self.fabric.post_one(kv_read)
+        if comp.failed:
+            return None
+        try:
+            _h, kv_key, _v = decode_kv_payload(comp.value)
+        except ValueError:
+            return None
+        return (ref, word) if kv_key == key else None
+
+    def _refresh_v_old(self, key: bytes, meta: KeyMeta, ref: SlotRef):
+        """Re-read the slot and confirm it still holds our key (generator)."""
+        primary_mn, primary_addr = ref.primary()
+        if self.fabric.node(primary_mn).crashed:
+            return None
+        comp = yield self.fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
+        if comp.failed:
+            return None
+        word = int.from_bytes(comp.value, "big")
+        if word == 0:
+            return None
+        slot = unpack_slot(word)
+        if slot.fingerprint != meta.fingerprint:
+            return None
+        op = self._kv_read_op(slot.pointer, slot.block_bytes)
+        if op is None:
+            return None
+        kv = yield self.fabric.post_one(op)
+        if kv.failed:
+            return None
+        try:
+            _h, kv_key, _v = decode_kv_payload(kv.value)
+        except ValueError:
+            return None
+        return word if kv_key == key else None
+
+    # ------------------------------------------------------------ failures
+    def _wait_if_blocked(self, subtable: int):
+        """Honour the master's membership barrier during MN failover."""
+        if self.master is None:
+            return
+        barrier = self.master.blocked_barrier(subtable)
+        while barrier is not None:
+            yield barrier
+            barrier = self.master.blocked_barrier(subtable)
+
+    def _escalate(self, ref: SlotRef, v_old: int):
+        """fail_query RPC to the master (Algorithm 4); returns the resolved
+        slot value, or None without a master (generator)."""
+        if self.master is None:
+            return None
+        self.stats.master_escalations += 1
+        return (yield from self.master.fail_query(ref, v_old))
+
+    # ----------------------------------------------------------- background
+    def maintenance(self, release_blocks: bool = False):
+        """One background cycle: flush batched frees, reclaim bitmaps, and
+        optionally hand fully-free blocks back to the memory nodes."""
+        self._require_alive()
+        yield from self.allocator.flush_frees()
+        reclaimed = yield from self.allocator.reclaim()
+        if release_blocks:
+            yield from self.allocator.release_empty_blocks()
+        return reclaimed
+
+    def start_background(self, interval_us: float = 200.0,
+                         release_every: int = 8):
+        """Spawn the periodic free/reclaim thread (§4.4's background
+        batched reclamation).  Every ``release_every``-th cycle also
+        returns fully-free blocks to the pool.  Returns the process."""
+        def loop():
+            cycle = 0
+            while not self.crashed:
+                yield self.env.timeout(interval_us)
+                cycle += 1
+                try:
+                    yield from self.maintenance(
+                        release_blocks=(release_every > 0
+                                        and cycle % release_every == 0))
+                except ClientCrashed:
+                    return
+        return self.env.process(loop(), name=f"bg-client-{self.cid}")

@@ -1,0 +1,309 @@
+"""Cluster bootstrap and the public FUSEE API.
+
+:class:`ClusterConfig` describes a whole deployment; :class:`FuseeCluster`
+builds it — memory nodes, the consistent-hashing ring, replicated regions,
+the replicated RACE index, the per-client metadata table, MN-side block
+allocators, and the master — and hands out clients.
+
+:class:`FuseeKV` is the synchronous façade for applications and examples:
+each call drives the simulation until the operation completes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..rdma import Fabric, FabricConfig, MemoryNode
+from ..sim import Environment, NicProfile
+from .addressing import RegionConfig, RegionMap
+from .client import ClientConfig, FuseeClient
+from .master import Master, MasterConfig
+from .memory import ClientTable, MnBlockAllocator, size_classes_for
+from .race import RaceConfig, RaceHashing
+from .ring import ConsistentHashRing
+
+__all__ = ["ClusterConfig", "FuseeCluster", "FuseeKV"]
+
+# Key-space offset separating index-subtable ring keys from region ring keys.
+_SUBTABLE_RING_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to stand up a FUSEE deployment."""
+
+    n_memory_nodes: int = 2
+    replication_factor: int = 2        # data AND index replicas (r)
+    index_replication: Optional[int] = None  # override index replicas only
+    regions_per_mn: int = 4            # primary regions per memory node
+    max_clients: int = 256
+    region: RegionConfig = field(default_factory=RegionConfig)
+    race: RaceConfig = field(default_factory=RaceConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    nic: NicProfile = field(default_factory=NicProfile)
+    master: MasterConfig = field(default_factory=MasterConfig)
+    client: ClientConfig = field(default_factory=ClientConfig)
+    mn_cpu_cores: int = 2
+    largest_object: Optional[int] = None
+    virtual_nodes: int = 64
+    # carve headroom per node for pool growth: backup replicas of regions
+    # added with add_memory_node() land on existing nodes
+    growth_headroom_regions: int = 2
+
+    def __post_init__(self):
+        if self.n_memory_nodes < 1:
+            raise ValueError("need at least one memory node")
+        if not 1 <= self.replication_factor <= self.n_memory_nodes:
+            raise ValueError("replication factor must be in "
+                             "[1, n_memory_nodes]")
+        idx_r = self.index_replication
+        if idx_r is not None and not 1 <= idx_r <= self.n_memory_nodes:
+            raise ValueError("index replication must be in "
+                             "[1, n_memory_nodes]")
+
+    @property
+    def index_replicas(self) -> int:
+        return self.index_replication or self.replication_factor
+
+
+class FuseeCluster:
+    """A running deployment: memory pool + master + client factory."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 env: Optional[Environment] = None):
+        self.config = config or ClusterConfig()
+        self.env = env or Environment()
+        cfg = self.config
+        self.size_classes = size_classes_for(cfg.region.min_object_size,
+                                             cfg.region.block_size,
+                                             cfg.largest_object)
+        self.fabric = Fabric(self.env, cfg.fabric)
+        self.ring = ConsistentHashRing(range(cfg.n_memory_nodes),
+                                       virtual_nodes=cfg.virtual_nodes)
+        self._build_memory_pool()
+        self._build_index()
+        self._build_client_table()
+        self._build_allocators()
+        self.master = Master(self.env, self.fabric, self.region_map,
+                             self.race, self.client_table, self.size_classes,
+                             cfg.master)
+        self.master.subtable_allocator = self._allocate_subtable
+        self.master.start()
+        self._cids = itertools.count(1)
+        self.clients: List[FuseeClient] = []
+
+    # ------------------------------------------------------------- bootstrap
+    def _build_memory_pool(self) -> None:
+        cfg = self.config
+        n_regions = cfg.regions_per_mn * cfg.n_memory_nodes
+        # First pass: compute placements to size each node's memory exactly.
+        placements = {rid: self.ring.replicas(rid, cfg.replication_factor)
+                      for rid in range(n_regions)}
+        region_bytes: Dict[int, int] = {mn: 0 for mn in
+                                        range(cfg.n_memory_nodes)}
+        for mn_ids in placements.values():
+            for mn in mn_ids:
+                region_bytes[mn] += cfg.region.region_size
+        index_bytes = cfg.race.subtable_bytes * cfg.race.n_subtables
+        table_bytes = ClientTable.table_bytes(cfg.max_clients,
+                                              len(self.size_classes))
+        # headroom: room to double the index via extendible splits, plus
+        # backup replicas of future pool-growth regions
+        slack = ((1 << 16) + 2 * index_bytes
+                 + cfg.growth_headroom_regions * cfg.region.region_size)
+        for mn_id in range(cfg.n_memory_nodes):
+            capacity = (region_bytes[mn_id] + index_bytes + table_bytes
+                        + slack)
+            node = MemoryNode(self.env, mn_id, capacity,
+                              nic_profile=cfg.nic,
+                              cpu_cores=cfg.mn_cpu_cores)
+            self.fabric.add_node(node)
+        self.region_map = RegionMap(cfg.region, self.ring,
+                                    cfg.replication_factor)
+        for rid in range(n_regions):
+            self.region_map.place_region(
+                rid, lambda mn, nbytes: self.fabric.node(mn).carve(nbytes))
+
+    def _build_index(self) -> None:
+        cfg = self.config
+        placements = {}
+        for subtable in range(cfg.race.n_subtables):
+            mn_ids = self.ring.replicas(_SUBTABLE_RING_BASE + subtable,
+                                        cfg.index_replicas)
+            placements[subtable] = [
+                (mn, self.fabric.node(mn).carve(cfg.race.subtable_bytes))
+                for mn in mn_ids]
+        self.race = RaceHashing(cfg.race, placements)
+
+    def _build_client_table(self) -> None:
+        cfg = self.config
+        nbytes = ClientTable.table_bytes(cfg.max_clients,
+                                         len(self.size_classes))
+        bases = {mn_id: self.fabric.node(mn_id).carve(nbytes)
+                 for mn_id in range(cfg.n_memory_nodes)}
+        self.client_table = ClientTable(bases, cfg.max_clients,
+                                        len(self.size_classes))
+
+    def _build_allocators(self) -> None:
+        self.mn_allocators = {
+            mn_id: MnBlockAllocator(self.fabric.node(mn_id), self.region_map,
+                                    self.fabric.nodes)
+            for mn_id in range(self.config.n_memory_nodes)}
+
+    # ------------------------------------------------------- pool elasticity
+    def add_memory_node(self, regions: Optional[int] = None) -> int:
+        """Grow the memory pool at runtime (the DM elasticity promise).
+
+        Creates a memory node, joins it to the ring, replicates the
+        client table onto it, and places ``regions`` fresh regions with
+        their primary there so new allocations flow to the new capacity.
+        Existing data is untouched (consistent hashing moves nothing).
+        Returns the new node id.
+        """
+        cfg = self.config
+        regions = cfg.regions_per_mn if regions is None else regions
+        mn_id = max(self.fabric.nodes) + 1
+        index_bytes = cfg.race.subtable_bytes * cfg.race.n_subtables
+        table_bytes = ClientTable.table_bytes(cfg.max_clients,
+                                              len(self.size_classes))
+        capacity = (regions * cfg.region.region_size
+                    * cfg.replication_factor
+                    + 2 * index_bytes + table_bytes + (1 << 16))
+        node = MemoryNode(self.env, mn_id, capacity,
+                          nic_profile=cfg.nic, cpu_cores=cfg.mn_cpu_cores)
+        self.fabric.add_node(node)
+        self.ring.add_node(mn_id)
+        # replicate the client table (copy current contents from an alive MN)
+        base = node.carve(table_bytes)
+        for src_mn, src_base in self.client_table.bases.items():
+            src_node = self.fabric.node(src_mn)
+            if not src_node.crashed:
+                node.memory[base:base + table_bytes] = \
+                    src_node.memory[src_base:src_base + table_bytes]
+                break
+        self.client_table.bases[mn_id] = base
+        # fresh regions: primary on the new node, backups via the ring —
+        # preferring nodes with enough carve headroom left
+        next_region = max(self.region_map.region_ids, default=-1) + 1
+
+        def headroom(mn):
+            other = self.fabric.node(mn)
+            return other.capacity - other._carve_cursor
+
+        for rid in range(next_region, next_region + regions):
+            candidates = [mn for mn in self.ring.replicas(
+                rid, len(self.fabric.nodes)) if mn != mn_id]
+            candidates.sort(key=lambda mn: -headroom(mn))
+            backups = [mn for mn in candidates
+                       if headroom(mn) >= cfg.region.region_size
+                       ][:cfg.replication_factor - 1]
+            if len(backups) < cfg.replication_factor - 1:
+                raise MemoryError(
+                    "existing nodes lack carve headroom for backup "
+                    "replicas; raise growth_headroom_regions")
+            self.region_map.place_region(
+                rid, lambda mn, nbytes: self.fabric.node(mn).carve(nbytes),
+                mn_ids=[mn_id] + backups)
+        self.mn_allocators[mn_id] = MnBlockAllocator(
+            node, self.region_map, self.fabric.nodes)
+        return mn_id
+
+    def _allocate_subtable(self, new_id: int, n_replicas: int):
+        """Carve a fresh replicated subtable for an index split."""
+        mn_ids = [mn for mn in self.ring.replicas(
+            _SUBTABLE_RING_BASE + new_id, min(n_replicas,
+                                              len(self.fabric.alive_nodes())))
+                  if not self.fabric.node(mn).crashed]
+        if not mn_ids:
+            mn_ids = self.fabric.alive_nodes()[:n_replicas]
+        if not mn_ids:
+            raise MemoryError("no alive memory node for a new subtable")
+        return [(mn, self.fabric.node(mn).carve(
+            self.config.race.subtable_bytes)) for mn in mn_ids]
+
+    # ------------------------------------------------------------- clients
+    def new_client(self, config: Optional[ClientConfig] = None,
+                   **overrides) -> FuseeClient:
+        """Create a client; keyword overrides patch the cluster default
+        client config (e.g. ``cache_enabled=False`` for FUSEE-NC)."""
+        base = config or self.config.client
+        if overrides:
+            base = replace(base, **overrides)
+        client = FuseeClient(self.env, self.fabric, self.region_map,
+                             self.race, self.client_table,
+                             cid=next(self._cids),
+                             size_classes=self.size_classes,
+                             master=self.master, config=base)
+        self.clients.append(client)
+        return client
+
+    def revive_client(self, crashed: FuseeClient, state) -> FuseeClient:
+        """Restart a crashed client with recovered allocator state."""
+        client = self.new_client(config=crashed.config)
+        for region_id, block, class_idx in state.blocks:
+            client.allocator.adopt_recovered(
+                region_id, block, class_idx,
+                state.free_lists.get(class_idx, []),
+                state.heads.get(class_idx, 0),
+                state.last_allocs.get(class_idx, 0))
+        return client
+
+    # -------------------------------------------------------------- helpers
+    def crash_memory_node(self, mn_id: int) -> None:
+        self.fabric.node(mn_id).crash()
+
+    def run(self, until=None):
+        return self.env.run(until=until)
+
+    def run_op(self, generator):
+        """Drive one client operation to completion; returns its result."""
+        return self.env.run(until=self.env.process(generator))
+
+
+class FuseeKV:
+    """Synchronous single-client façade over a cluster.
+
+    The quickest way to use the store::
+
+        kv = FuseeKV()
+        kv.insert(b"k", b"v")
+        assert kv.search(b"k") == b"v"
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 cluster: Optional[FuseeCluster] = None):
+        self.cluster = cluster or FuseeCluster(config)
+        self.client = self.cluster.new_client()
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert a new key; False if it already exists."""
+        result = self._run(self.client.insert(key, value))
+        return result.ok
+
+    def search(self, key: bytes) -> Optional[bytes]:
+        """Return the key's value, or None if absent."""
+        result = self._run(self.client.search(key))
+        return result.value if result.ok else None
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """Replace an existing key's value; False if the key is absent."""
+        result = self._run(self.client.update(key, value))
+        return result.ok
+
+    def delete(self, key: bytes) -> bool:
+        """Remove a key; False if it was absent."""
+        result = self._run(self.client.delete(key))
+        return result.ok
+
+    def maintenance(self) -> int:
+        """Run one background free/reclaim cycle; returns objects reclaimed."""
+        return self._run(self.client.maintenance())
+
+    @property
+    def now_us(self) -> float:
+        return self.cluster.env.now
+
+    def _run(self, generator):
+        return self.cluster.run_op(generator)

@@ -1,0 +1,344 @@
+"""RACE hashing — the one-sided-RDMA-friendly hash index (§4.2).
+
+Implemented from the RACE paper's description (Zuo et al., ATC'21), as
+FUSEE did ("we implement RACE hashing carefully according to the paper"):
+
+* The index is split into ``n_subtables`` subtables, each placed on ``r``
+  memory nodes by consistent hashing (primary replica first) — this is
+  what lets index load spread across the memory pool.
+* A subtable is an array of *bucket groups*.  Each group holds three
+  buckets ``[main0 | overflow | main1]``; the overflow bucket is shared by
+  its two neighbours.  A key hashes to two groups (two independent hash
+  functions); its *combined buckets* are ``(main0, overflow)`` of the
+  first and ``(overflow, main1)`` of the second — each a single contiguous
+  READ, so one doorbell batch (1 RTT) fetches all candidate slots.
+* Each slot is the 8-byte fingerprint/length/pointer word of
+  :mod:`repro.core.wire`; modifications are out-of-place: write the KV
+  block elsewhere, then CAS the slot.
+
+This module is deliberately **pure**: it computes verb lists and parses
+payloads but never talks to the fabric, so the protocol layers above own
+all timing.  RACE's extendible-resize directory is implemented here
+(``staged_split`` / ``commit_split``); the split itself — a stop-the-world
+per-subtable reorganisation — is executed by the master
+(``Master.expand_subtable``), reusing the same barrier machinery as MN
+failover, since the FUSEE paper leaves replicated resizing undefined.
+A subtable whose candidate buckets are all full raises
+:class:`IndexFullError`, which clients escalate into an expansion request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..rdma import ReadOp
+from .wire import SLOT_SIZE, Slot, make_fingerprint, unpack_slot
+
+__all__ = [
+    "RaceConfig",
+    "KeyMeta",
+    "SlotRef",
+    "SlotSnapshot",
+    "BucketView",
+    "RaceHashing",
+    "IndexFullError",
+]
+
+BUCKETS_PER_GROUP = 3
+
+
+class IndexFullError(Exception):
+    """Both combined buckets of a key are full; the index needs a split."""
+
+
+@dataclass(frozen=True)
+class RaceConfig:
+    """Geometry of the replicated RACE index."""
+
+    n_subtables: int = 16
+    n_groups: int = 128         # bucket groups per subtable
+    slots_per_bucket: int = 7
+
+    def __post_init__(self):
+        if self.n_subtables < 1 or self.n_groups < 2 or self.slots_per_bucket < 1:
+            raise ValueError("invalid RACE geometry")
+        if self.n_subtables & (self.n_subtables - 1):
+            raise ValueError("n_subtables must be a power of two "
+                             "(extendible directory addressing)")
+
+    @property
+    def bucket_bytes(self) -> int:
+        return self.slots_per_bucket * SLOT_SIZE
+
+    @property
+    def slots_per_subtable(self) -> int:
+        return self.n_groups * BUCKETS_PER_GROUP * self.slots_per_bucket
+
+    @property
+    def subtable_bytes(self) -> int:
+        return self.slots_per_subtable * SLOT_SIZE
+
+    @property
+    def slots_per_key(self) -> int:
+        """Associativity: total candidate slots for any key."""
+        return 4 * self.slots_per_bucket
+
+
+def hash_key(key: bytes) -> int:
+    """128-bit stable hash of a key."""
+    return int.from_bytes(
+        hashlib.blake2b(key, digest_size=16).digest(), "big")
+
+
+@dataclass(frozen=True)
+class KeyMeta:
+    """Everything derived from hashing one key."""
+
+    subtable: int
+    group1: int
+    group2: int
+    fingerprint: int
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """Identity of one logical slot across all index replicas."""
+
+    subtable: int
+    slot_index: int  # within the subtable's slot array
+    placement: Tuple[Tuple[int, int], ...]  # ((mn_id, subtable base), ...)
+
+    def locations(self) -> List[Tuple[int, int]]:
+        """(mn_id, byte address) of every replica of this slot, primary first."""
+        off = self.slot_index * SLOT_SIZE
+        return [(mn_id, base + off) for mn_id, base in self.placement]
+
+    def primary(self) -> Tuple[int, int]:
+        mn_id, base = self.placement[0]
+        return mn_id, base + self.slot_index * SLOT_SIZE
+
+    def backups(self) -> List[Tuple[int, int]]:
+        off = self.slot_index * SLOT_SIZE
+        return [(mn_id, base + off) for mn_id, base in self.placement[1:]]
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.subtable, self.slot_index)
+
+
+@dataclass(frozen=True)
+class SlotSnapshot:
+    """A slot reference plus the value observed in the primary replica."""
+
+    ref: SlotRef
+    word: int
+
+    @property
+    def slot(self) -> Slot:
+        return unpack_slot(self.word)
+
+
+@dataclass(frozen=True)
+class BucketView:
+    """Parsed candidate slots for one key, from one bucket read."""
+
+    matches: Tuple[SlotSnapshot, ...]   # fingerprint hits, ordered by slot index
+    empties: Tuple[SlotRef, ...]        # free slots, preferred insert order
+    occupied: int                       # non-empty slots seen (load metric)
+
+
+class RaceHashing:
+    """Pure helper owning the geometry and placement of the index."""
+
+    def __init__(self, config: RaceConfig,
+                 placements: Dict[int, Sequence[Tuple[int, int]]]):
+        """``placements[subtable] = [(mn_id, base offset), ...]``, primary
+        replica first.  All replicas of a subtable share the layout.
+
+        Subtables are addressed through an *extendible directory* (the
+        RACE design): a key's hash suffix indexes the directory, which
+        names a physical subtable.  Initially the directory is the
+        identity over ``n_subtables`` entries; splits (driven by the
+        master, see ``Master.expand_subtable``) grow it.
+        """
+        if set(placements) != set(range(config.n_subtables)):
+            raise ValueError("placements must cover every subtable")
+        self.config = config
+        self._placements: Dict[int, Tuple[Tuple[int, int], ...]] = {
+            st: tuple(pl) for st, pl in placements.items()}
+        depth = config.n_subtables.bit_length() - 1
+        self._directory: List[int] = list(range(config.n_subtables))
+        self._local_depth: Dict[int, int] = {
+            st: depth for st in range(config.n_subtables)}
+
+    # -- placement management (master reconfiguration, §5.2) -------------------
+    def placement(self, subtable: int) -> Tuple[Tuple[int, int], ...]:
+        return self._placements[subtable]
+
+    def reconfigure(self, subtable: int,
+                    placement: Sequence[Tuple[int, int]]) -> None:
+        if not placement:
+            raise ValueError("placement cannot be empty")
+        self._placements[subtable] = tuple(placement)
+
+    def subtables_on(self, mn_id: int) -> List[int]:
+        return [st for st, pl in self._placements.items()
+                if any(mn == mn_id for mn, _ in pl)]
+
+    # -- extendible directory ---------------------------------------------------
+    @property
+    def global_depth(self) -> int:
+        return len(self._directory).bit_length() - 1
+
+    @property
+    def directory(self) -> List[int]:
+        return list(self._directory)
+
+    def physical_tables(self) -> List[int]:
+        return sorted(self._placements)
+
+    def local_depth(self, subtable: int) -> int:
+        return self._local_depth[subtable]
+
+    def table_for_digest(self, digest: int) -> int:
+        return self._directory[digest & (len(self._directory) - 1)]
+
+    def staged_split(self, old: int):
+        """Plan a split of physical table ``old`` (pure, no mutation).
+
+        Returns ``(new_id, staged_directory, key_router)`` where
+        ``key_router(digest)`` maps a digest to ``old`` or ``new_id``
+        under the post-split directory.
+        """
+        if old not in self._placements:
+            raise ValueError(f"unknown subtable {old}")
+        depth = self._local_depth[old]
+        directory = list(self._directory)
+        if depth == self.global_depth:
+            # suffix addressing: doubling appends a copy of the directory
+            directory = directory + directory
+        new_id = max(self._placements) + 1
+        for i, table in enumerate(directory):
+            if table == old and (i >> depth) & 1:
+                directory[i] = new_id
+        mask = len(directory) - 1
+
+        def key_router(digest: int) -> int:
+            return directory[digest & mask]
+
+        return new_id, directory, key_router
+
+    def commit_split(self, old: int, new_id: int, directory: List[int],
+                     placement: Sequence[Tuple[int, int]]) -> None:
+        """Install a split planned by :meth:`staged_split`."""
+        self._directory = list(directory)
+        self._local_depth[old] += 1
+        self._local_depth[new_id] = self._local_depth[old]
+        self._placements[new_id] = tuple(placement)
+
+    def check_directory_invariants(self) -> None:
+        """Every physical table owns exactly 2^(G-L) directory entries,
+        all congruent modulo 2^L (raise AssertionError otherwise)."""
+        size = len(self._directory)
+        assert size & (size - 1) == 0
+        for table, depth in self._local_depth.items():
+            entries = [i for i, t in enumerate(self._directory)
+                       if t == table]
+            assert len(entries) == size >> depth, (table, entries)
+            low = entries[0] & ((1 << depth) - 1)
+            assert all(e & ((1 << depth) - 1) == low for e in entries),                 (table, entries)
+
+    # -- key hashing -------------------------------------------------------------
+    def key_meta(self, key: bytes) -> KeyMeta:
+        digest = hash_key(key)
+        return self.key_meta_for_digest(digest)
+
+    def key_meta_for_digest(self, digest: int) -> KeyMeta:
+        cfg = self.config
+        subtable = self.table_for_digest(digest)
+        group1 = (digest >> 16) % cfg.n_groups
+        group2 = (digest >> 48) % cfg.n_groups
+        if group2 == group1:
+            group2 = (group2 + 1) % cfg.n_groups
+        return KeyMeta(subtable=subtable, group1=group1, group2=group2,
+                       fingerprint=make_fingerprint(digest))
+
+    # -- slot addressing -----------------------------------------------------------
+    def slot_ref(self, subtable: int, slot_index: int) -> SlotRef:
+        if not 0 <= slot_index < self.config.slots_per_subtable:
+            raise IndexError(f"slot index {slot_index} out of range")
+        return SlotRef(subtable=subtable, slot_index=slot_index,
+                       placement=self._placements[subtable])
+
+    def _combined_ranges(self, meta: KeyMeta) -> List[Tuple[int, int]]:
+        """Two (first slot index, slot count) ranges: the combined buckets."""
+        spb = self.config.slots_per_bucket
+        cb1_start = (meta.group1 * BUCKETS_PER_GROUP) * spb        # main0+ovfl
+        cb2_start = (meta.group2 * BUCKETS_PER_GROUP + 1) * spb    # ovfl+main1
+        return [(cb1_start, 2 * spb), (cb2_start, 2 * spb)]
+
+    def bucket_read_ops(self, meta: KeyMeta,
+                        replica: int = 0) -> List[ReadOp]:
+        """The two contiguous READs fetching all candidate slots of a key."""
+        mn_id, base = self._placements[meta.subtable][replica]
+        return [ReadOp(mn_id, base + start * SLOT_SIZE, count * SLOT_SIZE)
+                for start, count in self._combined_ranges(meta)]
+
+    def parse_buckets(self, meta: KeyMeta,
+                      payloads: Sequence[bytes]) -> BucketView:
+        """Parse the two combined-bucket payloads into candidates.
+
+        Fingerprint hits are ordered by (subtable-wide) slot index so that
+        concurrent readers resolve duplicate keys identically.  Empty slots
+        are ordered to fill the *less loaded* combined bucket first, which
+        is RACE's load-balancing rule.
+        """
+        ranges = self._combined_ranges(meta)
+        if len(payloads) != len(ranges):
+            raise ValueError("expected one payload per combined bucket")
+        matches: List[SlotSnapshot] = []
+        per_cb_empties: List[List[SlotRef]] = []
+        per_cb_load: List[int] = []
+        seen: set = set()
+        for (start, count), payload in zip(ranges, payloads):
+            if len(payload) != count * SLOT_SIZE:
+                raise ValueError("payload length mismatch")
+            empties: List[SlotRef] = []
+            load = 0
+            for i in range(count):
+                index = start + i
+                if index in seen:
+                    continue  # shared overflow bucket counted once
+                seen.add(index)
+                word = int.from_bytes(
+                    payload[i * SLOT_SIZE:(i + 1) * SLOT_SIZE], "big")
+                ref = self.slot_ref(meta.subtable, index)
+                if word == 0:
+                    empties.append(ref)
+                else:
+                    load += 1
+                    if (word >> 56) & 0xFF == meta.fingerprint:
+                        matches.append(SlotSnapshot(ref=ref, word=word))
+            per_cb_empties.append(empties)
+            per_cb_load.append(load)
+        matches.sort(key=lambda snap: snap.ref.slot_index)
+        order = sorted(range(len(per_cb_empties)), key=lambda i: per_cb_load[i])
+        empties_flat: List[SlotRef] = []
+        for i in order:
+            empties_flat.extend(per_cb_empties[i])
+        return BucketView(matches=tuple(matches), empties=tuple(empties_flat),
+                          occupied=sum(per_cb_load))
+
+    # -- bulk helpers for the master ------------------------------------------------
+    def subtable_read_op(self, subtable: int, replica_mn: int,
+                         base: int) -> ReadOp:
+        """READ an entire subtable replica (used by failover repair)."""
+        return ReadOp(replica_mn, base, self.config.subtable_bytes)
+
+    def iter_slot_words(self, payload: bytes):
+        """Yield (slot_index, word) for a whole-subtable payload."""
+        for index in range(len(payload) // SLOT_SIZE):
+            yield index, int.from_bytes(
+                payload[index * SLOT_SIZE:(index + 1) * SLOT_SIZE], "big")

@@ -1,0 +1,88 @@
+"""Consistent hashing ring for region and index-subtable placement (§4.4).
+
+FUSEE shards its 48-bit memory space into regions and maps each region to
+``r`` memory nodes with consistent hashing, the first of which holds the
+primary replica.  The same ring places index subtables.  Virtual nodes
+smooth the distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash_point(label: str) -> int:
+    digest = hashlib.blake2b(label.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Maps integer keys (region ids, subtable ids) to ordered MN lists."""
+
+    def __init__(self, node_ids: Sequence[int], virtual_nodes: int = 64):
+        if not node_ids:
+            raise ValueError("ring requires at least one node")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._points: List[int] = []
+        self._owners: Dict[int, int] = {}
+        self._nodes: List[int] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def add_node(self, node_id: int) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id} already on ring")
+        self._nodes.append(node_id)
+        for vn in range(self.virtual_nodes):
+            point = _hash_point(f"node:{node_id}:vn:{vn}")
+            # On the (cosmically unlikely) collision, nudge the point.
+            while point in self._owners:
+                point = (point + 1) & ((1 << 64) - 1)
+            self._owners[point] = node_id
+            bisect.insort(self._points, point)
+
+    def remove_node(self, node_id: int) -> None:
+        if node_id not in self._nodes:
+            raise ValueError(f"node {node_id} not on ring")
+        self._nodes.remove(node_id)
+        for point, owner in list(self._owners.items()):
+            if owner == node_id:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                del self._points[index]
+
+    def replicas(self, key: int, count: int) -> List[int]:
+        """Ordered list of ``count`` distinct node ids for ``key``.
+
+        The first entry is the primary.  Walks clockwise from the key's
+        position on the ring, skipping virtual nodes of already-chosen
+        physical nodes (the successive-MN placement of §4.4).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > len(self._nodes):
+            raise ValueError(
+                f"cannot place {count} replicas on {len(self._nodes)} nodes")
+        start = bisect.bisect_right(self._points, _hash_point(f"key:{key}"))
+        chosen: List[int] = []
+        n_points = len(self._points)
+        for step in range(n_points):
+            owner = self._owners[self._points[(start + step) % n_points]]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == count:
+                    return chosen
+        raise RuntimeError("ring walk failed to find enough distinct nodes")
+
+    def primary(self, key: int) -> int:
+        return self.replicas(key, 1)[0]

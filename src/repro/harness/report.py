@@ -1,0 +1,87 @@
+"""Rendering helpers for experiment results: CSV, Markdown, ASCII charts.
+
+Everything in the harness reports through :class:`ExperimentResult`
+(headers + rows); these functions turn one into the formats a paper-repro
+workflow wants — spreadsheets (CSV), READMEs (Markdown tables), and quick
+terminal visualisation (bar charts for the timeline figures).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Optional, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["to_csv", "to_markdown", "ascii_bars", "render",
+           "timeline_chart"]
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Comma-separated rendering (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow([_cell(cell) for cell in row])
+    return buffer.getvalue()
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """A GitHub-flavoured Markdown table with a title and notes."""
+    lines = [f"### {result.name}: {result.title}", ""]
+    lines.append("| " + " | ".join(result.headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_cell(c) for c in row) + " |")
+    if result.notes:
+        lines.append("")
+        lines.append(f"*{result.notes}*")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_bars(values: Sequence[float], labels: Optional[Sequence] = None,
+               width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart; one row per value, scaled to ``width``."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    label_strs = [str(lbl) for lbl in (labels or range(len(values)))]
+    label_w = max(len(s) for s in label_strs)
+    lines = []
+    for label, value in zip(label_strs, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{label:>{label_w}} | {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def timeline_chart(result: ExperimentResult, width: int = 50) -> str:
+    """Bar chart for fig20/fig21-style (bucket, t, mops) tables."""
+    if len(result.headers) < 3:
+        raise ValueError("not a timeline result")
+    values = [row[-1] for row in result.rows]
+    labels = [f"t={row[1]:.0f}us" for row in result.rows]
+    return (f"{result.title}\n"
+            + ascii_bars(values, labels, width=width, unit=" Mops"))
+
+
+def render(result: ExperimentResult, fmt: str = "table") -> str:
+    """Render in one of: table (default), csv, md, chart."""
+    if fmt == "table":
+        return result.format()
+    if fmt == "csv":
+        return to_csv(result)
+    if fmt == "md":
+        return to_markdown(result)
+    if fmt == "chart":
+        return timeline_chart(result)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -1,0 +1,158 @@
+"""Closed-loop experiment driver.
+
+Reproduces the paper's measurement methodology: N closed-loop clients
+(the paper runs 128 client processes over 16 CNs) each repeatedly draw
+the next operation from their workload stream and execute it; throughput
+is completed operations per simulated second over the measurement window,
+latency is per-operation completion time.  Timeline mode (Figs. 20, 21)
+buckets completions into fixed windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import Environment
+
+__all__ = ["RunResult", "run_closed_loop", "run_latency", "percentile",
+           "cdf_points"]
+
+
+@dataclass
+class RunResult:
+    ops: int
+    duration_us: float
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    errors: int = 0
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+    per_op_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mops(self) -> float:
+        """Throughput in million operations per (simulated) second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.ops / self.duration_us
+
+
+def _normalize(op_tuple):
+    """Accept (op, key, value) or (op, key, value, measured)."""
+    if len(op_tuple) == 3:
+        op, key, value = op_tuple
+        return op, key, value, True
+    return op_tuple
+
+
+def run_closed_loop(env: Environment,
+                    clients: Sequence,
+                    workload_factory: Callable[[int], object],
+                    execute: Callable,
+                    duration_us: float,
+                    warmup_us: float = 0.0,
+                    collect_latency: bool = False,
+                    timeline_bucket_us: Optional[float] = None,
+                    events: Sequence[Tuple[float, Callable]] = ()) -> RunResult:
+    """Drive ``clients`` against per-client workloads for ``duration_us``.
+
+    ``execute(client, op, key, value)`` is a generator performing one
+    operation and returning truthy on success.  ``events`` is a list of
+    ``(at_us_from_start, callback)`` timeline actions (crash an MN, add
+    clients, ...); callbacks run at the scheduled simulated time and may
+    return a list of new (client, workload) pairs to start driving.
+    """
+    start = env.now
+    measure_from = start + warmup_us
+    deadline = start + duration_us
+    result = RunResult(ops=0, duration_us=duration_us - warmup_us)
+    buckets: Dict[int, int] = {}
+
+    def record(op: str, began: float, ok: bool) -> None:
+        now = env.now
+        if now < measure_from or now > deadline:
+            return
+        if not ok:
+            result.errors += 1
+            return
+        result.ops += 1
+        result.per_op_counts[op] = result.per_op_counts.get(op, 0) + 1
+        if collect_latency:
+            result.latencies.setdefault(op, []).append(now - began)
+        if timeline_bucket_us:
+            buckets[int((now - start) // timeline_bucket_us)] = \
+                buckets.get(int((now - start) // timeline_bucket_us), 0) + 1
+
+    def client_proc(index: int, client, workload):
+        while env.now < deadline:
+            op, key, value, measured = _normalize(workload.next_op())
+            began = env.now
+            try:
+                ok = yield from execute(client, op, key, value)
+            except StopLoop:
+                return
+            if measured:
+                record(op, began, bool(ok))
+
+    for index, client in enumerate(clients):
+        env.process(client_proc(index, client, workload_factory(index)),
+                    name=f"load-client-{index}")
+
+    def event_proc(at: float, callback):
+        yield env.timeout(at)
+        new = callback() or ()
+        for client, workload in new:
+            env.process(client_proc(id(client), client, workload),
+                        name="late-client")
+
+    for at, callback in events:
+        env.process(event_proc(at, callback), name="timeline-event")
+
+    env.run(until=deadline)
+    if timeline_bucket_us:
+        n_buckets = int(duration_us // timeline_bucket_us)
+        result.timeline = [
+            (bucket * timeline_bucket_us,
+             buckets.get(bucket, 0) / timeline_bucket_us)
+            for bucket in range(n_buckets)]
+    return result
+
+
+class StopLoop(Exception):
+    """Raised inside ``execute`` to retire a client from the loop."""
+
+
+def run_latency(env: Environment, client, execute: Callable,
+                ops: Sequence[Tuple[str, bytes, Optional[bytes]]]) -> List[float]:
+    """Execute operations sequentially on one client; returns latencies.
+
+    This is the paper's latency methodology: 'we use a single client to
+    iteratively execute each operation 10,000 times' (§6.2).
+    """
+    latencies: List[float] = []
+
+    def proc():
+        for op, key, value in ops:
+            began = env.now
+            yield from execute(client, op, key, value)
+            latencies.append(env.now - began)
+
+    env.run(until=env.process(proc(), name="latency-client"))
+    return latencies
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = p / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Sequence[float],
+               points: Sequence[float] = (50, 90, 99, 99.9)) -> Dict[float, float]:
+    return {p: percentile(values, p) for p in points}

@@ -1,0 +1,171 @@
+"""System beds: uniform construction + execution adapters for FUSEE, its
+variants (FUSEE-CR, FUSEE-NC), Clover, and pDPM-Direct.
+
+Every bed exposes::
+
+    bed.env          # the simulation environment
+    bed.new_client() # -> a client object
+    bed.execute      # (client, op, key, value) generator -> bool
+    bed.load(items)  # bulk-load the dataset
+
+so the closed-loop runner and the experiment functions can treat all
+systems identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..baselines.clover import CloverCluster, CloverConfig
+from ..baselines.pdpm import PdpmCluster, PdpmConfig
+from ..core.addressing import RegionConfig
+from ..core.client import ClientConfig
+from ..core.kvstore import ClusterConfig, FuseeCluster
+from ..core.race import RaceConfig
+from .loader import clover_load, fusee_load, pdpm_load
+
+__all__ = ["SystemBed", "fusee_bed", "clover_bed", "pdpm_bed"]
+
+
+@dataclass
+class SystemBed:
+    name: str
+    env: object
+    cluster: object
+    new_client: Callable[[], object]
+    execute: Callable
+    load: Callable[[Iterable[Tuple[bytes, bytes]]], int]
+
+
+# ---------------------------------------------------------------- FUSEE
+def _fusee_execute(client, op, key, value):
+    if op == "search":
+        result = yield from client.search(key)
+        return result.ok
+    if op == "update":
+        result = yield from client.update(key, value)
+        return result.ok
+    if op == "insert":
+        result = yield from client.insert(key, value)
+        return result.ok
+    if op == "delete":
+        result = yield from client.delete(key)
+        return result.ok
+    raise ValueError(f"unknown op {op!r}")
+
+
+def fusee_bed(n_memory_nodes: int = 2,
+              replication_factor: int = 2,
+              index_replication: Optional[int] = 1,
+              dataset_bytes: int = 32 << 20,
+              variant: str = "fusee",
+              cache_threshold: float = 0.5,
+              background_interval_us: float = 1000.0,
+              race: Optional[RaceConfig] = None,
+              max_clients: int = 256,
+              mn_cpu_cores: int = 2) -> SystemBed:
+    """A FUSEE deployment sized for a given dataset.
+
+    ``variant``: "fusee" (default), "fusee-cr" (sequential replication),
+    or "fusee-nc" (no client cache).  The paper's §6.2/6.3 comparisons use
+    one index replica and two data replicas, hence the defaults.
+    """
+    region = RegionConfig(region_size=1 << 22, block_size=1 << 16,
+                          min_object_size=64)
+    # Size the pool: dataset * replication + churn/grant headroom.
+    need = dataset_bytes * replication_factor * 3 + (64 << 20)
+    regions_per_mn = max(
+        4, math.ceil(need / (region.region_size * n_memory_nodes)))
+    client_cfg = ClientConfig(
+        replication_mode="sequential" if variant == "fusee-cr" else "snapshot",
+        cache_enabled=variant != "fusee-nc",
+        cache_threshold=cache_threshold)
+    config = ClusterConfig(
+        n_memory_nodes=n_memory_nodes,
+        replication_factor=replication_factor,
+        index_replication=index_replication,
+        regions_per_mn=regions_per_mn,
+        max_clients=max_clients,
+        region=region,
+        race=race or RaceConfig(n_subtables=32, n_groups=256,
+                                slots_per_bucket=7),
+        client=client_cfg,
+        mn_cpu_cores=mn_cpu_cores,
+    )
+    cluster = FuseeCluster(config)
+    loader_client = cluster.new_client()
+
+    def new_client():
+        client = cluster.new_client()
+        if background_interval_us:
+            client.start_background(background_interval_us)
+        return client
+
+    def load(items):
+        return fusee_load(cluster, loader_client, items)
+
+    return SystemBed(name=variant, env=cluster.env, cluster=cluster,
+                     new_client=new_client, execute=_fusee_execute,
+                     load=load)
+
+
+# ---------------------------------------------------------------- Clover
+def _clover_execute(client, op, key, value):
+    if op == "search":
+        result = yield from client.search(key)
+        return result is not None
+    if op == "update":
+        return (yield from client.update(key, value))
+    if op == "insert":
+        return (yield from client.insert(key, value))
+    raise ValueError(f"Clover does not support {op!r}")
+
+
+def clover_bed(n_memory_nodes: int = 2,
+               metadata_cores: int = 8,
+               data_replicas: int = 2,
+               dataset_bytes: int = 32 << 20) -> SystemBed:
+    config = CloverConfig(
+        n_memory_nodes=n_memory_nodes,
+        data_replicas=min(data_replicas, n_memory_nodes),
+        metadata_cores=metadata_cores,
+        mn_capacity=max(1 << 28,
+                        dataset_bytes * data_replicas * 8 // n_memory_nodes))
+    cluster = CloverCluster(config)
+    return SystemBed(name="clover", env=cluster.env, cluster=cluster,
+                     new_client=cluster.new_client,
+                     execute=_clover_execute,
+                     load=lambda items: clover_load(cluster, items))
+
+
+# ---------------------------------------------------------------- pDPM
+def _pdpm_execute(client, op, key, value):
+    if op == "search":
+        result = yield from client.search(key)
+        return result is not None
+    if op == "update":
+        return (yield from client.update(key, value))
+    if op == "insert":
+        return (yield from client.insert(key, value))
+    if op == "delete":
+        return (yield from client.delete(key))
+    raise ValueError(f"unknown op {op!r}")
+
+
+def pdpm_bed(n_memory_nodes: int = 2,
+             data_replicas: int = 2,
+             dataset_bytes: int = 32 << 20,
+             n_keys_hint: int = 200_000) -> SystemBed:
+    config = PdpmConfig(
+        n_memory_nodes=n_memory_nodes,
+        data_replicas=min(data_replicas, n_memory_nodes),
+        n_buckets=max(4096, n_keys_hint // 4),
+        record_area=max(1 << 25, dataset_bytes * 4),
+    )
+    cluster = PdpmCluster(config)
+    return SystemBed(name="pdpm-direct", env=cluster.env, cluster=cluster,
+                     new_client=cluster.new_client,
+                     execute=_pdpm_execute,
+                     load=lambda items: pdpm_load(cluster, items))

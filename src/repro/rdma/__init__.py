@@ -1,0 +1,31 @@
+"""Simulated one-sided RDMA substrate (verbs, memory nodes, fabric)."""
+
+from .fabric import Fabric, FabricConfig, FabricStats
+from .memory_node import MemoryNode
+from .verbs import (
+    FAIL,
+    CasOp,
+    Completion,
+    FaaOp,
+    ReadOp,
+    Verb,
+    WriteOp,
+    WORD,
+    op_bytes,
+)
+
+__all__ = [
+    "Fabric",
+    "FabricConfig",
+    "FabricStats",
+    "MemoryNode",
+    "FAIL",
+    "CasOp",
+    "Completion",
+    "FaaOp",
+    "ReadOp",
+    "Verb",
+    "WriteOp",
+    "WORD",
+    "op_bytes",
+]

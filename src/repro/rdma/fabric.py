@@ -1,0 +1,201 @@
+"""The simulated RDMA fabric connecting compute nodes to memory nodes.
+
+The fabric is where the reproduction's performance model lives:
+
+* A **doorbell batch** (one *phase* of Fig. 9) is a list of verbs posted
+  together.  Verbs inside a batch run in parallel across memory nodes and
+  in posted order within a node; the batch completes when the slowest verb
+  completes — one network round trip plus NIC queueing, exactly the
+  "each phase only incurs 1 network RTT" behaviour of §4.6.
+* Each memory node's RNIC is a serialisation line
+  (:class:`repro.sim.NicPort`); per-verb service time is a fixed overhead
+  (larger for atomics, per Kalia et al. [30]) plus payload bytes over the
+  link bandwidth.  Saturating this line produces the throughput plateaus of
+  Figures 12-14.
+* Verbs are applied to memory **at post time** in post order.  Because
+  propagation delay is uniform and NIC queues are FIFO, post order equals
+  hardware serialisation order, and every verb's effect falls inside its
+  invocation-completion window — so simulated executions remain
+  linearizable exactly like the hardware ones.
+* RPCs (memory ALLOC/FREE, Clover metadata operations) traverse the same
+  NIC and then occupy an MN/server CPU core, modelling the weak compute
+  power of the memory pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..sim import Environment, Event
+from .memory_node import MemoryNode
+from .verbs import (
+    FAIL,
+    CasOp,
+    Completion,
+    FaaOp,
+    ReadOp,
+    Verb,
+    WriteOp,
+    op_bytes,
+)
+
+__all__ = ["Fabric", "FabricConfig", "FabricStats"]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Network-level timing parameters (microseconds)."""
+
+    one_way_delay_us: float = 0.9
+    # Completion delay for verbs aimed at a crashed node.  Real RNICs take a
+    # retry timeout to report this; we use one RTT to keep simulations fast
+    # (documented deviation in DESIGN.md §6).
+    fail_delay_us: float = 1.8
+    # Client-side cost of building/posting a doorbell batch and polling the
+    # completion queue (amortised by selective signaling, §4.6).
+    post_overhead_us: float = 0.20
+
+    @property
+    def rtt_us(self) -> float:
+        return 2.0 * self.one_way_delay_us + self.post_overhead_us
+
+
+@dataclass
+class FabricStats:
+    """Aggregate operation counters, for resource-efficiency reporting."""
+
+    reads: int = 0
+    writes: int = 0
+    atomics: int = 0
+    rpcs: int = 0
+    bytes_moved: int = 0
+    batches: int = 0
+    per_mn_ops: Dict[int, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "FabricStats":
+        return FabricStats(self.reads, self.writes, self.atomics, self.rpcs,
+                           self.bytes_moved, self.batches,
+                           dict(self.per_mn_ops))
+
+
+class Fabric:
+    """Posts verbs and RPCs to memory nodes with simulated timing."""
+
+    def __init__(self, env: Environment, config: FabricConfig | None = None):
+        self.env = env
+        self.config = config or FabricConfig()
+        self.nodes: Dict[int, MemoryNode] = {}
+        self.stats = FabricStats()
+
+    # -- topology ------------------------------------------------------------
+    def add_node(self, node: MemoryNode) -> None:
+        if node.mn_id in self.nodes:
+            raise ValueError(f"duplicate memory node id {node.mn_id}")
+        self.nodes[node.mn_id] = node
+
+    def node(self, mn_id: int) -> MemoryNode:
+        return self.nodes[mn_id]
+
+    def alive_nodes(self) -> List[int]:
+        return [mn_id for mn_id, n in self.nodes.items() if not n.crashed]
+
+    # -- one-sided verbs ------------------------------------------------------
+    def post(self, ops: Sequence[Verb]) -> Event:
+        """Post a doorbell batch.
+
+        Returns an event that fires with ``List[Completion]`` in the order
+        the verbs were posted.
+        """
+        if not ops:
+            raise ValueError("empty doorbell batch")
+        cfg = self.config
+        now = self.env.now
+        arrive = now + cfg.post_overhead_us + cfg.one_way_delay_us
+        completions: List[Completion] = []
+        finish = now
+        self.stats.batches += 1
+        for op in ops:
+            node = self.nodes[op.mn_id]
+            self._count(op, node)
+            if node.crashed:
+                completions.append(Completion(op, FAIL))
+                finish = max(finish, now + cfg.fail_delay_us)
+                continue
+            value = node.apply(op)
+            service = self._service_time(node, op)
+            port = node.nic_tx if isinstance(op, ReadOp) else node.nic
+            done = port.finish_time(service, not_before=arrive)
+            finish = max(finish, done + cfg.one_way_delay_us)
+            completions.append(Completion(op, value))
+        return self.env.timeout(finish - now, value=completions)
+
+    def post_one(self, op: Verb) -> Event:
+        """Post a single verb; the event fires with one :class:`Completion`."""
+        batch = self.post([op])
+        proxy = self.env.event()
+        batch.callbacks.append(
+            lambda ev: proxy.succeed(ev.value[0]) if ev.ok else proxy.fail(ev.value))
+        return proxy
+
+    # -- RPCs -------------------------------------------------------------------
+    def rpc(self, mn_id: int, name: str, payload: dict) -> Event:
+        """Call an RPC handler registered on a memory node.
+
+        The request traverses the node's NIC, waits for a CPU core, runs the
+        handler (which reports its own CPU service time), and the reply
+        travels back.  Fires with the reply dict, or :data:`FAIL` if the
+        node has crashed.
+        """
+        return self.env.process(self._rpc_proc(mn_id, name, payload),
+                                name=f"rpc:{name}@MN{mn_id}")
+
+    def _rpc_proc(self, mn_id: int, name: str, payload: dict):
+        cfg = self.config
+        node = self.nodes[mn_id]
+        self.stats.rpcs += 1
+        if node.crashed:
+            yield self.env.timeout(cfg.fail_delay_us)
+            return FAIL
+        # request propagation + NIC receive
+        yield self.env.timeout(cfg.one_way_delay_us)
+        yield node.nic.occupy(node.nic.profile.rpc_overhead)
+        if node.crashed:
+            yield self.env.timeout(cfg.one_way_delay_us)
+            return FAIL
+        # CPU service
+        req = node.cpu.request()
+        yield req
+        try:
+            handler = node.rpc_handler(name)
+            reply, cpu_time = handler(payload)
+            yield self.env.timeout(cpu_time)
+        finally:
+            req.release()
+        if node.crashed:
+            yield self.env.timeout(cfg.one_way_delay_us)
+            return FAIL
+        # reply NIC + propagation
+        yield node.nic.occupy(node.nic.profile.rpc_overhead)
+        yield self.env.timeout(cfg.one_way_delay_us)
+        return reply
+
+    # -- internals -----------------------------------------------------------
+    def _service_time(self, node: MemoryNode, op: Verb) -> float:
+        profile = node.nic.profile
+        if isinstance(op, (CasOp, FaaOp)):
+            fixed = profile.atomic_overhead
+        else:
+            fixed = profile.op_overhead
+        return fixed + profile.byte_time(op_bytes(op))
+
+    def _count(self, op: Verb, node: MemoryNode) -> None:
+        stats = self.stats
+        if isinstance(op, ReadOp):
+            stats.reads += 1
+        elif isinstance(op, WriteOp):
+            stats.writes += 1
+        else:
+            stats.atomics += 1
+        stats.bytes_moved += op_bytes(op)
+        stats.per_mn_ops[node.mn_id] = stats.per_mn_ops.get(node.mn_id, 0) + 1

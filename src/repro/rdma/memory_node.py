@@ -1,0 +1,125 @@
+"""A memory node (MN): byte-addressable memory plus a weak CPU.
+
+Each MN owns one ``bytearray`` of registered memory, one RNIC port (a
+serialisation line — see :class:`repro.sim.NicPort`), and a small CPU pool
+(1-2 cores per §2.1) that serves memory-management RPCs (ALLOC/FREE) only.
+All data-path accesses are one-sided: the CPU is never involved.
+
+Crash-stop failures (§5.1): after :meth:`crash`, every verb and RPC
+completes with :data:`~repro.rdma.verbs.FAIL`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Tuple
+
+from ..sim import Environment, NicPort, NicProfile, Resource
+from .verbs import WORD, CasOp, FaaOp, ReadOp, WriteOp
+
+__all__ = ["MemoryNode", "MASK64"]
+
+MASK64 = (1 << 64) - 1
+
+_U64 = struct.Struct(">Q")
+
+# An RPC handler maps a payload dict to (reply dict, cpu service time in us).
+RpcHandler = Callable[[dict], Tuple[dict, float]]
+
+
+class MemoryNode:
+    """One node of the disaggregated memory pool."""
+
+    def __init__(self, env: Environment, mn_id: int, capacity: int,
+                 nic_profile: NicProfile | None = None,
+                 cpu_cores: int = 2,
+                 rpc_service_us: float = 2.0):
+        self.env = env
+        self.mn_id = mn_id
+        self.capacity = capacity
+        self.memory = bytearray(capacity)
+        profile = nic_profile or NicProfile()
+        # Full-duplex RNIC: inbound (writes, atomics, RPC) and outbound
+        # (read payloads) directions serialize independently, as on real
+        # InfiniBand links.
+        self.nic = NicPort(env, profile)          # RX direction
+        self.nic_tx = NicPort(env, profile)       # TX direction
+        self.cpu = Resource(env, capacity=cpu_cores)
+        self.rpc_service_us = rpc_service_us
+        self.crashed = False
+        self._rpc_handlers: Dict[str, RpcHandler] = {}
+        # simple bump allocator for carving regions at cluster-build time
+        self._carve_cursor = 0
+
+    # -- cluster-build-time helpers ---------------------------------------
+    def carve(self, nbytes: int, align: int = WORD) -> int:
+        """Reserve ``nbytes`` of this node's memory; returns the offset.
+
+        Used only while laying out the cluster (index replicas, region
+        tables, ...), never on the data path.
+        """
+        start = (self._carve_cursor + align - 1) // align * align
+        if start + nbytes > self.capacity:
+            raise MemoryError(
+                f"MN{self.mn_id}: carve of {nbytes} bytes exceeds capacity "
+                f"({start + nbytes} > {self.capacity})")
+        self._carve_cursor = start + nbytes
+        return start
+
+    # -- failure injection --------------------------------------------------
+    def crash(self) -> None:
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Bring the node back (used by elasticity / reconfiguration tests)."""
+        self.crashed = False
+
+    # -- verb execution (called by the fabric at the serialisation point) ---
+    def apply(self, op):
+        """Atomically apply a verb to local memory; returns its raw result."""
+        if isinstance(op, ReadOp):
+            self._check_range(op.addr, op.length)
+            return bytes(self.memory[op.addr:op.addr + op.length])
+        if isinstance(op, WriteOp):
+            self._check_range(op.addr, len(op.data))
+            self.memory[op.addr:op.addr + len(op.data)] = op.data
+            return None
+        if isinstance(op, CasOp):
+            self._check_range(op.addr, WORD)
+            old = _U64.unpack_from(self.memory, op.addr)[0]
+            if old == op.expected & MASK64:
+                _U64.pack_into(self.memory, op.addr, op.swap & MASK64)
+            return old
+        if isinstance(op, FaaOp):
+            self._check_range(op.addr, WORD)
+            old = _U64.unpack_from(self.memory, op.addr)[0]
+            _U64.pack_into(self.memory, op.addr, (old + op.delta) & MASK64)
+            return old
+        raise TypeError(f"unknown verb {op!r}")
+
+    def read_word(self, addr: int) -> int:
+        """Debug/recovery helper: read an 8-byte word without the fabric."""
+        self._check_range(addr, WORD)
+        return _U64.unpack_from(self.memory, addr)[0]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Debug/bootstrap helper: write an 8-byte word without the fabric."""
+        self._check_range(addr, WORD)
+        _U64.pack_into(self.memory, addr, value & MASK64)
+
+    # -- RPC plumbing ---------------------------------------------------------
+    def register_rpc(self, name: str, handler: RpcHandler) -> None:
+        self._rpc_handlers[name] = handler
+
+    def rpc_handler(self, name: str) -> RpcHandler:
+        return self._rpc_handlers[name]
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.capacity:
+            raise IndexError(
+                f"MN{self.mn_id}: access [{addr}, {addr + length}) outside "
+                f"capacity {self.capacity}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "crashed" if self.crashed else "up"
+        return f"<MemoryNode {self.mn_id} {state} {self.capacity}B>"

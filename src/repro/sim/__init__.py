@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel used by the FUSEE reproduction."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import NicPort, NicProfile, Request, Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "NicPort",
+    "NicProfile",
+    "Request",
+    "Resource",
+]

@@ -1,0 +1,384 @@
+"""Discrete-event simulation kernel.
+
+A tiny, dependency-free event loop in the style of SimPy: an
+:class:`Environment` owns a priority queue of timestamped events, and
+*processes* are Python generators that yield events to wait on.  Simulated
+time is a float in **microseconds** (the natural unit for RDMA-scale
+systems); nothing in the kernel depends on the unit, but the rest of the
+repository assumes it.
+
+The kernel provides exactly what the FUSEE reproduction needs:
+
+* :class:`Event` — one-shot condition with callbacks and a value.
+* :class:`Timeout` — an event that fires after a delay.
+* :class:`Process` — wraps a generator; itself an event that fires when the
+  generator returns (value = return value) or raises (failure).
+* :class:`AllOf` / :class:`AnyOf` — composite conditions.
+* :class:`Interrupt` — thrown into a process by :meth:`Process.interrupt`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* (scheduled to fire), then *processed* (its
+    callbacks run).  ``succeed`` and ``fail`` trigger it with a value or an
+    exception respectively.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value read before event triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._triggered = True
+        self._ok = True
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    The process is itself an event: it fires when the generator finishes.
+    Yield an :class:`Event` from the generator to wait for it; the ``yield``
+    expression evaluates to the event's value (or raises its exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        event = Event(self.env)
+        event._defused = True
+        event.callbacks.append(self._resume_interrupt)
+        event._triggered = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        self.env._schedule(event, priority=0)
+
+    # -- internal ----------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self._triggered:  # process finished before interrupt delivered
+            return
+        if (self._target is not None and self._target.callbacks is not None
+                and self._resume in self._target.callbacks):
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self._step(event.value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event.value, throw=False)
+        else:
+            event._defused = True
+            self._step(event.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        env = self.env
+        env._active_process = self
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            env._active_process = None
+            self.fail(exc)
+            return
+        env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+        if target._processed:
+            # Already fired: resume immediately (next scheduler step).
+            proxy = Event(env)
+            proxy.callbacks.append(self._resume)
+            proxy._triggered = True
+            proxy._ok = target._ok
+            proxy._value = target._value
+            if not target._ok:
+                target._defused = True
+            env._schedule(proxy)
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if not self.events:
+            self.succeed(self._build_value())
+            return
+        for event in self.events:
+            if event._processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _build_value(self):
+        return [e._value for e in self.events if e._triggered]
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when all child events have fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(event._value)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = 1) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._eid), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks or ():
+            callback(event)
+        if event._ok is False and not event._defused:
+            # An unhandled failure: surface it to the caller of run()/step().
+            raise event._value
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop._processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ended before awaited event fired")
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,143 @@
+"""Shared resources for the simulation kernel.
+
+Two queueing primitives cover every contention point in the reproduction:
+
+* :class:`Resource` — a counted server pool with a FIFO queue.  Used for
+  metadata-server CPU cores (Clover), memory-node cores (ALLOC RPCs and the
+  MN-centric allocation ablation), and anything else that serializes work.
+* :class:`NicPort` — a serialisation line modelling an RNIC: each operation
+  occupies the port for a service time derived from a fixed per-op overhead
+  plus a byte-transfer time, with an extra penalty for atomics.  This is the
+  mechanism that makes memory-node NICs saturate, which drives the plateaus
+  in Figures 12-14 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Resource", "Request", "NicPort", "NicProfile"]
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource`; fires when granted."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def release(self) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise RuntimeError("release without matching request")
+
+
+@dataclass(frozen=True)
+class NicProfile:
+    """Serialisation costs of one RNIC port (all times in microseconds).
+
+    ``op_overhead``        fixed cost to process one verb;
+    ``atomic_overhead``    fixed cost for CAS/FAA (RNIC atomics units are the
+                           scaling bottleneck the paper cites from Kalia et
+                           al. [30]);
+    ``bandwidth_gbps``     payload bandwidth used to charge byte time;
+    ``rpc_overhead``       fixed NIC cost of sending/receiving an RPC packet.
+    """
+
+    op_overhead: float = 0.030
+    atomic_overhead: float = 0.060
+    bandwidth_gbps: float = 56.0
+    rpc_overhead: float = 0.060
+
+    def byte_time(self, nbytes: int) -> float:
+        # gbps -> bytes/us: 56 Gbps = 7e3 MB/s = 7000 bytes/us.
+        bytes_per_us = self.bandwidth_gbps / 8.0 * 1000.0
+        return nbytes / bytes_per_us
+
+
+class NicPort:
+    """A single serialisation line: operations queue and occupy it in turn.
+
+    ``occupy(service_time)`` returns an event that fires when the operation's
+    slot on the wire *ends*; the caller adds propagation delay itself.
+    """
+
+    def __init__(self, env: Environment, profile: NicProfile):
+        self.env = env
+        self.profile = profile
+        self._next_free = 0.0
+        self.total_busy = 0.0
+        self.ops = 0
+
+    def occupy(self, service_time: float,
+               not_before: Optional[float] = None) -> Event:
+        """Reserve the port for ``service_time``; event fires at completion.
+
+        ``not_before`` lets the caller model propagation delay before the
+        operation reaches the port (service cannot start earlier).
+        """
+        earliest = self.env.now if not_before is None else not_before
+        start = max(earliest, self._next_free)
+        end = start + service_time
+        self._next_free = end
+        self.total_busy += service_time
+        self.ops += 1
+        return self.env.timeout(end - self.env.now)
+
+    def finish_time(self, service_time: float,
+                    not_before: Optional[float] = None) -> float:
+        """Like :meth:`occupy` but returns the absolute completion time."""
+        earliest = self.env.now if not_before is None else not_before
+        start = max(earliest, self._next_free)
+        end = start + service_time
+        self._next_free = end
+        self.total_busy += service_time
+        self.ops += 1
+        return end
+
+    def utilisation(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / elapsed)

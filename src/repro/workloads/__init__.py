@@ -1,0 +1,26 @@
+"""Workload generators: YCSB (§6.3) and microbenchmarks (§6.2)."""
+
+from .micro import MicroConfig, MicroWorkload
+from .ycsb import (
+    LatestGenerator,
+    ScrambledZipfian,
+    WORKLOAD_MIXES,
+    YcsbConfig,
+    YcsbWorkload,
+    ZipfianGenerator,
+    key_bytes,
+    make_value,
+)
+
+__all__ = [
+    "MicroConfig",
+    "MicroWorkload",
+    "LatestGenerator",
+    "ScrambledZipfian",
+    "WORKLOAD_MIXES",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "key_bytes",
+    "make_value",
+]

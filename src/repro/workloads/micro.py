@@ -1,0 +1,98 @@
+"""Microbenchmark workloads (§6.2).
+
+The paper's microbenchmark measures each operation type in isolation:
+one stream of INSERTs of fresh keys, or UPDATE/SEARCH/DELETE over a
+pre-loaded key set, uniformly distributed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .ycsb import key_bytes, make_value
+
+__all__ = ["MicroConfig", "MicroWorkload"]
+
+OPS = ("insert", "update", "search", "delete")
+
+
+@dataclass(frozen=True)
+class MicroConfig:
+    op: str = "update"
+    n_keys: int = 10_000
+    kv_size: int = 1024
+    key_prefix: str = "micro"
+    # address the YCSB-style 'user...' keyspace (so a dataset loaded with
+    # repro.workloads.ycsb.key_bytes can be reused for micro runs)
+    use_ycsb_keys: bool = False
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown micro op {self.op!r}")
+
+    @property
+    def value_size(self) -> int:
+        return max(0, self.kv_size - len(key_bytes(0)))
+
+
+class MicroWorkload:
+    """A per-client operation stream for a single-op microbenchmark.
+
+    For INSERT, every client inserts fresh keys from a disjoint range.
+    For DELETE, keys are deleted round-robin and re-inserted lazily by
+    interleaved inserts so the stream never runs dry (delete/insert pairs,
+    with only the deletes measured — matching how sustained DELETE
+    throughput must be measured on a finite key set).
+    """
+
+    def __init__(self, config: MicroConfig, client_id: int = 0,
+                 seed: int = 0):
+        self.config = config
+        self.client_id = client_id
+        self._rng = random.Random((seed << 16) ^ client_id)
+        self._insert_serial = 0
+        self._delete_toggle = False
+        self._pending_reinsert: Optional[bytes] = None
+
+    def load_keys(self) -> List[bytes]:
+        return [self._key(i) for i in range(self.config.n_keys)]
+
+    def load_value(self, index: int) -> bytes:
+        return make_value(self.config.value_size, salt=index)
+
+    def _key(self, index: int) -> bytes:
+        if self.config.use_ycsb_keys:
+            return key_bytes(index)
+        return f"{self.config.key_prefix}-{index:012d}".encode()
+
+    def _fresh_key(self) -> bytes:
+        key = (f"{self.config.key_prefix}-c{self.client_id}"
+               f"-{self._insert_serial:012d}").encode()
+        self._insert_serial += 1
+        return key
+
+    def next_op(self) -> Tuple[str, bytes, Optional[bytes], bool]:
+        """Returns ``(op, key, value, measured)``."""
+        cfg = self.config
+        if cfg.op == "insert":
+            return ("insert", self._fresh_key(),
+                    make_value(cfg.value_size, salt=self._insert_serial),
+                    True)
+        if cfg.op == "search":
+            return ("search", self._key(self._rng.randrange(cfg.n_keys)),
+                    None, True)
+        if cfg.op == "update":
+            index = self._rng.randrange(cfg.n_keys)
+            return ("update", self._key(index),
+                    make_value(cfg.value_size, salt=index ^ self._rng.getrandbits(16)),
+                    True)
+        # delete: alternate delete (measured) / re-insert (unmeasured)
+        if self._pending_reinsert is not None:
+            key = self._pending_reinsert
+            self._pending_reinsert = None
+            return ("insert", key, make_value(cfg.value_size, salt=1), False)
+        key = self._key(self._rng.randrange(cfg.n_keys))
+        self._pending_reinsert = key
+        return ("delete", key, None, True)

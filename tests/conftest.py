@@ -1,0 +1,37 @@
+"""Shared fixtures: small FUSEE clusters sized for fast tests."""
+
+import pytest
+
+from repro.core import ClusterConfig, FuseeCluster
+from repro.core.addressing import RegionConfig
+from repro.core.race import RaceConfig
+
+
+def small_config(**overrides) -> ClusterConfig:
+    """A cluster small enough for unit tests but fully featured."""
+    defaults = dict(
+        n_memory_nodes=3,
+        replication_factor=2,
+        regions_per_mn=2,
+        max_clients=32,
+        region=RegionConfig(region_size=1 << 18, block_size=1 << 13,
+                            min_object_size=64),
+        race=RaceConfig(n_subtables=4, n_groups=16, slots_per_bucket=7),
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+@pytest.fixture
+def cluster():
+    return FuseeCluster(small_config())
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+def run(cluster, generator):
+    """Drive a client operation generator to completion."""
+    return cluster.run_op(generator)

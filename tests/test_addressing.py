@@ -1,0 +1,159 @@
+"""Tests for the global address space and region layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import RegionConfig, RegionLayout, RegionMap
+from repro.core.ring import ConsistentHashRing
+
+
+def make_map(n_nodes=3, r=2, n_regions=4, **region_kw):
+    config = RegionConfig(region_size=1 << 18, block_size=1 << 13,
+                          min_object_size=64, **region_kw)
+    ring = ConsistentHashRing(range(n_nodes))
+    rmap = RegionMap(config, ring, replication_factor=r)
+    carves = {mn: 0 for mn in range(n_nodes)}
+
+    def carve(mn, nbytes):
+        base = carves[mn]
+        carves[mn] += nbytes
+        return base
+
+    for rid in range(n_regions):
+        rmap.place_region(rid, carve)
+    return rmap
+
+
+class TestRegionConfig:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            RegionConfig(region_size=1000)
+
+    def test_block_larger_than_region_rejected(self):
+        with pytest.raises(ValueError):
+            RegionConfig(region_size=1 << 12, block_size=1 << 13)
+
+    def test_shift_and_mask(self):
+        cfg = RegionConfig(region_size=1 << 20)
+        assert cfg.region_shift == 20
+        assert cfg.offset_mask == (1 << 20) - 1
+
+
+class TestRegionLayout:
+    def test_blocks_fit_in_region(self):
+        cfg = RegionConfig(region_size=1 << 18, block_size=1 << 13)
+        layout = RegionLayout(cfg)
+        last_end = (layout.block_offset(layout.n_blocks - 1)
+                    + cfg.block_size)
+        assert last_end <= cfg.region_size
+        assert layout.n_blocks >= 1
+
+    def test_metadata_precedes_data(self):
+        layout = RegionLayout(RegionConfig(region_size=1 << 18,
+                                           block_size=1 << 13))
+        assert layout.table_offset < layout.bitmap_offset < layout.data_offset
+
+    def test_block_index_roundtrip(self):
+        layout = RegionLayout(RegionConfig(region_size=1 << 18,
+                                           block_size=1 << 13))
+        for block in range(layout.n_blocks):
+            off = layout.block_offset(block)
+            assert layout.block_index_of(off) == block
+            assert layout.block_index_of(off + 100) == block
+
+    def test_metadata_offset_rejected(self):
+        layout = RegionLayout(RegionConfig(region_size=1 << 18,
+                                           block_size=1 << 13))
+        with pytest.raises(ValueError):
+            layout.block_index_of(0)
+
+    def test_object_bit_distinct_per_object(self):
+        cfg = RegionConfig(region_size=1 << 18, block_size=1 << 13,
+                           min_object_size=64)
+        layout = RegionLayout(cfg)
+        start = layout.block_offset(0)
+        seen = set()
+        for i in range(cfg.block_size // 64):
+            bit = layout.object_bit(start + i * 64)
+            assert bit not in seen
+            seen.add(bit)
+
+    def test_bitmap_bit_in_block_bitmap_range(self):
+        cfg = RegionConfig(region_size=1 << 18, block_size=1 << 13)
+        layout = RegionLayout(cfg)
+        for block in (0, layout.n_blocks - 1):
+            byte, bit = layout.object_bit(layout.block_offset(block))
+            assert layout.bitmap_offset_of(block) <= byte
+            assert byte < (layout.bitmap_offset_of(block)
+                           + layout.bitmap_bytes_per_block)
+            assert 0 <= bit < 8
+
+    def test_region_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RegionLayout(RegionConfig(region_size=1 << 12,
+                                      block_size=1 << 12))
+
+
+class TestRegionMap:
+    def test_placement_replicas_distinct_nodes(self):
+        rmap = make_map()
+        for rid in rmap.region_ids:
+            mns = [mn for mn, _ in rmap.placement(rid)]
+            assert len(mns) == len(set(mns)) == 2
+
+    def test_gaddr_split_roundtrip(self):
+        rmap = make_map()
+        gaddr = rmap.gaddr(3, 12345)
+        assert rmap.split(gaddr) == (3, 12345)
+
+    def test_gaddr_offset_bounds(self):
+        rmap = make_map()
+        with pytest.raises(ValueError):
+            rmap.gaddr(0, rmap.config.region_size)
+
+    def test_translate_consistent_with_placement(self):
+        rmap = make_map()
+        gaddr = rmap.gaddr(1, 500)
+        locs = rmap.translate(gaddr)
+        placement = rmap.placement(1)
+        assert len(locs) == len(placement)
+        for (mn, addr), (pmn, base) in zip(locs, placement):
+            assert mn == pmn
+            assert addr == base + 500
+
+    def test_translate_primary_is_first(self):
+        rmap = make_map()
+        gaddr = rmap.gaddr(2, 64)
+        assert rmap.translate_primary(gaddr) == rmap.translate(gaddr)[0]
+
+    def test_translate_alive_filters(self):
+        rmap = make_map()
+        gaddr = rmap.gaddr(0, 64)
+        all_locs = rmap.translate(gaddr)
+        alive = {all_locs[1][0]}
+        assert rmap.translate_alive(gaddr, alive) == [all_locs[1]]
+
+    def test_primary_regions_cover_all_regions(self):
+        rmap = make_map(n_regions=6)
+        primaries = []
+        for mn in range(3):
+            primaries.extend(rmap.primary_regions_of(mn))
+        assert sorted(primaries) == list(range(6))
+
+    def test_duplicate_region_rejected(self):
+        rmap = make_map()
+        with pytest.raises(ValueError):
+            rmap.place_region(0, lambda mn, n: 0)
+
+    def test_zero_gaddr_is_region_metadata(self):
+        """gaddr 0 = region 0, offset 0 = block table: never a KV address,
+        so it can serve as the null pointer."""
+        rmap = make_map()
+        assert rmap.layout.data_offset > 0
+
+    @given(rid=st.integers(0, 3), off=st.integers(0, (1 << 18) - 1))
+    @settings(max_examples=100)
+    def test_split_property(self, rid, off):
+        rmap = make_map()
+        assert rmap.split(rmap.gaddr(rid, off)) == (rid, off)

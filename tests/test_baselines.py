@@ -1,0 +1,302 @@
+"""Tests for the baseline systems: Clover, pDPM-Direct, Fig. 3 objects."""
+
+import pytest
+
+from repro.baselines import (
+    CloverCluster,
+    CloverConfig,
+    ConsensusReplicatedObject,
+    LockReplicatedObject,
+    PdpmCluster,
+    PdpmConfig,
+    ReplicatedObjectBed,
+    RpcServer,
+    SnapshotReplicatedObject,
+    decode_record,
+    encode_record,
+)
+from repro.sim import Environment
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        rec = encode_record(b"key", b"value", next_version=0)
+        assert decode_record(rec) == (0, b"key", b"value")
+
+    def test_next_version_carried(self):
+        rec = encode_record(b"k", b"v", next_version=0xABC)
+        assert decode_record(rec)[0] == 0xABC
+
+    def test_corruption_detected(self):
+        rec = bytearray(encode_record(b"key", b"value"))
+        rec[-1] ^= 0xFF
+        assert decode_record(bytes(rec)) is None
+
+    def test_truncation_detected(self):
+        rec = encode_record(b"key", b"value")
+        assert decode_record(rec[:10]) is None
+
+    def test_trailing_garbage_tolerated(self):
+        rec = encode_record(b"key", b"value") + b"\x00" * 64
+        assert decode_record(rec) == (0, b"key", b"value")
+
+
+class TestRpcServer:
+    def test_call_roundtrip(self):
+        env = Environment()
+        server = RpcServer(env, cores=2)
+        server.register("double", lambda p: ({"x": p["x"] * 2}, 1.0))
+
+        def proc():
+            return (yield server.call("double", {"x": 21}))
+
+        assert env.run(until=env.process(proc())) == {"x": 42}
+        assert server.stats.calls == 1
+
+    def test_cpu_serializes(self):
+        env = Environment()
+        server = RpcServer(env, cores=1)
+        server.register("slow", lambda p: ({}, 10.0))
+        finishes = []
+
+        def proc():
+            yield server.call("slow", {})
+            finishes.append(env.now)
+
+        for _ in range(4):
+            env.process(proc())
+        env.run()
+        assert finishes[-1] >= 40.0
+
+    def test_more_cores_more_parallelism(self):
+        def run_with(cores):
+            env = Environment()
+            server = RpcServer(env, cores=cores)
+            server.register("slow", lambda p: ({}, 10.0))
+
+            def proc():
+                yield server.call("slow", {})
+
+            procs = [env.process(proc()) for _ in range(8)]
+            env.run(until=env.all_of(procs))
+            return env.now
+
+        assert run_with(8) < run_with(1) / 3
+
+
+class TestClover:
+    @pytest.fixture
+    def cluster(self):
+        return CloverCluster(CloverConfig(mn_capacity=1 << 22))
+
+    def test_insert_and_search(self, cluster):
+        client = cluster.new_client()
+        assert cluster.run_op(client.insert(b"k", b"v"))
+        assert cluster.run_op(client.search(b"k")) == b"v"
+
+    def test_search_missing(self, cluster):
+        client = cluster.new_client()
+        assert cluster.run_op(client.search(b"nope")) is None
+
+    def test_update(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v1"))
+        assert cluster.run_op(client.update(b"k", b"v2"))
+        assert cluster.run_op(client.search(b"k")) == b"v2"
+
+    def test_update_missing_fails(self, cluster):
+        client = cluster.new_client()
+        assert not cluster.run_op(client.update(b"nope", b"v"))
+
+    def test_duplicate_insert_fails(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        assert not cluster.run_op(client.insert(b"k", b"w"))
+
+    def test_delete_unsupported(self, cluster):
+        client = cluster.new_client()
+        with pytest.raises(NotImplementedError):
+            cluster.run_op(client.delete(b"k"))
+
+    def test_stale_cache_follows_version_chain(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        cluster.run_op(a.insert(b"k", b"v1"))
+        assert cluster.run_op(b.search(b"k")) == b"v1"  # b caches v1's addr
+        cluster.run_op(a.update(b"k", b"v2"))
+        cluster.run_op(a.update(b"k", b"v3"))
+        assert cluster.run_op(b.search(b"k")) == b"v3"
+
+    def test_metadata_server_sees_every_write(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        for i in range(9):
+            cluster.run_op(client.update(b"k", f"v{i}".encode()))
+        assert cluster.metadata.stats.per_op.get("update_index", 0) == 10
+
+    def test_search_cache_hit_avoids_metadata(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        calls_before = cluster.metadata.stats.calls
+        for _ in range(5):
+            cluster.run_op(client.search(b"k"))
+        assert cluster.metadata.stats.calls == calls_before
+
+    def test_grant_amortisation(self, cluster):
+        client = cluster.new_client()
+        for i in range(50):
+            cluster.run_op(client.insert(f"key-{i}".encode(), b"v" * 100))
+        assert client.alloc.grants_requested <= 4
+        assert cluster.metadata.stats.per_op.get("alloc_grant", 0) \
+            == client.alloc.grants_requested
+
+
+class TestPdpm:
+    @pytest.fixture
+    def cluster(self):
+        return PdpmCluster(PdpmConfig())
+
+    def test_insert_and_search(self, cluster):
+        client = cluster.new_client()
+        assert cluster.run_op(client.insert(b"k", b"v"))
+        assert cluster.run_op(client.search(b"k")) == b"v"
+
+    def test_search_missing(self, cluster):
+        client = cluster.new_client()
+        assert cluster.run_op(client.search(b"nope")) is None
+
+    def test_update_in_place(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v1"))
+        assert cluster.run_op(client.update(b"k", b"v2"))
+        assert cluster.run_op(client.search(b"k")) == b"v2"
+
+    def test_update_missing_fails(self, cluster):
+        client = cluster.new_client()
+        assert not cluster.run_op(client.update(b"nope", b"v"))
+
+    def test_delete(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        assert cluster.run_op(client.delete(b"k"))
+        assert cluster.run_op(client.search(b"k")) is None
+
+    def test_delete_visible_to_cached_reader(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        cluster.run_op(a.insert(b"k", b"v"))
+        assert cluster.run_op(b.search(b"k")) == b"v"
+        cluster.run_op(a.delete(b"k"))
+        assert cluster.run_op(b.search(b"k")) is None
+
+    def test_cross_client_update_visible(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        cluster.run_op(a.insert(b"k", b"v1"))
+        cluster.run_op(b.search(b"k"))
+        cluster.run_op(a.update(b"k", b"v2"))
+        assert cluster.run_op(b.search(b"k")) == b"v2"
+
+    def test_lock_released_after_ops(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        cluster.run_op(client.update(b"k", b"w"))
+        bucket = cluster.bucket_of(b"k")
+        lock = cluster.fabric.node(0).read_word(cluster.bucket_addr(bucket))
+        assert lock == 0
+
+    def test_concurrent_updates_serialize_on_lock(self, cluster):
+        clients = [cluster.new_client() for _ in range(4)]
+        seed = cluster.new_client()
+        cluster.run_op(seed.insert(b"hot", b"init"))
+        env = cluster.env
+        oks = []
+
+        def updater(i, c):
+            ok = yield from c.update(b"hot", f"v{i}".encode())
+            oks.append(ok)
+
+        procs = [env.process(updater(i, c)) for i, c in enumerate(clients)]
+        env.run(until=env.all_of(procs))
+        assert all(oks)
+        assert sum(c.lock_spins for c in clients) > 0
+        final = cluster.run_op(seed.search(b"hot"))
+        assert final in {f"v{i}".encode() for i in range(4)}
+
+    def test_replicas_hold_same_record(self, cluster):
+        client = cluster.new_client()
+        cluster.run_op(client.insert(b"k", b"v"))
+        mn, offset = client.cache[b"k"]
+        locs = cluster.record_locs(mn, offset)
+        images = [bytes(cluster.fabric.node(m).memory[a:a + 64])
+                  for m, a in locs]
+        assert len(set(images)) == 1
+
+
+class TestFig3Objects:
+    def test_consensus_write(self):
+        bed = ReplicatedObjectBed(replicas=2)
+        obj = ConsensusReplicatedObject(bed)
+        assert bed.run_op(obj.write(42))
+        for mn, addr in bed.replica_locs():
+            assert bed.fabric.node(mn).read_word(addr) == 42
+
+    def test_consensus_serializes_on_leader(self):
+        bed = ReplicatedObjectBed(replicas=2)
+        obj = ConsensusReplicatedObject(bed, leader_cores=1,
+                                        sequence_cpu_us=5.0)
+        env = bed.env
+        finishes = []
+
+        def writer(i):
+            yield from obj.write(i)
+            finishes.append(env.now)
+
+        procs = [env.process(writer(i)) for i in range(4)]
+        env.run(until=env.all_of(procs))
+        assert finishes[-1] >= 20.0  # 4 x 5us sequencing, serialized
+
+    def test_lock_write(self):
+        bed = ReplicatedObjectBed(replicas=2)
+        obj = LockReplicatedObject(bed)
+        assert bed.run_op(obj.write(7, owner=1))
+        for mn, addr in bed.replica_locs():
+            assert bed.fabric.node(mn).read_word(addr) == 7
+        assert bed.fabric.node(0).read_word(0) == 0  # lock released
+
+    def test_lock_mutual_exclusion(self):
+        bed = ReplicatedObjectBed(replicas=2)
+        obj = LockReplicatedObject(bed)
+        env = bed.env
+        done = []
+
+        def writer(i):
+            yield from obj.write(100 + i, owner=i + 1)
+            done.append(i)
+
+        procs = [env.process(writer(i)) for i in range(6)]
+        env.run(until=env.all_of(procs))
+        assert len(done) == 6
+        values = {bed.fabric.node(mn).read_word(addr)
+                  for mn, addr in bed.replica_locs()}
+        assert len(values) == 1
+
+    def test_snapshot_object(self):
+        bed = ReplicatedObjectBed(replicas=3)
+        obj = SnapshotReplicatedObject(bed)
+        assert bed.run_op(obj.write(5))
+        values = {bed.fabric.node(mn).read_word(addr)
+                  for mn, addr in bed.replica_locs()}
+        assert values == {5}
+
+    def test_snapshot_concurrent(self):
+        bed = ReplicatedObjectBed(replicas=3)
+        obj = SnapshotReplicatedObject(bed)
+        env = bed.env
+
+        def writer(i):
+            yield env.timeout(i * 0.1)
+            yield from obj.write(100 + i)
+
+        procs = [env.process(writer(i)) for i in range(5)]
+        env.run(until=env.all_of(procs))
+        values = {bed.fabric.node(mn).read_word(addr)
+                  for mn, addr in bed.replica_locs()}
+        assert len(values) == 1

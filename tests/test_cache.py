@@ -1,0 +1,145 @@
+"""Tests for the adaptive index cache (§4.6)."""
+
+import pytest
+
+from repro.core.cache import AdaptiveIndexCache
+from repro.core.race import SlotRef
+
+
+def ref(i=0):
+    return SlotRef(subtable=0, slot_index=i, placement=((0, 0), (1, 0)))
+
+
+class TestBasics:
+    def test_miss_returns_none(self):
+        cache = AdaptiveIndexCache()
+        assert cache.lookup(b"k") is None
+        assert cache.stats.misses == 1
+
+    def test_store_then_hit(self):
+        cache = AdaptiveIndexCache()
+        cache.store(b"k", ref(), 42)
+        entry = cache.lookup(b"k")
+        assert entry is not None
+        assert entry.slot_word == 42
+        assert cache.stats.hits == 1
+
+    def test_disabled_cache_never_hits(self):
+        cache = AdaptiveIndexCache(enabled=False)
+        cache.store(b"k", ref(), 42)
+        assert cache.lookup(b"k") is None
+        assert len(cache) == 0
+
+    def test_store_refreshes_word(self):
+        cache = AdaptiveIndexCache()
+        cache.store(b"k", ref(), 42)
+        cache.store(b"k", ref(), 43)
+        assert cache.peek(b"k").slot_word == 43
+        assert len(cache) == 1
+
+    def test_drop(self):
+        cache = AdaptiveIndexCache()
+        cache.store(b"k", ref(), 42)
+        cache.drop(b"k")
+        assert b"k" not in cache
+
+    def test_drop_missing_is_noop(self):
+        AdaptiveIndexCache().drop(b"nope")
+
+    def test_clear(self):
+        cache = AdaptiveIndexCache()
+        cache.store(b"a", ref(), 1)
+        cache.store(b"b", ref(), 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveIndexCache(capacity=0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveIndexCache(threshold=-0.1)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        cache = AdaptiveIndexCache(capacity=2)
+        cache.store(b"a", ref(), 1)
+        cache.store(b"b", ref(), 2)
+        cache.lookup(b"a")           # a is now most recent
+        cache.store(b"c", ref(), 3)  # evicts b
+        assert b"a" in cache
+        assert b"b" not in cache
+        assert b"c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_respected(self):
+        cache = AdaptiveIndexCache(capacity=4)
+        for i in range(10):
+            cache.store(f"k{i}".encode(), ref(), i)
+        assert len(cache) == 4
+
+
+class TestAdaptiveBypass:
+    def test_write_intensive_key_bypassed(self):
+        cache = AdaptiveIndexCache(threshold=0.5)
+        cache.store(b"hot", ref(), 1)
+        # 2 accesses, 2 invalidations -> ratio 1.0 > 0.5
+        cache.lookup(b"hot")
+        cache.record_invalid(b"hot")
+        cache.lookup(b"hot")
+        cache.record_invalid(b"hot")
+        assert cache.lookup(b"hot") is None
+        assert cache.stats.bypasses >= 1
+
+    def test_read_intensive_key_not_bypassed(self):
+        cache = AdaptiveIndexCache(threshold=0.5)
+        cache.store(b"cold", ref(), 1)
+        for _ in range(10):
+            assert cache.lookup(b"cold") is not None
+
+    def test_ratio_decays_with_reads(self):
+        """A write-intensive key that turns read-intensive is re-admitted
+        because accesses keep counting while invalidations stop (§4.6)."""
+        cache = AdaptiveIndexCache(threshold=0.5)
+        cache.store(b"k", ref(), 1)
+        cache.lookup(b"k")
+        cache.record_invalid(b"k")
+        cache.lookup(b"k")
+        cache.record_invalid(b"k")
+        assert cache.lookup(b"k") is None  # bypassed now (ratio ~1)
+        # Reads keep bumping access_count even while bypassed...
+        for _ in range(6):
+            cache.lookup(b"k")
+        # ...so the ratio fell below the threshold again.
+        assert cache.lookup(b"k") is not None
+
+    def test_zero_threshold_bypasses_after_first_invalid(self):
+        cache = AdaptiveIndexCache(threshold=0.0)
+        cache.store(b"k", ref(), 1)
+        assert cache.lookup(b"k") is not None
+        cache.record_invalid(b"k")
+        assert cache.lookup(b"k") is None
+
+    def test_huge_threshold_never_bypasses(self):
+        cache = AdaptiveIndexCache(threshold=1e9)
+        cache.store(b"k", ref(), 1)
+        for _ in range(5):
+            cache.lookup(b"k")
+            cache.record_invalid(b"k")
+        assert cache.lookup(b"k") is not None
+
+    def test_record_invalid_unknown_key_noop(self):
+        cache = AdaptiveIndexCache()
+        cache.record_invalid(b"ghost")
+        assert cache.stats.invalidations == 0
+
+    def test_invalid_ratio_property(self):
+        cache = AdaptiveIndexCache()
+        cache.store(b"k", ref(), 1)
+        entry = cache.peek(b"k")
+        assert entry.invalid_ratio == 0.0
+        cache.lookup(b"k")
+        cache.record_invalid(b"k")
+        assert entry.invalid_ratio == 1.0

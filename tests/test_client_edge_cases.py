@@ -1,0 +1,162 @@
+"""Edge cases and error paths of the FUSEE client."""
+
+import pytest
+
+from repro.core import ClusterConfig, FuseeCluster
+from repro.core.addressing import RegionConfig
+from repro.core.memory import AllocationError
+from repro.core.race import IndexFullError, RaceConfig
+from tests.conftest import small_config, run
+
+
+@pytest.fixture
+def cluster():
+    return FuseeCluster(small_config())
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+class TestSizing:
+    def test_oversized_value_raises(self, cluster, client):
+        huge = b"x" * (1 << 20)
+        with pytest.raises(AllocationError):
+            run(cluster, client.insert(b"k", huge))
+
+    def test_largest_fitting_value_works(self, cluster, client):
+        largest_class = client.allocator.size_classes[-1]
+        from repro.core.wire import kv_block_size
+        value = b"v" * (largest_class - kv_block_size(1, 0))
+        assert run(cluster, client.insert(b"k", value)).ok
+        assert run(cluster, client.search(b"k")).value == value
+
+    def test_one_byte_key(self, cluster, client):
+        assert run(cluster, client.insert(b"k", b"v")).ok
+        assert run(cluster, client.search(b"k")).value == b"v"
+
+    def test_long_key(self, cluster, client):
+        key = b"K" * 200
+        assert run(cluster, client.insert(key, b"v")).ok
+        assert run(cluster, client.search(key)).value == b"v"
+
+
+class TestIndexPressure:
+    def test_index_full_without_master_raises(self):
+        """Without a master to expand it, a full subtable raises."""
+        config = small_config(
+            race=RaceConfig(n_subtables=1, n_groups=2, slots_per_bucket=1))
+        cluster = FuseeCluster(config)
+        client = cluster.new_client()
+        client.master = None
+        with pytest.raises(IndexFullError):
+            for i in range(100):
+                result = run(cluster, client.insert(f"k{i}".encode(), b"v"))
+                assert result.ok or result.existed
+
+    def test_delete_frees_index_capacity(self):
+        config = small_config(
+            race=RaceConfig(n_subtables=1, n_groups=2, slots_per_bucket=2))
+        cluster = FuseeCluster(config)
+        client = cluster.new_client()
+        inserted = []
+        try:
+            for i in range(100):
+                key = f"k{i}".encode()
+                if run(cluster, client.insert(key, b"v")).ok:
+                    inserted.append(key)
+        except IndexFullError:
+            pass
+        assert inserted
+        victim = inserted.pop()
+        assert run(cluster, client.delete(victim)).ok
+        assert run(cluster, client.insert(b"fresh-after-delete", b"v")).ok
+
+
+class TestFingerprintCollisions:
+    def find_fp_collision(self, cluster, base=b"colA"):
+        """Two keys in the same subtable with the same fingerprint."""
+        race = cluster.race
+        target = race.key_meta(base)
+        for i in range(200_000):
+            key = f"probe-{i}".encode()
+            meta = race.key_meta(key)
+            if (meta.subtable == target.subtable
+                    and meta.fingerprint == target.fingerprint
+                    and key != base):
+                return base, key
+        pytest.skip("no fingerprint collision found in probe budget")
+
+    def test_colliding_fingerprints_resolved_by_full_key(self, cluster,
+                                                         client):
+        k1, k2 = self.find_fp_collision(cluster)
+        assert run(cluster, client.insert(k1, b"value-1")).ok
+        assert run(cluster, client.insert(k2, b"value-2")).ok
+        assert run(cluster, client.search(k1)).value == b"value-1"
+        assert run(cluster, client.search(k2)).value == b"value-2"
+        assert run(cluster, client.delete(k1)).ok
+        assert not run(cluster, client.search(k1)).ok
+        assert run(cluster, client.search(k2)).value == b"value-2"
+
+    def test_update_targets_right_key_under_collision(self, cluster,
+                                                      client):
+        k1, k2 = self.find_fp_collision(cluster, base=b"colB")
+        run(cluster, client.insert(k1, b"one"))
+        run(cluster, client.insert(k2, b"two"))
+        assert run(cluster, client.update(k2, b"two-new")).ok
+        assert run(cluster, client.search(k1)).value == b"one"
+        assert run(cluster, client.search(k2)).value == b"two-new"
+
+
+class TestCacheCoherenceEdges:
+    def test_stale_cache_after_delete_and_reinsert(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"k", b"v1"))
+        run(cluster, b.search(b"k"))  # warm b's cache
+        run(cluster, a.delete(b"k"))
+        run(cluster, a.insert(b"k", b"v2"))  # possibly a different slot
+        assert run(cluster, b.search(b"k")).value == b"v2"
+
+    def test_cache_eviction_does_not_lose_data(self, cluster):
+        client = cluster.new_client(cache_capacity=4)
+        keys = [f"evict-{i}".encode() for i in range(20)]
+        for key in keys:
+            run(cluster, client.insert(key, key))
+        assert len(client.cache) <= 4
+        for key in keys:
+            assert run(cluster, client.search(key)).value == key
+
+    def test_update_loop_with_tiny_cache(self, cluster):
+        client = cluster.new_client(cache_capacity=1)
+        run(cluster, client.insert(b"a", b"1"))
+        run(cluster, client.insert(b"b", b"2"))
+        for i in range(10):
+            assert run(cluster, client.update(b"a", f"a{i}".encode())).ok
+            assert run(cluster, client.update(b"b", f"b{i}".encode())).ok
+        assert run(cluster, client.search(b"a")).value == b"a9"
+        assert run(cluster, client.search(b"b")).value == b"b9"
+
+
+class TestReuseAfterChurn:
+    def test_object_reuse_keeps_log_walkable(self, cluster, client):
+        """Recycled objects re-link into the per-class list; a recovery
+        walk after heavy churn must still terminate and find the tail."""
+        run(cluster, client.insert(b"churn", b"x" * 40))
+        for i in range(30):
+            run(cluster, client.update(b"churn", f"{i}".encode() * 10))
+            if i % 10 == 9:
+                run(cluster, client.maintenance())
+        from repro.core.oplog import LogWalker
+        from repro.core.wire import kv_block_size
+        class_idx = client.allocator.class_for(kv_block_size(5, 40))
+        walker = LogWalker(cluster.fabric, cluster.region_map,
+                           client.allocator.size_classes)
+
+        def proc():
+            return (yield from walker.walk_class(
+                client.allocator.head(class_idx), class_idx))
+
+        visited, _terminator = run(cluster, proc())
+        assert visited  # non-empty and terminated
+        assert visited[-1].is_tail

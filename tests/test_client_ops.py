@@ -1,0 +1,385 @@
+"""End-to-end tests of FUSEE client operations on a live cluster."""
+
+import pytest
+
+from repro.core import ClusterConfig, FuseeCluster
+from repro.core.client import ClientCrashed, CrashPoint
+from repro.core.snapshot import Outcome
+from tests.conftest import small_config, run
+
+
+@pytest.fixture
+def cluster():
+    return FuseeCluster(small_config())
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.new_client()
+
+
+class TestBasicOps:
+    def test_insert_and_search(self, cluster, client):
+        assert run(cluster, client.insert(b"k", b"v")).ok
+        result = run(cluster, client.search(b"k"))
+        assert result.ok and result.value == b"v"
+
+    def test_search_missing(self, cluster, client):
+        assert not run(cluster, client.search(b"missing")).ok
+
+    def test_insert_duplicate_reports_existed(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        result = run(cluster, client.insert(b"k", b"w"))
+        assert not result.ok and result.existed
+        assert run(cluster, client.search(b"k")).value == b"v"
+
+    def test_update_changes_value(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v1"))
+        assert run(cluster, client.update(b"k", b"v2")).ok
+        assert run(cluster, client.search(b"k")).value == b"v2"
+
+    def test_update_missing_fails(self, cluster, client):
+        assert not run(cluster, client.update(b"nope", b"v")).ok
+
+    def test_delete_removes_key(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        assert run(cluster, client.delete(b"k")).ok
+        assert not run(cluster, client.search(b"k")).ok
+
+    def test_delete_missing_fails(self, cluster, client):
+        assert not run(cluster, client.delete(b"nope")).ok
+
+    def test_reinsert_after_delete(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v1"))
+        run(cluster, client.delete(b"k"))
+        assert run(cluster, client.insert(b"k", b"v2")).ok
+        assert run(cluster, client.search(b"k")).value == b"v2"
+
+    def test_empty_value(self, cluster, client):
+        assert run(cluster, client.insert(b"k", b"")).ok
+        result = run(cluster, client.search(b"k"))
+        assert result.ok and result.value == b""
+
+    def test_update_chain(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v0"))
+        for i in range(1, 20):
+            assert run(cluster, client.update(b"k", f"v{i}".encode())).ok
+        assert run(cluster, client.search(b"k")).value == b"v19"
+
+    def test_many_keys(self, cluster, client):
+        n = 150
+        for i in range(n):
+            assert run(cluster, client.insert(f"key-{i}".encode(),
+                                              f"val-{i}".encode())).ok
+        for i in range(n):
+            result = run(cluster, client.search(f"key-{i}".encode()))
+            assert result.ok and result.value == f"val-{i}".encode()
+
+    def test_value_sizes_across_classes(self, cluster, client):
+        for size in (0, 1, 30, 100, 300, 900):
+            key = f"size-{size}".encode()
+            value = bytes(size) if size == 0 else b"x" * size
+            assert run(cluster, client.insert(key, value)).ok
+            assert run(cluster, client.search(key)).value == value
+
+    def test_binary_keys_and_values(self, cluster, client):
+        key = bytes(range(32))
+        value = bytes(reversed(range(256)))
+        assert run(cluster, client.insert(key, value)).ok
+        assert run(cluster, client.search(key)).value == value
+
+
+class TestCrossClient:
+    def test_visibility(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"shared", b"from-a"))
+        assert run(cluster, b.search(b"shared")).value == b"from-a"
+
+    def test_remote_update_visible_despite_cache(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"k", b"v1"))
+        assert run(cluster, a.search(b"k")).value == b"v1"  # warm a's cache
+        run(cluster, b.update(b"k", b"v2"))
+        assert run(cluster, a.search(b"k")).value == b"v2"
+
+    def test_remote_delete_visible_despite_cache(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"k", b"v"))
+        run(cluster, a.search(b"k"))
+        run(cluster, b.delete(b"k"))
+        assert not run(cluster, a.search(b"k")).ok
+
+    def test_remote_update_visible_to_updater(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"k", b"v1"))
+        run(cluster, a.update(b"k", b"v2"))   # a's cache now points at v2
+        run(cluster, b.update(b"k", b"v3"))
+        assert run(cluster, a.update(b"k", b"v4")).ok
+        assert run(cluster, b.search(b"k")).value == b"v4"
+
+    def test_concurrent_updates_converge(self, cluster):
+        clients = [cluster.new_client() for _ in range(6)]
+        seed = cluster.new_client()
+        run(cluster, seed.insert(b"hot", b"initial"))
+        results = {}
+
+        def updater(i, c):
+            yield cluster.env.timeout(i * 0.1)
+            results[i] = yield from c.update(b"hot", f"value-{i}".encode())
+
+        procs = [cluster.env.process(updater(i, c))
+                 for i, c in enumerate(clients)]
+        cluster.env.run(until=cluster.env.all_of(procs))
+        assert all(r.ok for r in results.values())
+        final = run(cluster, seed.search(b"hot")).value
+        assert final in {f"value-{i}".encode() for i in range(6)}
+
+    def test_concurrent_inserts_same_key(self, cluster):
+        clients = [cluster.new_client() for _ in range(4)]
+        results = {}
+
+        def inserter(i, c):
+            yield cluster.env.timeout(i * 0.05)
+            results[i] = yield from c.insert(b"dup", f"value-{i}".encode())
+
+        procs = [cluster.env.process(inserter(i, c))
+                 for i, c in enumerate(clients)]
+        cluster.env.run(until=cluster.env.all_of(procs))
+        reader = cluster.new_client()
+        final = run(cluster, reader.search(b"dup"))
+        assert final.ok
+        assert final.value in {f"value-{i}".encode() for i in range(4)}
+
+    def test_concurrent_mixed_ops_distinct_keys(self, cluster):
+        clients = [cluster.new_client() for _ in range(8)]
+
+        def worker(i, c):
+            key = f"key-{i}".encode()
+            result = yield from c.insert(key, b"a")
+            assert result.ok
+            result = yield from c.update(key, b"b")
+            assert result.ok
+            result = yield from c.search(key)
+            assert result.value == b"b"
+
+        procs = [cluster.env.process(worker(i, c))
+                 for i, c in enumerate(clients)]
+        cluster.env.run(until=cluster.env.all_of(procs))
+
+
+class TestRttAccounting:
+    def batches(self, cluster):
+        return cluster.fabric.stats.batches
+
+    def test_search_cache_hit_is_one_rtt(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        run(cluster, client.search(b"k"))  # warm
+        before = self.batches(cluster)
+        run(cluster, client.search(b"k"))
+        assert self.batches(cluster) - before == 1
+
+    def test_search_miss_is_two_rtts(self, cluster):
+        a, b = cluster.new_client(), cluster.new_client()
+        run(cluster, a.insert(b"k", b"v"))
+        before = self.batches(cluster)
+        run(cluster, b.search(b"k"))
+        assert self.batches(cluster) - before == 2
+
+    def test_update_cache_hit_is_four_rtts(self, cluster, client):
+        """Fig. 9: write KV + read slot | CAS backups | commit log | CAS
+        primary = 4 doorbell batches (the unsignaled cleanup write is
+        posted in the same instant as phase 4)."""
+        run(cluster, client.insert(b"k", b"v" * 100))
+        before = self.batches(cluster)
+        result = run(cluster, client.update(b"k", b"w" * 100))
+        assert result.outcome is Outcome.WIN_RULE1
+        used = self.batches(cluster) - before
+        assert used == 5  # 4 awaited phases + 1 fire-and-forget cleanup
+
+    def test_insert_uncontended_phases(self, cluster, client):
+        run(cluster, client.insert(b"warm", b"v"))  # publish the list head
+        before = self.batches(cluster)
+        result = run(cluster, client.insert(b"fresh", b"v"))
+        assert result.ok
+        used = self.batches(cluster) - before
+        # phase1 (KV write + bucket read), CAS backups, log commit, CAS
+        # primary; allocation RPCs don't post doorbell batches.
+        assert used == 4
+
+    def test_first_alloc_publishes_list_head_once(self, cluster, client):
+        before = self.batches(cluster)
+        run(cluster, client.insert(b"fresh", b"v"))
+        assert self.batches(cluster) - before == 5  # +1 head publish
+        before = self.batches(cluster)
+        run(cluster, client.insert(b"fresh2", b"v"))
+        assert self.batches(cluster) - before == 4
+
+
+class TestVariants:
+    def test_no_cache_variant(self, cluster):
+        client = cluster.new_client(cache_enabled=False)
+        run(cluster, client.insert(b"k", b"v1"))
+        assert run(cluster, client.search(b"k")).value == b"v1"
+        assert run(cluster, client.update(b"k", b"v2")).ok
+        assert run(cluster, client.search(b"k")).value == b"v2"
+        assert len(client.cache) == 0
+
+    def test_sequential_variant_crud(self, cluster):
+        client = cluster.new_client(replication_mode="sequential")
+        run(cluster, client.insert(b"k", b"v1"))
+        assert run(cluster, client.search(b"k")).value == b"v1"
+        assert run(cluster, client.update(b"k", b"v2")).ok
+        assert run(cluster, client.delete(b"k")).ok
+        assert not run(cluster, client.search(b"k")).ok
+
+    def test_sequential_concurrent_updates_converge(self, cluster):
+        clients = [cluster.new_client(replication_mode="sequential")
+                   for _ in range(4)]
+        seed = cluster.new_client()
+        run(cluster, seed.insert(b"hot", b"init"))
+
+        def updater(i, c):
+            yield cluster.env.timeout(i * 0.01)
+            result = yield from c.update(b"hot", f"v{i}".encode())
+            assert result.ok
+
+        procs = [cluster.env.process(updater(i, c))
+                 for i, c in enumerate(clients)]
+        cluster.env.run(until=cluster.env.all_of(procs))
+        final = run(cluster, seed.search(b"hot"))
+        assert final.ok
+
+    def test_single_replica_config(self):
+        cluster = FuseeCluster(small_config(n_memory_nodes=2,
+                                            replication_factor=1))
+        client = cluster.new_client()
+        run(cluster, client.insert(b"k", b"v"))
+        assert run(cluster, client.search(b"k")).value == b"v"
+        assert run(cluster, client.update(b"k", b"w")).ok
+        assert run(cluster, client.delete(b"k")).ok
+
+    def test_index_replication_override(self):
+        cluster = FuseeCluster(small_config(n_memory_nodes=3,
+                                            replication_factor=2,
+                                            index_replication=1))
+        client = cluster.new_client()
+        run(cluster, client.insert(b"k", b"v"))
+        ref = client.race.slot_ref(0, 0)
+        assert len(ref.placement) == 1
+        assert run(cluster, client.search(b"k")).value == b"v"
+
+    def test_five_way_replication(self):
+        cluster = FuseeCluster(small_config(n_memory_nodes=5,
+                                            replication_factor=5))
+        client = cluster.new_client()
+        run(cluster, client.insert(b"k", b"v"))
+        assert run(cluster, client.update(b"k", b"w")).ok
+        assert run(cluster, client.search(b"k")).value == b"w"
+
+
+class TestReplicaConsistency:
+    def test_index_replicas_identical_after_ops(self, cluster, client):
+        for i in range(40):
+            run(cluster, client.insert(f"k{i}".encode(), b"v"))
+        for i in range(0, 40, 2):
+            run(cluster, client.update(f"k{i}".encode(), b"w"))
+        for i in range(0, 40, 4):
+            run(cluster, client.delete(f"k{i}".encode()))
+        race = cluster.race
+        for subtable in range(race.config.n_subtables):
+            images = []
+            for mn, base in race.placement(subtable):
+                node = cluster.fabric.node(mn)
+                images.append(bytes(
+                    node.memory[base:base + race.config.subtable_bytes]))
+            assert all(img == images[0] for img in images)
+
+    def test_kv_replicas_identical(self, cluster, client):
+        run(cluster, client.insert(b"k", b"payload"))
+        entry = client.cache.peek(b"k")
+        from repro.core.wire import unpack_slot
+        slot = unpack_slot(entry.slot_word)
+        images = []
+        for mn, addr in cluster.region_map.translate(slot.pointer):
+            node = cluster.fabric.node(mn)
+            images.append(bytes(node.memory[addr:addr + slot.block_bytes]))
+        assert len(images) == 2
+        assert images[0] == images[1]
+
+
+class TestMaintenance:
+    def test_updates_feed_reclamation(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v1"))
+        for i in range(5):
+            run(cluster, client.update(b"k", f"v{i}".encode()))
+        assert client.allocator.pending_free_count >= 5
+        reclaimed = run(cluster, client.maintenance())
+        assert reclaimed >= 5
+        assert client.allocator.pending_free_count == 0
+
+    def test_reclaimed_memory_is_reused(self, cluster, client):
+        """Updates + maintenance let the store run indefinitely in
+        bounded memory."""
+        run(cluster, client.insert(b"k", b"v"))
+        blocks_before = None
+        for round_no in range(8):
+            for i in range(40):
+                run(cluster, client.update(b"k", f"{round_no}-{i}".encode()))
+            run(cluster, client.maintenance())
+            if round_no == 3:
+                blocks_before = client.allocator.stats_blocks_allocated
+        assert client.allocator.stats_blocks_allocated == blocks_before
+
+
+class TestCrashPoints:
+    def test_c0_crash_leaves_torn_object(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        client.arm_crash(CrashPoint.C0)
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.update(b"k", b"w"))
+        assert client.crashed
+        # the index still serves the old value to other clients
+        other = cluster.new_client()
+        assert run(cluster, other.search(b"k")).value == b"v"
+
+    def test_crashed_client_rejects_ops(self, cluster, client):
+        client.arm_crash(CrashPoint.C0)
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.insert(b"k", b"v"))
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.search(b"k"))
+
+    def test_c1_crash_backups_modified_primary_not(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        entry = client.cache.peek(b"k")
+        ref, old_word = entry.slot_ref, entry.slot_word
+        client.arm_crash(CrashPoint.C1)
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.update(b"k", b"w"))
+        primary_mn, primary_addr = ref.primary()
+        assert cluster.fabric.node(primary_mn).read_word(primary_addr) == old_word
+        for mn, addr in ref.backups():
+            assert cluster.fabric.node(mn).read_word(addr) != old_word
+
+    def test_c2_crash_log_committed_primary_stale(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        entry = client.cache.peek(b"k")
+        ref, old_word = entry.slot_ref, entry.slot_word
+        client.arm_crash(CrashPoint.C2)
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.update(b"k", b"w"))
+        primary_mn, primary_addr = ref.primary()
+        assert cluster.fabric.node(primary_mn).read_word(primary_addr) == old_word
+
+    def test_c3_crash_primary_modified(self, cluster, client):
+        run(cluster, client.insert(b"k", b"v"))
+        entry = client.cache.peek(b"k")
+        ref, old_word = entry.slot_ref, entry.slot_word
+        client.arm_crash(CrashPoint.C3)
+        with pytest.raises(ClientCrashed):
+            run(cluster, client.update(b"k", b"w"))
+        primary_mn, primary_addr = ref.primary()
+        assert cluster.fabric.node(primary_mn).read_word(primary_addr) != old_word
+        # other clients already see the new value
+        other = cluster.new_client()
+        assert run(cluster, other.search(b"k")).value == b"w"

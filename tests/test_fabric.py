@@ -1,0 +1,294 @@
+"""Tests for the simulated RDMA fabric and memory nodes."""
+
+import pytest
+
+from repro.rdma import (
+    FAIL,
+    CasOp,
+    Fabric,
+    FabricConfig,
+    FaaOp,
+    MemoryNode,
+    ReadOp,
+    WriteOp,
+)
+from repro.sim import Environment, NicProfile
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fabric(env):
+    fab = Fabric(env, FabricConfig())
+    for mn_id in range(2):
+        fab.add_node(MemoryNode(env, mn_id, capacity=1 << 20))
+    return fab
+
+
+def run_batch(env, fabric, ops):
+    """Post a batch and run the simulation until it completes."""
+    def proc():
+        return (yield fabric.post(ops))
+    return env.run(until=env.process(proc()))
+
+
+class TestMemoryNode:
+    def test_memory_starts_zeroed(self, env):
+        node = MemoryNode(env, 0, capacity=128)
+        assert node.memory == bytearray(128)
+
+    def test_carve_is_aligned(self, env):
+        node = MemoryNode(env, 0, capacity=1024)
+        node.carve(3)
+        second = node.carve(8)
+        assert second % 8 == 0
+
+    def test_carve_overflow_raises(self, env):
+        node = MemoryNode(env, 0, capacity=16)
+        with pytest.raises(MemoryError):
+            node.carve(32)
+
+    def test_word_helpers_roundtrip(self, env):
+        node = MemoryNode(env, 0, capacity=64)
+        node.write_word(8, 0xDEADBEEF)
+        assert node.read_word(8) == 0xDEADBEEF
+
+    def test_out_of_range_access_raises(self, env):
+        node = MemoryNode(env, 0, capacity=16)
+        with pytest.raises(IndexError):
+            node.apply(ReadOp(0, 8, 16))
+
+    def test_duplicate_node_id_rejected(self, env, fabric):
+        with pytest.raises(ValueError):
+            fabric.add_node(MemoryNode(env, 0, capacity=64))
+
+
+class TestVerbSemantics:
+    def test_write_then_read(self, env, fabric):
+        comps = run_batch(env, fabric, [WriteOp(0, 16, b"hello")])
+        assert comps[0].value is None
+        comps = run_batch(env, fabric, [ReadOp(0, 16, 5)])
+        assert comps[0].value == b"hello"
+
+    def test_cas_success(self, env, fabric):
+        fabric.node(0).write_word(8, 100)
+        comps = run_batch(env, fabric, [CasOp(0, 8, expected=100, swap=200)])
+        assert comps[0].value == 100
+        assert comps[0].cas_succeeded()
+        assert fabric.node(0).read_word(8) == 200
+
+    def test_cas_failure_leaves_memory(self, env, fabric):
+        fabric.node(0).write_word(8, 100)
+        comps = run_batch(env, fabric, [CasOp(0, 8, expected=999, swap=200)])
+        assert comps[0].value == 100
+        assert not comps[0].cas_succeeded()
+        assert fabric.node(0).read_word(8) == 100
+
+    def test_cas_succeeded_on_read_raises(self, env, fabric):
+        comps = run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        with pytest.raises(TypeError):
+            comps[0].cas_succeeded()
+
+    def test_faa_returns_old_and_adds(self, env, fabric):
+        fabric.node(0).write_word(8, 5)
+        comps = run_batch(env, fabric, [FaaOp(0, 8, delta=3)])
+        assert comps[0].value == 5
+        assert fabric.node(0).read_word(8) == 8
+
+    def test_faa_wraps_at_64_bits(self, env, fabric):
+        fabric.node(0).write_word(8, (1 << 64) - 1)
+        run_batch(env, fabric, [FaaOp(0, 8, delta=1)])
+        assert fabric.node(0).read_word(8) == 0
+
+    def test_writes_in_batch_apply_in_order(self, env, fabric):
+        """RDMA_WRITE is order-preserving (used by the used-bit scheme)."""
+        comps = run_batch(env, fabric, [
+            WriteOp(0, 0, b"\xaa" * 8),
+            WriteOp(0, 4, b"\xbb" * 8),
+        ])
+        assert len(comps) == 2
+        assert bytes(fabric.node(0).memory[0:12]) == b"\xaa" * 4 + b"\xbb" * 8
+
+    def test_concurrent_cas_only_one_wins(self, env, fabric):
+        """Two clients CAS the same word with the same expected value."""
+        results = []
+
+        def client(swap):
+            comps = yield fabric.post([CasOp(0, 8, expected=0, swap=swap)])
+            results.append((swap, comps[0].cas_succeeded()))
+
+        env.process(client(111))
+        env.process(client(222))
+        env.run()
+        winners = [swap for swap, ok in results if ok]
+        assert len(winners) == 1
+        assert fabric.node(0).read_word(8) == winners[0]
+
+
+class TestTiming:
+    def test_single_read_takes_about_one_rtt(self, env, fabric):
+        start = env.now
+        run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        latency = env.now - start
+        cfg = fabric.config
+        assert latency >= 2 * cfg.one_way_delay_us
+        assert latency < 2 * cfg.one_way_delay_us + 1.0
+
+    def test_batch_to_two_nodes_is_one_rtt(self, env, fabric):
+        """Doorbell batching: parallel verbs to different MNs cost ~1 RTT."""
+        start = env.now
+        run_batch(env, fabric, [ReadOp(0, 0, 8), ReadOp(1, 0, 8)])
+        one_batch = env.now - start
+
+        start = env.now
+        run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        run_batch(env, fabric, [ReadOp(1, 0, 8)])
+        two_rounds = env.now - start
+        assert one_batch < two_rounds * 0.75
+
+    def test_large_payload_takes_longer(self, env, fabric):
+        start = env.now
+        run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        small = env.now - start
+        start = env.now
+        run_batch(env, fabric, [ReadOp(0, 0, 65536)])
+        large = env.now - start
+        assert large > small
+
+    def test_nic_saturates_under_load(self, env, fabric):
+        """Many concurrent clients drive per-op latency up via queueing."""
+        latencies = []
+
+        def client():
+            start = env.now
+            yield fabric.post([ReadOp(0, 0, 4096)])
+            latencies.append(env.now - start)
+
+        for _ in range(64):
+            env.process(client())
+        env.run()
+        assert max(latencies) > min(latencies) * 4
+
+    def test_atomic_service_slower_than_read(self, env):
+        fab = Fabric(env, FabricConfig())
+        node = MemoryNode(env, 0, capacity=1024,
+                          nic_profile=NicProfile(op_overhead=0.03,
+                                                 atomic_overhead=0.5))
+        fab.add_node(node)
+        read_t = fab._service_time(node, ReadOp(0, 0, 8))
+        cas_t = fab._service_time(node, CasOp(0, 0, 0, 1))
+        assert cas_t > read_t
+
+    def test_empty_batch_rejected(self, env, fabric):
+        with pytest.raises(ValueError):
+            fabric.post([])
+
+
+class TestCrashes:
+    def test_crashed_node_returns_fail(self, env, fabric):
+        fabric.node(0).crash()
+        comps = run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        assert comps[0].value is FAIL
+        assert comps[0].failed
+
+    def test_crashed_node_memory_not_modified(self, env, fabric):
+        fabric.node(0).crash()
+        run_batch(env, fabric, [WriteOp(0, 0, b"\xff" * 8)])
+        assert fabric.node(0).memory[0:8] == bytearray(8)
+
+    def test_partial_batch_failure(self, env, fabric):
+        """A batch spanning a crashed and a live node fails only partially."""
+        fabric.node(0).crash()
+        comps = run_batch(env, fabric, [
+            WriteOp(0, 0, b"x" * 8),
+            WriteOp(1, 0, b"y" * 8),
+        ])
+        assert comps[0].failed
+        assert not comps[1].failed
+        assert bytes(fabric.node(1).memory[0:8]) == b"y" * 8
+
+    def test_alive_nodes_excludes_crashed(self, env, fabric):
+        fabric.node(0).crash()
+        assert fabric.alive_nodes() == [1]
+
+    def test_recovered_node_serves_again(self, env, fabric):
+        fabric.node(0).crash()
+        fabric.node(0).recover()
+        comps = run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        assert not comps[0].failed
+
+    def test_fail_sentinel_is_falsy_singleton(self):
+        assert not FAIL
+        assert repr(FAIL) == "FAIL"
+
+
+class TestRpc:
+    def test_rpc_roundtrip(self, env, fabric):
+        node = fabric.node(0)
+        node.register_rpc("echo", lambda payload: ({"echo": payload["x"]}, 1.0))
+
+        def proc():
+            return (yield fabric.rpc(0, "echo", {"x": 7}))
+
+        reply = env.run(until=env.process(proc()))
+        assert reply == {"echo": 7}
+        assert env.now > 2 * fabric.config.one_way_delay_us
+
+    def test_rpc_to_crashed_node_fails(self, env, fabric):
+        fabric.node(0).crash()
+
+        def proc():
+            return (yield fabric.rpc(0, "anything", {}))
+
+        assert env.run(until=env.process(proc())) is FAIL
+
+    def test_rpc_cpu_serialisation(self, env):
+        """With one core, concurrent RPCs serialize on CPU service time."""
+        fab = Fabric(env, FabricConfig())
+        node = MemoryNode(env, 0, capacity=64, cpu_cores=1)
+        node.register_rpc("work", lambda payload: ({}, 10.0))
+        fab.add_node(node)
+        finishes = []
+
+        def client():
+            yield fab.rpc(0, "work", {})
+            finishes.append(env.now)
+
+        for _ in range(3):
+            env.process(client())
+        env.run()
+        assert finishes[-1] >= 30.0
+
+    def test_unknown_rpc_raises(self, env, fabric):
+        def proc():
+            return (yield fabric.rpc(0, "missing", {}))
+
+        with pytest.raises(KeyError):
+            env.run(until=env.process(proc()))
+
+
+class TestStats:
+    def test_op_counters(self, env, fabric):
+        run_batch(env, fabric, [
+            ReadOp(0, 0, 8),
+            WriteOp(1, 0, b"12345678"),
+            CasOp(0, 8, 0, 1),
+            FaaOp(1, 8, 1),
+        ])
+        stats = fabric.stats
+        assert stats.reads == 1
+        assert stats.writes == 1
+        assert stats.atomics == 2
+        assert stats.batches == 1
+        assert stats.bytes_moved == 8 + 8 + 8 + 8
+        assert stats.per_mn_ops == {0: 2, 1: 2}
+
+    def test_snapshot_is_independent_copy(self, env, fabric):
+        run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        snap = fabric.stats.snapshot()
+        run_batch(env, fabric, [ReadOp(0, 0, 8)])
+        assert snap.reads == 1
+        assert fabric.stats.reads == 2

@@ -1,0 +1,121 @@
+"""Cluster bootstrap, configuration validation, and the FuseeKV façade."""
+
+import pytest
+
+from repro.core import ClusterConfig, FuseeCluster, FuseeKV
+from repro.core.addressing import RegionConfig
+from repro.core.race import RaceConfig
+from tests.conftest import small_config
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ClusterConfig()
+
+    def test_zero_memory_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_memory_nodes=0)
+
+    def test_replication_exceeding_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_memory_nodes=2, replication_factor=3)
+
+    def test_index_replication_validated(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_memory_nodes=2, index_replication=5)
+
+    def test_index_replication_defaults_to_replication_factor(self):
+        config = ClusterConfig(n_memory_nodes=3, replication_factor=3)
+        assert config.index_replicas == 3
+
+    def test_index_replication_override(self):
+        config = ClusterConfig(n_memory_nodes=3, replication_factor=2,
+                               index_replication=1)
+        assert config.index_replicas == 1
+
+
+class TestBootstrap:
+    def test_node_capacity_accommodates_layout(self):
+        cluster = FuseeCluster(small_config())
+        for node in cluster.fabric.nodes.values():
+            assert node._carve_cursor <= node.capacity
+
+    def test_every_region_replicated(self):
+        cluster = FuseeCluster(small_config())
+        cfg = cluster.config
+        assert len(cluster.region_map.region_ids) == \
+            cfg.regions_per_mn * cfg.n_memory_nodes
+        for rid in cluster.region_map.region_ids:
+            assert len(cluster.region_map.placement(rid)) == \
+                cfg.replication_factor
+
+    def test_index_placed_on_distinct_nodes(self):
+        cluster = FuseeCluster(small_config())
+        for subtable in range(cluster.config.race.n_subtables):
+            mns = [mn for mn, _ in cluster.race.placement(subtable)]
+            assert len(mns) == len(set(mns))
+
+    def test_client_ids_unique_and_monotonic(self):
+        cluster = FuseeCluster(small_config())
+        cids = [cluster.new_client().cid for _ in range(5)]
+        assert cids == sorted(set(cids))
+
+    def test_client_config_overrides(self):
+        cluster = FuseeCluster(small_config())
+        client = cluster.new_client(cache_enabled=False,
+                                    replication_mode="sequential")
+        assert not client.cache.enabled
+        assert client.config.replication_mode == "sequential"
+
+    def test_master_detector_started(self):
+        cluster = FuseeCluster(small_config())
+        assert cluster.master._detector_proc is not None
+
+    def test_index_memory_starts_empty(self):
+        cluster = FuseeCluster(small_config())
+        race = cluster.race
+        for subtable in range(race.config.n_subtables):
+            for mn, base in race.placement(subtable):
+                node = cluster.fabric.node(mn)
+                chunk = node.memory[base:base + race.config.subtable_bytes]
+                assert not any(chunk)
+
+
+class TestFacade:
+    def test_crud(self):
+        kv = FuseeKV(small_config())
+        assert kv.insert(b"a", b"1")
+        assert kv.search(b"a") == b"1"
+        assert kv.update(b"a", b"2")
+        assert kv.search(b"a") == b"2"
+        assert kv.delete(b"a")
+        assert kv.search(b"a") is None
+
+    def test_insert_duplicate_false(self):
+        kv = FuseeKV(small_config())
+        kv.insert(b"a", b"1")
+        assert not kv.insert(b"a", b"2")
+
+    def test_update_missing_false(self):
+        kv = FuseeKV(small_config())
+        assert not kv.update(b"ghost", b"x")
+
+    def test_clock_advances(self):
+        kv = FuseeKV(small_config())
+        t0 = kv.now_us
+        kv.insert(b"a", b"1")
+        assert kv.now_us > t0
+
+    def test_maintenance_returns_count(self):
+        kv = FuseeKV(small_config())
+        kv.insert(b"a", b"1")
+        for i in range(5):
+            kv.update(b"a", f"{i}".encode())
+        assert kv.maintenance() >= 5
+
+    def test_shared_cluster(self):
+        cluster = FuseeCluster(small_config())
+        kv1 = FuseeKV(cluster=cluster)
+        kv2 = FuseeKV(cluster=cluster)
+        kv1.insert(b"shared", b"v")
+        assert kv2.search(b"shared") == b"v"

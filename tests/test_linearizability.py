@@ -1,0 +1,119 @@
+"""Tests for the linearizability checker itself (known histories)."""
+
+import pytest
+
+from repro.core.linearizability import History, Op, check_linearizable
+
+
+def history(initial=0, *ops):
+    h = History(initial_value=initial)
+    for kind, value, inv, resp in ops:
+        h.record(kind, value, inv, resp)
+    return h
+
+
+class TestOpValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Op("x", 1, 0, 1)
+
+    def test_resp_before_inv_rejected(self):
+        with pytest.raises(ValueError):
+            Op("r", 1, 5, 4)
+
+
+class TestTrivial:
+    def test_empty_history(self):
+        assert check_linearizable(History())
+
+    def test_single_read_of_initial(self):
+        assert check_linearizable(history(0, ("r", 0, 0, 1)))
+
+    def test_single_read_of_wrong_initial(self):
+        assert not check_linearizable(history(0, ("r", 5, 0, 1)))
+
+    def test_write_then_read(self):
+        assert check_linearizable(history(
+            0, ("w", 7, 0, 1), ("r", 7, 2, 3)))
+
+    def test_read_of_never_written_value(self):
+        assert not check_linearizable(history(
+            0, ("w", 7, 0, 1), ("r", 9, 2, 3)))
+
+
+class TestRealTimeOrder:
+    def test_stale_read_after_write_completes(self):
+        """A read strictly after a write cannot return the old value."""
+        assert not check_linearizable(history(
+            0, ("w", 7, 0, 1), ("r", 0, 2, 3)))
+
+    def test_concurrent_read_may_return_old_value(self):
+        assert check_linearizable(history(
+            0, ("w", 7, 0, 10), ("r", 0, 1, 2)))
+
+    def test_concurrent_read_may_return_new_value(self):
+        assert check_linearizable(history(
+            0, ("w", 7, 0, 10), ("r", 7, 1, 2)))
+
+    def test_two_sequential_writes_order(self):
+        assert not check_linearizable(history(
+            0, ("w", 1, 0, 1), ("w", 2, 2, 3), ("r", 1, 4, 5)))
+
+    def test_concurrent_writes_any_order(self):
+        assert check_linearizable(history(
+            0, ("w", 1, 0, 10), ("w", 2, 0, 10), ("r", 1, 11, 12)))
+        assert check_linearizable(history(
+            0, ("w", 1, 0, 10), ("w", 2, 0, 10), ("r", 2, 11, 12)))
+
+    def test_reads_must_agree_on_write_order(self):
+        """Two sequential reads seeing w2-then-w1 is not linearizable."""
+        assert not check_linearizable(history(
+            0,
+            ("w", 1, 0, 10), ("w", 2, 0, 10),
+            ("r", 2, 11, 12), ("r", 1, 13, 14)))
+
+    def test_reads_after_both_writes_agree_on_final_value(self):
+        assert check_linearizable(history(
+            0,
+            ("w", 1, 0, 10), ("w", 2, 0, 10),
+            ("r", 2, 11, 12), ("r", 2, 13, 14)))
+
+    def test_read_concurrent_with_second_write_may_differ(self):
+        """r1 overlaps w2, so it may see w1's value while r2 sees w2's."""
+        assert check_linearizable(history(
+            0,
+            ("w", 1, 0, 10), ("w", 2, 0, 20),
+            ("r", 1, 11, 12), ("r", 2, 21, 22)))
+
+
+class TestNonTrivialCases:
+    def test_classic_nonlinearizable_triangle(self):
+        # w(1) completes; then read sees initial value again.
+        assert not check_linearizable(history(
+            5, ("w", 1, 0, 2), ("r", 1, 3, 4), ("r", 5, 5, 6)))
+
+    def test_interleaved_ok(self):
+        assert check_linearizable(history(
+            0,
+            ("w", 1, 0, 4),
+            ("r", 0, 1, 2),   # linearizes before w1
+            ("r", 1, 3, 6),
+            ("w", 2, 5, 8),
+            ("r", 2, 9, 10)))
+
+    def test_large_history_performance(self):
+        ops = []
+        t = 0.0
+        value = 0
+        for i in range(1, 21):
+            ops.append(("w", i, t, t + 1))
+            ops.append(("r", i, t + 2, t + 3))
+            t += 4
+        assert check_linearizable(history(0, *ops))
+
+    def test_oversized_history_rejected(self):
+        h = History()
+        for i in range(64):
+            h.record("w", i, i, i + 0.5)
+        with pytest.raises(ValueError):
+            check_linearizable(h)

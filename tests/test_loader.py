@@ -1,0 +1,138 @@
+"""The fast loaders must be indistinguishable from protocol-driven loads."""
+
+import pytest
+
+from repro.baselines import CloverCluster, CloverConfig, PdpmCluster, PdpmConfig
+from repro.core import FuseeCluster
+from repro.harness.loader import clover_load, fusee_load, pdpm_load
+from tests.conftest import small_config, run
+
+
+@pytest.fixture
+def cluster():
+    return FuseeCluster(small_config())
+
+
+class TestFuseeLoad:
+    def test_loaded_keys_searchable(self, cluster):
+        loader = cluster.new_client()
+        items = [(f"key-{i}".encode(), f"value-{i}".encode())
+                 for i in range(100)]
+        assert fusee_load(cluster, loader, items) == 100
+        reader = cluster.new_client()
+        for key, value in items:
+            result = run(cluster, reader.search(key))
+            assert result.ok and result.value == value
+
+    def test_loaded_keys_updatable(self, cluster):
+        loader = cluster.new_client()
+        fusee_load(cluster, loader, [(b"k", b"v")])
+        client = cluster.new_client()
+        assert run(cluster, client.update(b"k", b"w")).ok
+        assert run(cluster, client.search(b"k")).value == b"w"
+
+    def test_loaded_keys_deletable(self, cluster):
+        loader = cluster.new_client()
+        fusee_load(cluster, loader, [(b"k", b"v")])
+        client = cluster.new_client()
+        assert run(cluster, client.delete(b"k")).ok
+        assert not run(cluster, client.search(b"k")).ok
+
+    def test_duplicate_insert_detected_after_load(self, cluster):
+        loader = cluster.new_client()
+        fusee_load(cluster, loader, [(b"k", b"v")])
+        client = cluster.new_client()
+        result = run(cluster, client.insert(b"k", b"w"))
+        assert not result.ok and result.existed
+
+    def test_load_matches_protocol_insert_bytes(self, cluster):
+        """A loaded object and a protocol-inserted object of the same pair
+        decode identically (header, payload, trailing used bit)."""
+        from repro.core.wire import decode_kv_payload, unpack_slot
+        loader = cluster.new_client()
+        fusee_load(cluster, loader, [(b"same-key", b"same-value")])
+        client = cluster.new_client()
+        run(cluster, client.insert(b"other-key", b"same-value"))
+
+        def image_for(reader_client, key):
+            result = run(cluster, reader_client.search(key))
+            assert result.ok
+            entry = reader_client.cache.peek(key)
+            slot = unpack_slot(entry.slot_word)
+            mn, addr = cluster.region_map.translate(slot.pointer)[0]
+            return bytes(cluster.fabric.node(mn).memory[
+                addr:addr + slot.block_bytes])
+
+        loaded = image_for(client, b"same-key")
+        inserted = image_for(client, b"other-key")
+        _h1, _k1, v1 = decode_kv_payload(loaded)
+        _h2, _k2, v2 = decode_kv_payload(inserted)
+        assert v1 == v2
+
+    def test_load_registers_block_ownership(self, cluster):
+        loader = cluster.new_client()
+        items = [(f"key-{i}".encode(), b"x" * 200) for i in range(50)]
+        fusee_load(cluster, loader, items)
+        found = []
+
+        def proc():
+            for mn_id in cluster.fabric.nodes:
+                reply = yield cluster.fabric.rpc(
+                    mn_id, "find_client_blocks", {"cid": loader.cid})
+                found.extend(reply["blocks"])
+
+        run(cluster, proc())
+        assert len(found) >= 1
+
+    def test_recovery_after_load_and_crash(self, cluster):
+        """Loaded state composes with the crash-recovery machinery."""
+        from repro.core.client import ClientCrashed, CrashPoint
+        loader = cluster.new_client()
+        fusee_load(cluster, loader,
+                   [(f"key-{i}".encode(), b"v") for i in range(20)])
+        loader.arm_crash(CrashPoint.C1)
+        with pytest.raises(ClientCrashed):
+            run(cluster, loader.update(b"key-3", b"crashed"))
+
+        def proc():
+            return (yield from cluster.master.recover_client(loader.cid))
+
+        run(cluster, proc())
+        reader = cluster.new_client()
+        assert run(cluster, reader.search(b"key-3")).value == b"crashed"
+
+
+class TestCloverLoad:
+    def test_loaded_keys_searchable(self):
+        cluster = CloverCluster(CloverConfig())
+        items = [(f"key-{i}".encode(), f"v-{i}".encode()) for i in range(50)]
+        assert clover_load(cluster, items) == 50
+        client = cluster.new_client()
+        for key, value in items:
+            assert cluster.run_op(client.search(key)) == value
+
+    def test_loaded_keys_updatable(self):
+        cluster = CloverCluster(CloverConfig())
+        clover_load(cluster, [(b"k", b"v")])
+        client = cluster.new_client()
+        assert cluster.run_op(client.update(b"k", b"w"))
+        assert cluster.run_op(client.search(b"k")) == b"w"
+
+
+class TestPdpmLoad:
+    def test_loaded_keys_searchable(self):
+        cluster = PdpmCluster(PdpmConfig())
+        items = [(f"key-{i}".encode(), f"v-{i}".encode()) for i in range(50)]
+        assert pdpm_load(cluster, items) == 50
+        client = cluster.new_client()
+        for key, value in items:
+            assert cluster.run_op(client.search(key)) == value
+
+    def test_loaded_keys_updatable_and_deletable(self):
+        cluster = PdpmCluster(PdpmConfig())
+        pdpm_load(cluster, [(b"k", b"v")])
+        client = cluster.new_client()
+        assert cluster.run_op(client.update(b"k", b"w"))
+        assert cluster.run_op(client.search(b"k")) == b"w"
+        assert cluster.run_op(client.delete(b"k"))
+        assert cluster.run_op(client.search(b"k")) is None

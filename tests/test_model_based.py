@@ -1,0 +1,135 @@
+"""Model-based testing: FUSEE vs a reference dict under random op streams.
+
+Hypothesis drives random sequences of insert/update/delete/search across
+multiple clients against one cluster, checking every response against a
+plain Python dict.  Sequential execution means the dict is an exact oracle.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import FuseeCluster
+from tests.conftest import small_config
+
+KEYS = [f"mb-key-{i}".format(i).encode() for i in range(12)]
+VALUES = [b"", b"a", b"x" * 17, b"y" * 100, b"z" * 300]
+
+
+class FuseeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = FuseeCluster(small_config())
+        self.clients = [self.cluster.new_client() for _ in range(3)]
+        self.model = {}
+        self.op_count = 0
+
+    def run_op(self, generator):
+        self.op_count += 1
+        return self.cluster.run_op(generator)
+
+    keys = st.sampled_from(KEYS)
+    values = st.sampled_from(VALUES)
+    clients = st.integers(min_value=0, max_value=2)
+
+    @rule(key=keys, value=values, c=clients)
+    def insert(self, key, value, c):
+        result = self.run_op(self.clients[c].insert(key, value))
+        if key in self.model:
+            assert not result.ok and result.existed
+        else:
+            assert result.ok
+            self.model[key] = value
+
+    @rule(key=keys, value=values, c=clients)
+    def update(self, key, value, c):
+        result = self.run_op(self.clients[c].update(key, value))
+        if key in self.model:
+            assert result.ok
+            self.model[key] = value
+        else:
+            assert not result.ok
+
+    @rule(key=keys, c=clients)
+    def delete(self, key, c):
+        result = self.run_op(self.clients[c].delete(key))
+        if key in self.model:
+            assert result.ok
+            del self.model[key]
+        else:
+            assert not result.ok
+
+    @rule(key=keys, c=clients)
+    def search(self, key, c):
+        result = self.run_op(self.clients[c].search(key))
+        if key in self.model:
+            assert result.ok, f"missing {key!r}"
+            assert result.value == self.model[key]
+        else:
+            assert not result.ok
+
+    @rule(c=clients)
+    def maintenance(self, c):
+        self.run_op(self.clients[c].maintenance())
+
+    @invariant()
+    def replicas_agree_on_model_keys(self):
+        # spot-check one key's slot replicas every few steps
+        if self.op_count % 7 != 0 or not self.model:
+            return
+        key = next(iter(self.model))
+        client = self.clients[0]
+        result = self.cluster.run_op(client.search(key))
+        assert result.ok
+        entry = client.cache.peek(key)
+        if entry is None:
+            return
+        words = {self.cluster.fabric.node(mn).read_word(addr)
+                 for mn, addr in entry.slot_ref.locations()}
+        assert len(words) == 1
+
+
+FuseeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+TestFuseeModelBased = FuseeMachine.TestCase
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["insert", "update", "delete", "search"]),
+              st.sampled_from(KEYS), st.sampled_from(VALUES)),
+    min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_single_client_random_sequence(ops):
+    """A lighter-weight oracle test with one client."""
+    cluster = FuseeCluster(small_config())
+    client = cluster.new_client()
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            result = cluster.run_op(client.insert(key, value))
+            assert result.ok == (key not in model)
+            if result.ok:
+                model[key] = value
+        elif op == "update":
+            result = cluster.run_op(client.update(key, value))
+            assert result.ok == (key in model)
+            if result.ok:
+                model[key] = value
+        elif op == "delete":
+            result = cluster.run_op(client.delete(key))
+            assert result.ok == (key in model)
+            model.pop(key, None)
+        else:
+            result = cluster.run_op(client.search(key))
+            assert result.ok == (key in model)
+            if result.ok:
+                assert result.value == model[key]

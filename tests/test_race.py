@@ -1,0 +1,250 @@
+"""Tests for RACE hashing geometry, parsing, and placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.race import (
+    BUCKETS_PER_GROUP,
+    RaceConfig,
+    RaceHashing,
+    hash_key,
+)
+from repro.core.wire import SLOT_SIZE, pack_slot
+
+
+def make_race(n_subtables=4, n_groups=16, spb=7, replicas=2):
+    config = RaceConfig(n_subtables=n_subtables, n_groups=n_groups,
+                        slots_per_bucket=spb)
+    placements = {
+        st_: [(mn, mn * 1000 + st_ * config.subtable_bytes)
+              for mn in range(replicas)]
+        for st_ in range(n_subtables)}
+    return RaceHashing(config, placements)
+
+
+class TestConfig:
+    def test_geometry_arithmetic(self):
+        cfg = RaceConfig(n_subtables=2, n_groups=8, slots_per_bucket=7)
+        assert cfg.bucket_bytes == 56
+        assert cfg.slots_per_subtable == 8 * 3 * 7
+        assert cfg.subtable_bytes == cfg.slots_per_subtable * 8
+        assert cfg.slots_per_key == 28
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            RaceConfig(n_groups=1)
+
+    def test_placement_must_cover_subtables(self):
+        cfg = RaceConfig(n_subtables=4)
+        with pytest.raises(ValueError):
+            RaceHashing(cfg, {0: [(0, 0)]})
+
+
+class TestKeyHashing:
+    def test_deterministic(self):
+        race = make_race()
+        assert race.key_meta(b"alpha") == race.key_meta(b"alpha")
+
+    def test_groups_distinct(self):
+        race = make_race()
+        for i in range(300):
+            meta = race.key_meta(f"key-{i}".encode())
+            assert meta.group1 != meta.group2
+
+    def test_subtable_in_range(self):
+        race = make_race(n_subtables=4)
+        for i in range(100):
+            assert 0 <= race.key_meta(f"k{i}".encode()).subtable < 4
+
+    def test_fingerprint_nonzero_byte(self):
+        race = make_race()
+        for i in range(100):
+            assert 1 <= race.key_meta(f"k{i}".encode()).fingerprint <= 255
+
+    def test_keys_spread_over_subtables(self):
+        race = make_race(n_subtables=4)
+        seen = {race.key_meta(f"key-{i}".encode()).subtable
+                for i in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_hash_key_stable_128_bits(self):
+        h = hash_key(b"x")
+        assert 0 <= h < (1 << 128)
+        assert h == hash_key(b"x")
+
+
+class TestSlotRefs:
+    def test_locations_primary_first(self):
+        race = make_race(replicas=3)
+        ref = race.slot_ref(1, 5)
+        locs = ref.locations()
+        assert locs[0] == ref.primary()
+        assert locs[1:] == ref.backups()
+        assert len(locs) == 3
+
+    def test_slot_addresses_are_8_byte_strided(self):
+        race = make_race()
+        a = race.slot_ref(0, 0).primary()[1]
+        b = race.slot_ref(0, 1).primary()[1]
+        assert b - a == SLOT_SIZE
+
+    def test_out_of_range_slot_rejected(self):
+        race = make_race()
+        with pytest.raises(IndexError):
+            race.slot_ref(0, race.config.slots_per_subtable)
+
+    def test_reconfigure_changes_placement(self):
+        race = make_race(replicas=2)
+        race.reconfigure(0, [(9, 0)])
+        assert race.slot_ref(0, 0).placement == ((9, 0),)
+        assert race.slot_ref(0, 0).backups() == []
+
+    def test_subtables_on(self):
+        race = make_race(n_subtables=4, replicas=2)
+        assert race.subtables_on(0) == [0, 1, 2, 3]
+        assert race.subtables_on(5) == []
+
+
+class TestBucketOps:
+    def test_two_contiguous_reads(self):
+        race = make_race()
+        meta = race.key_meta(b"somekey")
+        ops = race.bucket_read_ops(meta)
+        assert len(ops) == 2
+        for op in ops:
+            assert op.length == 2 * race.config.bucket_bytes
+
+    def test_reads_cover_both_groups(self):
+        race = make_race()
+        meta = race.key_meta(b"somekey")
+        mn, base = race.placement(meta.subtable)[0]
+        ops = race.bucket_read_ops(meta)
+        spb = race.config.slots_per_bucket
+        cb1 = (meta.group1 * BUCKETS_PER_GROUP) * spb * SLOT_SIZE
+        cb2 = (meta.group2 * BUCKETS_PER_GROUP + 1) * spb * SLOT_SIZE
+        offsets = sorted(op.addr - base for op in ops)
+        assert offsets == sorted([cb1, cb2])
+
+    def test_replica_selects_placement(self):
+        race = make_race(replicas=2)
+        meta = race.key_meta(b"k")
+        ops0 = race.bucket_read_ops(meta, replica=0)
+        ops1 = race.bucket_read_ops(meta, replica=1)
+        assert ops0[0].mn_id != ops1[0].mn_id
+
+
+class TestParsing:
+    def payload_pair(self, race, meta, slots=None):
+        """Build combined-bucket payloads with the given {index: word}."""
+        cfg = race.config
+        ranges = race._combined_ranges(meta)
+        slots = slots or {}
+        payloads = []
+        for start, count in ranges:
+            buf = bytearray(count * SLOT_SIZE)
+            for i in range(count):
+                word = slots.get(start + i, 0)
+                buf[i * 8:(i + 1) * 8] = word.to_bytes(8, "big")
+            payloads.append(bytes(buf))
+        return payloads
+
+    def test_all_empty(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        view = race.parse_buckets(meta, self.payload_pair(race, meta))
+        assert view.matches == ()
+        assert view.occupied == 0
+        assert len(view.empties) > 0
+
+    def test_fingerprint_match_found(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        ranges = race._combined_ranges(meta)
+        idx = ranges[0][0]
+        word = pack_slot(meta.fingerprint, 1, 0x1000)
+        view = race.parse_buckets(
+            meta, self.payload_pair(race, meta, {idx: word}))
+        assert len(view.matches) == 1
+        assert view.matches[0].word == word
+        assert view.matches[0].ref.slot_index == idx
+
+    def test_non_matching_fingerprint_ignored(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        idx = race._combined_ranges(meta)[0][0]
+        other_fp = (meta.fingerprint % 255) + 1
+        word = pack_slot(other_fp, 1, 0x1000)
+        view = race.parse_buckets(
+            meta, self.payload_pair(race, meta, {idx: word}))
+        assert view.matches == ()
+        assert view.occupied == 1
+
+    def test_occupied_slots_not_in_empties(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        idx = race._combined_ranges(meta)[0][0]
+        word = pack_slot(meta.fingerprint, 1, 0x1000)
+        view = race.parse_buckets(
+            meta, self.payload_pair(race, meta, {idx: word}))
+        assert idx not in {ref.slot_index for ref in view.empties}
+
+    def test_matches_sorted_by_slot_index(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        r = race._combined_ranges(meta)
+        i1, i2 = r[0][0] + 1, r[1][0] + 2
+        w = lambda p: pack_slot(meta.fingerprint, 1, p)
+        view = race.parse_buckets(
+            meta, self.payload_pair(race, meta, {i2: w(0x2000), i1: w(0x1000)}))
+        indexes = [m.ref.slot_index for m in view.matches]
+        assert indexes == sorted(indexes)
+
+    def test_less_loaded_bucket_preferred_for_inserts(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        ranges = race._combined_ranges(meta)
+        # Fill 3 slots of combined bucket 1, none of combined bucket 2.
+        fill = {ranges[0][0] + i: pack_slot(7, 1, 0x100 + i)
+                for i in range(3)}
+        view = race.parse_buckets(meta, self.payload_pair(race, meta, fill))
+        first_empty = view.empties[0].slot_index
+        cb2_indexes = set(range(ranges[1][0], ranges[1][0] + ranges[1][1]))
+        assert first_empty in cb2_indexes
+
+    def test_payload_length_mismatch_rejected(self):
+        race = make_race()
+        meta = race.key_meta(b"key")
+        with pytest.raises(ValueError):
+            race.parse_buckets(meta, [b"", b""])
+
+    @given(st.binary(min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_candidate_count_bounded_by_associativity(self, key):
+        race = make_race()
+        meta = race.key_meta(key)
+        word = pack_slot(meta.fingerprint, 1, 0x40)
+        ranges = race._combined_ranges(meta)
+        full = {}
+        for start, count in ranges:
+            for i in range(count):
+                full[start + i] = word
+        view = race.parse_buckets(meta, self.payload_pair(race, meta, full))
+        assert len(view.matches) <= race.config.slots_per_key
+        assert view.empties == ()
+
+
+class TestWholeSubtableHelpers:
+    def test_subtable_read_op_covers_all_slots(self):
+        race = make_race()
+        op = race.subtable_read_op(0, 0, 0)
+        assert op.length == race.config.subtable_bytes
+
+    def test_iter_slot_words(self):
+        race = make_race()
+        payload = bytearray(race.config.subtable_bytes)
+        payload[8:16] = (42).to_bytes(8, "big")
+        words = dict(race.iter_slot_words(bytes(payload)))
+        assert words[1] == 42
+        assert words[0] == 0
+        assert len(words) == race.config.slots_per_subtable

@@ -1,0 +1,81 @@
+"""Tests for the result-rendering helpers."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import (
+    ascii_bars,
+    render,
+    timeline_chart,
+    to_csv,
+    to_markdown,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        "figX", "A demo table", ["col_a", "col_b", "mops"],
+        [[1, "x", 1.5], [2, None, 3.0]], notes="a note")
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        lines = to_csv(result).strip().splitlines()
+        assert lines[0] == "col_a,col_b,mops"
+        assert lines[1] == "1,x,1.500"
+        assert lines[2] == "2,,3.000"
+
+
+class TestMarkdown:
+    def test_structure(self, result):
+        md = to_markdown(result)
+        assert md.startswith("### figX: A demo table")
+        assert "| col_a | col_b | mops |" in md
+        assert "| 1 | x | 1.500 |" in md
+        assert "*a note*" in md
+
+    def test_none_rendered_empty(self, result):
+        assert "|  | 3.000 |" in to_markdown(result)
+
+
+class TestAsciiBars:
+    def test_scaling(self):
+        chart = ascii_bars([1.0, 2.0, 4.0], width=8)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 4
+        assert lines[2].count("#") == 8
+
+    def test_labels(self):
+        chart = ascii_bars([1.0], labels=["t=0"], unit=" Mops")
+        assert "t=0" in chart and "Mops" in chart
+
+    def test_empty(self):
+        assert ascii_bars([]) == "(no data)"
+
+    def test_all_zero_does_not_crash(self):
+        assert "#" not in ascii_bars([0.0, 0.0])
+
+
+class TestTimelineChart:
+    def test_renders_buckets(self):
+        result = ExperimentResult(
+            "fig20", "Crash timeline", ["bucket", "t_us", "mops"],
+            [[0, 0.0, 2.0], [1, 500.0, 1.0]])
+        chart = timeline_chart(result, width=10)
+        assert "t=0us" in chart and "t=500us" in chart
+
+    def test_rejects_non_timeline(self, result):
+        bad = ExperimentResult("x", "t", ["a"], [[1]])
+        with pytest.raises(ValueError):
+            timeline_chart(bad)
+
+
+class TestRender:
+    def test_dispatch(self, result):
+        assert render(result, "table").startswith("== figX")
+        assert render(result, "csv").startswith("col_a")
+        assert render(result, "md").startswith("### figX")
+        with pytest.raises(ValueError):
+            render(result, "xml")

@@ -1,0 +1,152 @@
+"""Unit tests for Resource and NicPort queueing primitives."""
+
+import pytest
+
+from repro.sim import Environment, NicPort, NicProfile, Resource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        res = Resource(env, capacity=2)
+        assert res.request().triggered
+        assert res.request().triggered
+        assert res.in_use == 2
+
+    def test_queueing_over_capacity(self, env):
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert first.triggered
+        assert not second.triggered
+        assert res.queue_length == 1
+        first.release()
+        assert second.triggered
+        assert res.queue_length == 0
+
+    def test_fifo_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(tag, hold):
+            req = res.request()
+            yield req
+            order.append(tag)
+            yield env.timeout(hold)
+            req.release()
+
+        for tag in ("a", "b", "c"):
+            env.process(worker(tag, 1.0))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_request_raises(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(RuntimeError):
+            res.release(req)
+
+    def test_serialisation_time(self, env):
+        """Three 2us jobs on one core finish at 2, 4, 6."""
+        res = Resource(env, capacity=1)
+        finishes = []
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(2.0)
+            req.release()
+            finishes.append(env.now)
+
+        for _ in range(3):
+            env.process(worker())
+        env.run()
+        assert finishes == [2.0, 4.0, 6.0]
+
+    def test_parallelism_with_two_cores(self, env):
+        res = Resource(env, capacity=2)
+        finishes = []
+
+        def worker():
+            req = res.request()
+            yield req
+            yield env.timeout(2.0)
+            req.release()
+            finishes.append(env.now)
+
+        for _ in range(4):
+            env.process(worker())
+        env.run()
+        assert finishes == [2.0, 2.0, 4.0, 4.0]
+
+
+class TestNicProfile:
+    def test_byte_time_56gbps(self):
+        profile = NicProfile(bandwidth_gbps=56.0)
+        # 7000 bytes at 7000 bytes/us = 1 us
+        assert profile.byte_time(7000) == pytest.approx(1.0)
+
+    def test_byte_time_zero(self):
+        assert NicProfile().byte_time(0) == 0.0
+
+    def test_atomic_slower_than_read(self):
+        profile = NicProfile()
+        assert profile.atomic_overhead > profile.op_overhead
+
+
+class TestNicPort:
+    def test_idle_port_serves_immediately(self, env):
+        port = NicPort(env, NicProfile())
+        done = port.finish_time(0.5)
+        assert done == pytest.approx(0.5)
+
+    def test_back_to_back_ops_serialize(self, env):
+        port = NicPort(env, NicProfile())
+        t1 = port.finish_time(1.0)
+        t2 = port.finish_time(1.0)
+        assert (t1, t2) == (1.0, 2.0)
+
+    def test_not_before_delays_start(self, env):
+        port = NicPort(env, NicProfile())
+        done = port.finish_time(1.0, not_before=5.0)
+        assert done == pytest.approx(6.0)
+
+    def test_not_before_queues_behind_busy_port(self, env):
+        port = NicPort(env, NicProfile())
+        port.finish_time(10.0)
+        done = port.finish_time(1.0, not_before=2.0)
+        assert done == pytest.approx(11.0)
+
+    def test_occupy_event_fires_at_completion(self, env):
+        port = NicPort(env, NicProfile())
+        seen = []
+
+        def proc():
+            yield port.occupy(3.0)
+            seen.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert seen == [3.0]
+
+    def test_utilisation(self, env):
+        port = NicPort(env, NicProfile())
+        port.finish_time(2.0)
+        assert port.utilisation(4.0) == pytest.approx(0.5)
+        assert port.utilisation(1.0) == 1.0
+        assert port.utilisation(0.0) == 0.0
+
+    def test_ops_counter(self, env):
+        port = NicPort(env, NicProfile())
+        port.finish_time(1.0)
+        port.occupy(1.0)
+        assert port.ops == 2

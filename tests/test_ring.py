@@ -1,0 +1,94 @@
+"""Tests for the consistent hashing ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import ConsistentHashRing
+
+
+class TestBasics:
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing([7])
+        for key in range(50):
+            assert ring.primary(key) == 7
+
+    def test_replicas_distinct(self):
+        ring = ConsistentHashRing(range(5))
+        for key in range(100):
+            replicas = ring.replicas(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+
+    def test_replicas_deterministic(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        for key in range(100):
+            assert a.replicas(key, 2) == b.replicas(key, 2)
+
+    def test_too_many_replicas_rejected(self):
+        ring = ConsistentHashRing(range(2))
+        with pytest.raises(ValueError):
+            ring.replicas(1, 3)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(range(2)).replicas(1, 0)
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing([1, 2])
+        with pytest.raises(ValueError):
+            ring.add_node(1)
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([1]).remove_node(9)
+
+
+class TestDistribution:
+    def test_reasonable_balance(self):
+        """With virtual nodes, primary ownership should be roughly even."""
+        ring = ConsistentHashRing(range(4), virtual_nodes=128)
+        counts = {n: 0 for n in range(4)}
+        n_keys = 2000
+        for key in range(n_keys):
+            counts[ring.primary(key)] += 1
+        for count in counts.values():
+            assert n_keys / 4 * 0.5 < count < n_keys / 4 * 1.8
+
+    def test_minimal_disruption_on_node_removal(self):
+        """Consistent hashing: removing a node only moves its keys."""
+        ring = ConsistentHashRing(range(4), virtual_nodes=64)
+        before = {key: ring.primary(key) for key in range(500)}
+        ring.remove_node(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert ring.primary(key) == owner
+
+    def test_add_node_steals_some_keys(self):
+        ring = ConsistentHashRing(range(3), virtual_nodes=64)
+        before = {key: ring.primary(key) for key in range(500)}
+        ring.add_node(3)
+        moved = sum(1 for key in before if ring.primary(key) != before[key])
+        assert 0 < moved < 350  # some keys move, but only to the new node
+        for key in before:
+            now = ring.primary(key)
+            assert now == before[key] or now == 3
+
+    def test_replica_chain_follows_ring_order(self):
+        """The first replica of replicas(k, r) equals primary(k)."""
+        ring = ConsistentHashRing(range(5))
+        for key in range(200):
+            assert ring.replicas(key, 3)[0] == ring.primary(key)
+
+    @given(key=st.integers(min_value=0, max_value=1 << 60),
+           r=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50)
+    def test_replicas_prefix_property(self, key, r):
+        """replicas(k, r) is a prefix of replicas(k, r+1)."""
+        ring = ConsistentHashRing(range(6))
+        longer = ring.replicas(key, min(r + 1, 6))
+        assert ring.replicas(key, r) == longer[:r]

@@ -1,0 +1,351 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_start(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self, env):
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_time_rejected(self):
+        env = Environment(initial_time=5.0)
+        with pytest.raises(SimulationError):
+            env.run(until=1.0)
+
+    def test_peek_empty_queue_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_reports_next_event_time(self, env):
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(4.5)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [4.5]
+
+    def test_timeout_value_passthrough(self, env):
+        got = []
+
+        def proc():
+            value = yield env.timeout(1.0, value="hello")
+            got.append(value)
+
+        env.process(proc())
+        env.run()
+        assert got == ["hello"]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_zero_delay_allowed(self, env):
+        done = []
+
+        def proc():
+            yield env.timeout(0.0)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(proc(3.0, "c"))
+        env.process(proc(1.0, "a"))
+        env.process(proc(2.0, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_timeouts_fifo(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        def trigger():
+            yield env.timeout(2.0)
+            ev.succeed(42)
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_value_before_trigger_rejected(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_fail_raises_in_waiter(self, env):
+        ev = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def trigger():
+            yield env.timeout(1.0)
+            ev.fail(ValueError("boom"))
+
+        env.process(waiter())
+        env.process(trigger())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_yield_already_processed_event(self, env):
+        """A process may wait on an event that fired in the past."""
+        ev = env.event()
+        ev.succeed("early")
+        env.run(until=1.0)
+        got = []
+
+        def late_waiter():
+            got.append((yield ev))
+
+        env.process(late_waiter())
+        env.run()
+        assert got == ["early"]
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, env):
+        def child():
+            yield env.timeout(1.0)
+            return "result"
+
+        def parent():
+            value = yield env.process(child())
+            return value
+
+        proc = env.process(parent())
+        assert env.run(until=proc) == "result"
+
+    def test_exception_propagates_to_parent(self, env):
+        def child():
+            yield env.timeout(1.0)
+            raise RuntimeError("child failed")
+
+        caught = []
+
+        def parent():
+            try:
+                yield env.process(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(parent())
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_unhandled_process_exception_surfaces_in_run(self, env):
+        def bad():
+            yield env.timeout(1.0)
+            raise KeyError("oops")
+
+        env.process(bad())
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_is_alive(self, env):
+        def child():
+            yield env.timeout(5.0)
+
+        proc = env.process(child())
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_yield_non_event_rejected(self, env):
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_nested_processes(self, env):
+        def leaf(n):
+            yield env.timeout(n)
+            return n
+
+        def mid():
+            a = yield env.process(leaf(1))
+            b = yield env.process(leaf(2))
+            return a + b
+
+        proc = env.process(mid())
+        assert env.run(until=proc) == 3
+        assert env.now == 3.0
+
+    def test_run_until_event_before_queue_drain(self, env):
+        def short():
+            yield env.timeout(1.0)
+            return "short"
+
+        def long():
+            yield env.timeout(100.0)
+
+        env.process(long())
+        proc = env.process(short())
+        assert env.run(until=proc) == "short"
+        assert env.now == pytest.approx(1.0)
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self, env):
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+                log.append("slept")
+            except Interrupt as intr:
+                log.append(("interrupted", intr.cause, env.now))
+
+        proc = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(2.0)
+            proc.interrupt("wake up")
+
+        env.process(interrupter())
+        env.run()
+        assert log == [("interrupted", "wake up", 2.0)]
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1.0)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                pass
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        proc = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(5.0)
+            proc.interrupt()
+
+        env.process(interrupter())
+        env.run()
+        assert log == [6.0]
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self, env):
+        def proc():
+            values = yield env.all_of([
+                env.timeout(1.0, value="a"),
+                env.timeout(3.0, value="b"),
+                env.timeout(2.0, value="c"),
+            ])
+            return (env.now, values)
+
+        proc_ev = env.process(proc())
+        now, values = env.run(until=proc_ev)
+        assert now == 3.0
+        assert values == ["a", "b", "c"]
+
+    def test_any_of_fires_on_first(self, env):
+        def proc():
+            value = yield env.any_of([
+                env.timeout(5.0, value="slow"),
+                env.timeout(1.0, value="fast"),
+            ])
+            return (env.now, value)
+
+        proc_ev = env.process(proc())
+        now, value = env.run(until=proc_ev)
+        assert now == 1.0
+        assert value == "fast"
+
+    def test_all_of_empty_fires_immediately(self, env):
+        cond = env.all_of([])
+        assert cond.triggered
+
+    def test_all_of_with_processed_children(self, env):
+        t1 = env.timeout(1.0, value=1)
+        t2 = env.timeout(2.0, value=2)
+        env.run(until=5.0)
+
+        def proc():
+            return (yield env.all_of([t1, t2]))
+
+        proc_ev = env.process(proc())
+        assert env.run(until=proc_ev) == [1, 2]

@@ -1,0 +1,484 @@
+"""Tests for the SNAPSHOT replication protocol (Algorithms 1, 2).
+
+These exercise the protocol directly on raw replicated slots (no KV layer)
+with real concurrency in the simulator, including the paper's central
+claims: exactly one winner per round, convergence of all replicas, bounded
+RTTs, and linearizability of concurrent histories.
+"""
+
+import pytest
+
+from repro.core.linearizability import History, check_linearizable
+from repro.core.race import SlotRef
+from repro.core.snapshot import (
+    Outcome,
+    RuleDecision,
+    evaluate_rules,
+    sequential_write,
+    snapshot_read,
+    snapshot_write,
+)
+from repro.rdma import FAIL, Fabric, FabricConfig, MemoryNode
+from repro.sim import Environment
+
+
+def make_slot(r=3):
+    """A fabric with r MNs, each holding one replica of a single slot."""
+    env = Environment()
+    fabric = Fabric(env, FabricConfig())
+    for mn in range(r):
+        fabric.add_node(MemoryNode(env, mn, capacity=64))
+    ref = SlotRef(subtable=0, slot_index=0,
+                  placement=tuple((mn, 0) for mn in range(r)))
+    return env, fabric, ref
+
+
+def slot_values(fabric, ref):
+    return [fabric.node(mn).read_word(addr) for mn, addr in ref.locations()]
+
+
+class TestEvaluateRules:
+    def test_fail_detected(self):
+        assert evaluate_rules([FAIL, 5], 5) is RuleDecision.FAIL
+
+    def test_rule1_all_mine(self):
+        assert evaluate_rules([7, 7, 7], 7) is RuleDecision.RULE1
+
+    def test_all_same_not_mine_loses(self):
+        assert evaluate_rules([7, 7, 7], 9) is RuleDecision.LOSE
+
+    def test_rule2_majority_mine(self):
+        assert evaluate_rules([7, 7, 3], 7) is RuleDecision.RULE2
+
+    def test_majority_not_mine_loses(self):
+        assert evaluate_rules([7, 7, 3], 3) is RuleDecision.LOSE
+
+    def test_absent_value_loses(self):
+        assert evaluate_rules([7, 3], 9) is RuleDecision.LOSE
+
+    def test_tie_requires_check(self):
+        assert evaluate_rules([7, 3], 3) is RuleDecision.NEED_CHECK
+
+    def test_rule3_min_wins_after_check(self):
+        assert evaluate_rules([7, 3], 3, check_value=0,
+                              v_old=0) is RuleDecision.RULE3
+
+    def test_rule3_non_min_loses_after_check(self):
+        assert evaluate_rules([7, 3], 7, check_value=0,
+                              v_old=0) is RuleDecision.LOSE
+
+    def test_finish_when_primary_moved(self):
+        assert evaluate_rules([7, 3], 3, check_value=42,
+                              v_old=0) is RuleDecision.FINISH
+
+    def test_check_read_failure(self):
+        assert evaluate_rules([7, 3], 3, check_value=FAIL,
+                              v_old=0) is RuleDecision.FAIL
+
+    def test_empty_v_list_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_rules([], 1)
+
+
+class TestSingleWriter:
+    @pytest.mark.parametrize("r", [2, 3, 5])
+    def test_uncontended_write_wins_rule1(self, r):
+        env, fabric, ref = make_slot(r)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.WIN_RULE1
+        assert slot_values(fabric, ref) == [42] * r
+
+    def test_write_requires_distinct_value(self):
+        env, fabric, ref = make_slot(2)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 5, 5))
+
+        with pytest.raises(ValueError):
+            env.run(until=env.process(writer()))
+
+    def test_rule1_rtt_bound(self):
+        """Rule 1 costs 2 RTTs here (backup CAS + primary CAS); the paper's
+        3 includes the caller's initial primary read."""
+        env, fabric, ref = make_slot(3)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.rtts == 2
+
+    def test_on_win_called_before_primary_cas(self):
+        env, fabric, ref = make_slot(2)
+        observed = []
+
+        def hook(v_old):
+            observed.append((v_old, slot_values(fabric, ref)))
+            yield env.timeout(0.1)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42,
+                                              on_win=hook))
+
+        env.run(until=env.process(writer()))
+        assert len(observed) == 1
+        v_old, values = observed[0]
+        assert v_old == 0
+        assert values[0] == 0       # primary not yet modified
+        assert values[1] == 42      # backup already modified
+
+    def test_r1_degenerate_write(self):
+        env, fabric, ref = make_slot(1)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.WIN_RULE1
+        assert slot_values(fabric, ref) == [42]
+
+    def test_r1_conflict_loses(self):
+        env, fabric, ref = make_slot(1)
+        fabric.node(0).write_word(0, 99)  # someone else already committed
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.LOSE
+        assert result.committed == 99
+
+
+class TestConcurrentWriters:
+    @pytest.mark.parametrize("r,n_writers", [
+        (2, 2), (2, 4), (3, 2), (3, 3), (3, 8), (4, 5), (5, 16),
+    ])
+    def test_exactly_one_winner_and_convergence(self, r, n_writers):
+        env, fabric, ref = make_slot(r)
+        results = {}
+
+        def writer(wid):
+            # stagger slightly so CAS interleavings vary
+            yield env.timeout(wid * 0.1)
+            result = yield from snapshot_write(fabric, ref, 0, 100 + wid)
+            results[wid] = result
+
+        for wid in range(n_writers):
+            env.process(writer(wid))
+        env.run()
+        winners = [wid for wid, res in results.items() if res.outcome.won]
+        assert len(winners) == 1
+        winner_value = 100 + winners[0]
+        assert slot_values(fabric, ref) == [winner_value] * r
+        for wid, res in results.items():
+            assert res.outcome.completed
+            if not res.outcome.won:
+                assert res.outcome in (Outcome.LOSE, Outcome.FINISH)
+                if res.outcome is Outcome.LOSE:
+                    assert res.committed == winner_value
+
+    def test_simultaneous_writers_no_stagger(self):
+        """All writers post at exactly t=0 — the worst-case tie."""
+        env, fabric, ref = make_slot(3)
+        results = {}
+
+        def writer(wid):
+            result = yield from snapshot_write(fabric, ref, 0, 100 + wid)
+            results[wid] = result
+            return None
+            yield  # pragma: no cover
+
+        for wid in range(6):
+            env.process(writer(wid))
+        env.run()
+        winners = [wid for wid, r in results.items() if r.outcome.won]
+        assert len(winners) == 1
+        assert len(set(slot_values(fabric, ref))) == 1
+
+    def test_on_win_hook_fires_exactly_once(self):
+        env, fabric, ref = make_slot(3)
+        calls = []
+
+        def hook_for(wid):
+            def hook(v_old):
+                calls.append(wid)
+                yield env.timeout(0.1)
+            return hook
+
+        def writer(wid):
+            yield env.timeout(wid * 0.05)
+            yield from snapshot_write(fabric, ref, 0, 100 + wid,
+                                      on_win=hook_for(wid))
+
+        for wid in range(5):
+            env.process(writer(wid))
+        env.run()
+        assert len(calls) == 1
+
+    def test_successive_rounds(self):
+        """Conflict rounds chain: each round starts from the last commit."""
+        env, fabric, ref = make_slot(3)
+        committed = []
+
+        def writer(round_no, wid):
+            v_old = committed[round_no - 1] if round_no else 0
+            result = yield from snapshot_write(fabric, ref, v_old,
+                                               1000 * (round_no + 1) + wid)
+            return result
+
+        for round_no in range(4):
+            procs = [env.process(writer(round_no, wid)) for wid in range(3)]
+            env.run(until=env.all_of(procs))
+            values = set(slot_values(fabric, ref))
+            assert len(values) == 1
+            committed.append(values.pop())
+        assert len(set(committed)) == 4
+
+    def test_max_wait_rounds_escalates(self):
+        """A loser whose winner never commits escalates to the master."""
+        env, fabric, ref = make_slot(2)
+        # Simulate an in-flight round: the backup already holds a foreign
+        # value but the 'winner' never CASes the primary.
+        fabric.node(1).write_word(0, 77)
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42,
+                                              max_wait_rounds=5))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.NEED_MASTER
+
+
+class TestFailures:
+    def test_backup_crash_needs_master(self):
+        env, fabric, ref = make_slot(3)
+        fabric.node(2).crash()
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.NEED_MASTER
+
+    def test_primary_crash_needs_master(self):
+        env, fabric, ref = make_slot(2)
+        fabric.node(0).crash()
+
+        def writer():
+            return (yield from snapshot_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.NEED_MASTER
+
+
+class TestRead:
+    def test_reads_primary(self):
+        env, fabric, ref = make_slot(2)
+        fabric.node(0).write_word(0, 5)
+
+        def reader():
+            return (yield from snapshot_read(fabric, ref))
+
+        result = env.run(until=env.process(reader()))
+        assert result.value == 5
+        assert not result.from_backups
+        assert result.rtts == 1
+
+    def test_primary_crash_consistent_backups(self):
+        env, fabric, ref = make_slot(3)
+        for mn in range(3):
+            fabric.node(mn).write_word(0, 9)
+        fabric.node(0).crash()
+
+        def reader():
+            return (yield from snapshot_read(fabric, ref))
+
+        result = env.run(until=env.process(reader()))
+        assert result.value == 9
+        assert result.from_backups
+
+    def test_primary_crash_inconsistent_backups_defers(self):
+        env, fabric, ref = make_slot(3)
+        fabric.node(1).write_word(0, 9)
+        fabric.node(2).write_word(0, 11)
+        fabric.node(0).crash()
+
+        def reader():
+            return (yield from snapshot_read(fabric, ref))
+
+        result = env.run(until=env.process(reader()))
+        assert result.value is None
+
+
+class TestSequentialWrite:
+    def test_single_writer_succeeds(self):
+        env, fabric, ref = make_slot(3)
+
+        def writer():
+            return (yield from sequential_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome.won
+        assert slot_values(fabric, ref) == [42] * 3
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 5])
+    def test_latency_grows_linearly_with_r(self, r):
+        env, fabric, ref = make_slot(r)
+
+        def writer():
+            return (yield from sequential_write(fabric, ref, 0, 42))
+
+        start = env.now
+        result = env.run(until=env.process(writer()))
+        assert result.rtts == r
+        # one CAS RTT per replica
+        assert env.now - start >= r * 2 * fabric.config.one_way_delay_us
+
+    def test_conflict_single_winner(self):
+        env, fabric, ref = make_slot(3)
+        results = {}
+
+        def writer(wid):
+            yield env.timeout(wid * 0.01)
+            results[wid] = yield from sequential_write(fabric, ref, 0,
+                                                       100 + wid)
+
+        for wid in range(4):
+            env.process(writer(wid))
+        env.run()
+        winners = [wid for wid, r_ in results.items() if r_.outcome.won]
+        assert len(winners) == 1
+        assert slot_values(fabric, ref) == [100 + winners[0]] * 3
+
+    def test_crashed_replica_needs_master(self):
+        env, fabric, ref = make_slot(2)
+        fabric.node(1).crash()
+
+        def writer():
+            return (yield from sequential_write(fabric, ref, 0, 42))
+
+        result = env.run(until=env.process(writer()))
+        assert result.outcome is Outcome.NEED_MASTER
+
+
+class TestLinearizability:
+    @pytest.mark.parametrize("r,n_writers,n_readers", [
+        (2, 3, 4), (3, 4, 4), (3, 6, 8),
+    ])
+    def test_concurrent_history_linearizes(self, r, n_writers, n_readers):
+        env, fabric, ref = make_slot(r)
+        history = History(initial_value=0)
+
+        def writer(wid):
+            yield env.timeout(wid * 0.3)
+            invoked = env.now
+            result = yield from snapshot_write(fabric, ref, 0, 100 + wid)
+            assert result.outcome.completed
+            history.record("w", 100 + wid, invoked, env.now)
+
+        def reader(rid):
+            yield env.timeout(rid * 0.45)
+            invoked = env.now
+            result = yield from snapshot_read(fabric, ref)
+            history.record("r", result.value, invoked, env.now)
+
+        for wid in range(n_writers):
+            env.process(writer(wid))
+        for rid in range(n_readers):
+            env.process(reader(rid))
+        env.run()
+        assert len(history) == n_writers + n_readers
+        assert check_linearizable(history)
+
+    def test_multi_round_history_linearizes(self):
+        env, fabric, ref = make_slot(3)
+        history = History(initial_value=0)
+        committed = [0]
+
+        def writer(value):
+            invoked = env.now
+            result = yield from snapshot_write(fabric, ref, committed[-1],
+                                               value)
+            history.record("w", value, invoked, env.now)
+            return result
+
+        def reader():
+            invoked = env.now
+            result = yield from snapshot_read(fabric, ref)
+            history.record("r", result.value, invoked, env.now)
+
+        for round_no in range(3):
+            procs = [env.process(writer(10 * (round_no + 1) + wid))
+                     for wid in range(3)]
+            procs.append(env.process(reader()))
+            env.run(until=env.all_of(procs))
+            committed.append(fabric.node(0).read_word(0))
+        assert check_linearizable(history)
+
+
+class TestRuleUniquenessProperty:
+    """Executable Lemmas 2 & 3 (Appendix A): for ANY outcome of the CAS
+    broadcast — i.e. any assignment of winning writers to backup slots —
+    the three rules decide at most one winner, and exactly one once the
+    Rule-3 check read confirms the primary is unmodified."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def decide(assignment, writers, v_old=0):
+        """Evaluate Algorithm 2 from every writer's perspective."""
+        v_list = list(assignment)  # final backup contents (same for all)
+        outcomes = {}
+        for wid in writers:
+            v_new = 100 + wid
+            decision = evaluate_rules(v_list, v_new)
+            if decision is RuleDecision.NEED_CHECK:
+                decision = evaluate_rules(v_list, v_new,
+                                          check_value=v_old, v_old=v_old)
+            outcomes[wid] = decision
+        return outcomes
+
+    @given(st.data())
+    @settings(max_examples=300)
+    def test_exactly_one_winner(self, data):
+        st = self.st
+        n_writers = data.draw(st.integers(2, 6), label="writers")
+        n_backups = data.draw(st.integers(1, 5), label="backups")
+        writers = list(range(n_writers))
+        # each backup slot was CASed by exactly one writer (atomicity)
+        assignment = [100 + data.draw(st.sampled_from(writers),
+                                      label=f"slot{i}")
+                      for i in range(n_backups)]
+        outcomes = self.decide(assignment, writers)
+        winners = [w for w, d in outcomes.items()
+                   if d in (RuleDecision.RULE1, RuleDecision.RULE2,
+                            RuleDecision.RULE3)]
+        assert len(winners) == 1, (assignment, outcomes)
+        # and everyone else loses (no FINISH/FAIL in failure-free rounds)
+        for wid, decision in outcomes.items():
+            if wid != winners[0]:
+                assert decision is RuleDecision.LOSE
+
+    @given(st.data())
+    @settings(max_examples=150)
+    def test_winner_holds_a_plurality_or_minimum(self, data):
+        """The decided winner is either a strict-majority holder or the
+        minimum-value proposer (Rule 3)."""
+        st = self.st
+        writers = list(range(data.draw(st.integers(2, 5))))
+        n_backups = data.draw(st.integers(1, 4))
+        assignment = [100 + data.draw(st.sampled_from(writers))
+                      for _ in range(n_backups)]
+        outcomes = self.decide(assignment, writers)
+        (winner, decision), = [(w, d) for w, d in outcomes.items()
+                               if d is not RuleDecision.LOSE]
+        value = 100 + winner
+        if decision in (RuleDecision.RULE1, RuleDecision.RULE2):
+            assert assignment.count(value) * 2 > len(assignment)
+        else:
+            assert value == min(assignment)

@@ -1,0 +1,212 @@
+"""Tests for YCSB and microbenchmark workload generators."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    LatestGenerator,
+    MicroConfig,
+    MicroWorkload,
+    ScrambledZipfian,
+    YcsbConfig,
+    YcsbWorkload,
+    ZipfianGenerator,
+    key_bytes,
+    make_value,
+)
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(100, seed=1)
+        for _ in range(2000):
+            assert 0 <= gen.next() < 100
+
+    def test_determinism(self):
+        a = ZipfianGenerator(1000, seed=7)
+        b = ZipfianGenerator(1000, seed=7)
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_skew(self):
+        """θ=0.99 over 1000 keys: rank 0 gets ~13% of draws."""
+        gen = ZipfianGenerator(1000, theta=0.99, seed=3)
+        counts = Counter(gen.next() for _ in range(20000))
+        top = counts.most_common(1)[0]
+        assert top[0] == 0
+        assert 0.08 < top[1] / 20000 < 0.20
+
+    def test_frequency_monotone_for_top_ranks(self):
+        gen = ZipfianGenerator(100, seed=11)
+        counts = Counter(gen.next() for _ in range(50000))
+        assert counts[0] > counts[5] > counts[50]
+
+    def test_theoretical_head_probability(self):
+        """P(rank 0) = 1/zeta_n; check the empirical estimate."""
+        n, theta = 100, 0.99
+        gen = ZipfianGenerator(n, theta=theta, seed=5)
+        zetan = sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+        expect = 1.0 / zetan
+        draws = 40000
+        got = sum(1 for _ in range(draws) if gen.next() == 0) / draws
+        assert abs(got - expect) < 0.03
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+    def test_single_key(self):
+        gen = ZipfianGenerator(1, seed=1)
+        assert all(gen.next() == 0 for _ in range(50))
+
+
+class TestScrambledZipfian:
+    def test_range(self):
+        gen = ScrambledZipfian(500, seed=2)
+        for _ in range(1000):
+            assert 0 <= gen.next() < 500
+
+    def test_hot_keys_scattered(self):
+        """Scrambling must spread the hottest keys over the key space."""
+        gen = ScrambledZipfian(1000, seed=2)
+        counts = Counter(gen.next() for _ in range(30000))
+        hot = [k for k, _ in counts.most_common(10)]
+        assert max(hot) - min(hot) > 100
+
+    def test_still_skewed(self):
+        gen = ScrambledZipfian(1000, seed=4)
+        counts = Counter(gen.next() for _ in range(30000))
+        assert counts.most_common(1)[0][1] / 30000 > 0.05
+
+
+class TestLatest:
+    def test_prefers_recent(self):
+        gen = LatestGenerator(1000, seed=1)
+        counts = Counter(gen.next() for _ in range(20000))
+        recent = sum(counts[k] for k in range(900, 1000))
+        old = sum(counts[k] for k in range(0, 100))
+        assert recent > old * 3
+
+    def test_tracks_inserts(self):
+        gen = LatestGenerator(100, seed=1)
+        gen.observe_insert(499)
+        counts = Counter(gen.next() for _ in range(5000))
+        assert max(counts) > 400  # draws now reach the new maximum
+
+
+class TestHelpers:
+    def test_key_bytes_fixed_width(self):
+        assert len(key_bytes(0)) == len(key_bytes(10**12)) == 24
+
+    def test_key_bytes_unique(self):
+        assert len({key_bytes(i) for i in range(1000)}) == 1000
+
+    @given(st.integers(0, 4096), st.integers(0, 1000))
+    @settings(max_examples=50)
+    def test_make_value_size_property(self, size, salt):
+        assert len(make_value(size, salt)) == size
+
+    def test_make_value_varies_with_salt(self):
+        assert make_value(64, 1) != make_value(64, 2)
+
+
+class TestYcsbWorkload:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbConfig(workload="Z")
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbConfig(mix=(0.5, 0.6, 0.0))
+
+    def test_value_size_accounts_for_key(self):
+        config = YcsbConfig(kv_size=1024)
+        assert config.value_size == 1000
+
+    @pytest.mark.parametrize("name,expect", [
+        ("A", (0.50, 0.50)), ("B", (0.95, 0.05)), ("C", (1.0, 0.0)),
+    ])
+    def test_op_mix(self, name, expect):
+        wl = YcsbWorkload(YcsbConfig(workload=name, n_keys=1000), seed=1)
+        counts = Counter(wl.next_op()[0] for _ in range(4000))
+        search_f = counts["search"] / 4000
+        update_f = counts["update"] / 4000
+        assert abs(search_f - expect[0]) < 0.03
+        assert abs(update_f - expect[1]) < 0.03
+
+    def test_workload_d_inserts_fresh_keys(self):
+        wl = YcsbWorkload(YcsbConfig(workload="D", n_keys=100), seed=1)
+        inserted = set()
+        for _ in range(1000):
+            op, key, value = wl.next_op()
+            if op == "insert":
+                assert key not in inserted
+                inserted.add(key)
+                assert value is not None
+        assert len(inserted) > 10
+
+    def test_custom_mix(self):
+        wl = YcsbWorkload(YcsbConfig(mix=(0.3, 0.7, 0.0), n_keys=100),
+                          seed=2)
+        counts = Counter(wl.next_op()[0] for _ in range(3000))
+        assert abs(counts["update"] / 3000 - 0.7) < 0.04
+
+    def test_load_keys(self):
+        wl = YcsbWorkload(YcsbConfig(workload="C", n_keys=50))
+        keys = wl.load_keys()
+        assert len(keys) == 50
+        assert len(set(keys)) == 50
+
+    def test_update_values_sized(self):
+        config = YcsbConfig(workload="A", n_keys=100, kv_size=256)
+        wl = YcsbWorkload(config, seed=3)
+        for _ in range(200):
+            op, _key, value = wl.next_op()
+            if op == "update":
+                assert len(value) == config.value_size
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = YcsbWorkload(YcsbConfig(workload="A", n_keys=1000), seed=1)
+        b = YcsbWorkload(YcsbConfig(workload="A", n_keys=1000), seed=2)
+        sa = [a.next_op()[:2] for _ in range(50)]
+        sb = [b.next_op()[:2] for _ in range(50)]
+        assert sa != sb
+
+
+class TestMicroWorkload:
+    def test_insert_stream_fresh_unique_keys(self):
+        wl = MicroWorkload(MicroConfig(op="insert"), client_id=3)
+        keys = {wl.next_op()[1] for _ in range(100)}
+        assert len(keys) == 100
+
+    def test_insert_streams_disjoint_across_clients(self):
+        a = MicroWorkload(MicroConfig(op="insert"), client_id=1)
+        b = MicroWorkload(MicroConfig(op="insert"), client_id=2)
+        ka = {a.next_op()[1] for _ in range(50)}
+        kb = {b.next_op()[1] for _ in range(50)}
+        assert not ka & kb
+
+    def test_search_targets_loaded_keys(self):
+        config = MicroConfig(op="search", n_keys=100)
+        wl = MicroWorkload(config, client_id=1)
+        loaded = set(wl.load_keys())
+        for _ in range(100):
+            op, key, value, measured = wl.next_op()
+            assert op == "search" and key in loaded and measured
+
+    def test_delete_alternates_with_unmeasured_reinsert(self):
+        wl = MicroWorkload(MicroConfig(op="delete", n_keys=10), client_id=1)
+        op1, key1, _v1, m1 = wl.next_op()
+        op2, key2, _v2, m2 = wl.next_op()
+        assert (op1, m1) == ("delete", True)
+        assert (op2, m2) == ("insert", False)
+        assert key1 == key2
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            MicroConfig(op="upsert")
