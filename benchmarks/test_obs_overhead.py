@@ -1,0 +1,82 @@
+"""Overhead guard for the observability layer.
+
+The tracing hooks sit on the fabric's hottest paths (every doorbell
+batch, every client op), so the *disabled* configuration must stay
+essentially free: a single ``enabled`` attribute check per batch.  This
+test times a fixed update workload three ways — no tracer (the
+``NULL_TRACER`` default), a disabled ``Tracer`` attached, and a fully
+enabled one — and fails if the disabled path costs more than 5% over
+baseline.
+
+Timing uses min-of-N over repeated interleaved rounds, which suppresses
+scheduler noise far better than a single mean; the enabled path is only
+sanity-checked (it does real work and may legitimately cost more).
+"""
+
+import gc
+import time
+
+from repro.core import ClusterConfig, FuseeCluster
+from repro.core.addressing import RegionConfig
+from repro.core.race import RaceConfig
+from repro.obs import Tracer
+
+OPS_PER_ROUND = 300
+ROUNDS = 7
+# 5% is the contract; add a small absolute slack so sub-millisecond
+# timing jitter on loaded CI machines cannot flake the guard.
+RELATIVE_BUDGET = 1.05
+ABSOLUTE_SLACK_S = 0.010
+
+
+def _make_workload(tracer):
+    cluster = FuseeCluster(ClusterConfig(
+        n_memory_nodes=2, replication_factor=2, regions_per_mn=4,
+        region=RegionConfig(region_size=1 << 20, block_size=1 << 14),
+        race=RaceConfig(n_subtables=4, n_groups=64)),
+        tracer=tracer)
+    client = cluster.new_client()
+    cluster.run_op(client.insert(b"bench-key", b"v" * 64))
+
+    def round_fn():
+        for i in range(OPS_PER_ROUND):
+            cluster.run_op(client.update(b"bench-key", b"w" * 64))
+            cluster.run_op(client.search(b"bench-key"))
+        cluster.run_op(client.maintenance())
+        if tracer is not None:
+            tracer.clear()  # keep memory flat across rounds
+
+    return round_fn
+
+
+def _min_round_time(round_fns):
+    """Interleave one timed round of each workload, ROUNDS times; return
+    the per-workload minimum (least-noise estimate)."""
+    best = [float("inf")] * len(round_fns)
+    for fn in round_fns:   # untimed warmup (JIT-free, but warms caches)
+        fn()
+    for _ in range(ROUNDS):
+        for index, fn in enumerate(round_fns):
+            gc.disable()
+            started = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - started
+            gc.enable()
+            best[index] = min(best[index], elapsed)
+    return best
+
+
+def test_disabled_tracer_overhead_under_five_percent():
+    baseline_fn = _make_workload(tracer=None)
+    disabled_fn = _make_workload(tracer=Tracer(enabled=False))
+    enabled_fn = _make_workload(tracer=Tracer())
+    baseline, disabled, enabled = _min_round_time(
+        [baseline_fn, disabled_fn, enabled_fn])
+    assert disabled <= baseline * RELATIVE_BUDGET + ABSOLUTE_SLACK_S, (
+        f"disabled tracer costs {disabled / baseline - 1:+.1%} "
+        f"(budget {RELATIVE_BUDGET - 1:.0%}): {disabled:.4f}s "
+        f"vs {baseline:.4f}s per round")
+    # Enabled tracing does real work; just require it stays same-order.
+    assert enabled <= baseline * 2.0 + ABSOLUTE_SLACK_S, (
+        f"enabled tracer is pathologically slow: {enabled:.4f}s "
+        f"vs {baseline:.4f}s per round")

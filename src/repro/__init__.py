@@ -5,6 +5,8 @@ Python reproduction on a simulated RDMA fabric.  The public surface:
 * :class:`repro.FuseeKV` — synchronous single-client store for apps.
 * :class:`repro.FuseeCluster` / :class:`repro.ClusterConfig` — full
   deployments with many clients, failure injection, and the master.
+* :mod:`repro.obs` — per-operation tracing, metrics, and exporters
+  (Chrome ``trace_event`` / JSONL / text summaries).
 * :mod:`repro.workloads` — YCSB and microbenchmark generators.
 * :mod:`repro.harness` — throughput/latency experiment drivers that
   regenerate every table and figure of the paper's evaluation.
@@ -20,6 +22,7 @@ from .core import (
     FuseeKV,
     OpResult,
 )
+from .obs import Metrics, Tracer
 from .rdma import Fabric, FabricConfig, MemoryNode
 from .sim import Environment
 
@@ -36,5 +39,7 @@ __all__ = [
     "FabricConfig",
     "MemoryNode",
     "Environment",
+    "Metrics",
+    "Tracer",
     "__version__",
 ]

@@ -9,6 +9,20 @@ Commands
     write tables to a directory.
 ``demo``
     A 30-second smoke demo of the store itself.
+``ycsb``
+    Drive a closed-loop YCSB workload against a FUSEE bed, optionally
+    exporting a Chrome trace (``--trace``), a JSONL event log
+    (``--jsonl``) and a metrics report (``--metrics``).
+
+Observability flags (``demo`` and ``ycsb``)
+-------------------------------------------
+``--trace out.json``   write a Chrome ``trace_event`` file — open it at
+                       https://ui.perfetto.dev to see every KV operation
+                       span and RDMA verb on the simulated timeline.
+``--jsonl out.jsonl``  write one JSON record per span/batch (stable field
+                       order; byte-identical across same-seed runs).
+``--metrics``          print counters, latency histograms and NIC/CPU
+                       utilisation series at the end of the run.
 """
 
 from __future__ import annotations
@@ -64,10 +78,38 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_demo(_args) -> int:
-    from . import ClusterConfig, FuseeKV
+def _export_obs(args, tracer, metrics) -> None:
+    """Write/print whatever observability sinks the flags asked for."""
+    from .harness.report import obs_report
+    from .obs import write_chrome_trace, write_jsonl
 
-    kv = FuseeKV(ClusterConfig(n_memory_nodes=2, replication_factor=2))
+    if tracer is not None and args.trace:
+        write_chrome_trace(tracer, args.trace)
+        print(f"chrome trace: {args.trace} ({len(tracer.spans)} spans; "
+              f"open at https://ui.perfetto.dev)")
+    if tracer is not None and args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"jsonl events: {args.jsonl}")
+    if tracer is not None or metrics is not None:
+        print()
+        print(obs_report(tracer, metrics))
+
+
+def cmd_demo(args) -> int:
+    from . import ClusterConfig, FuseeCluster, FuseeKV
+
+    tracer = metrics = None
+    if args.trace or args.jsonl:
+        from .obs import Tracer
+        tracer = Tracer()
+    cluster = FuseeCluster(ClusterConfig(n_memory_nodes=2,
+                                         replication_factor=2),
+                           tracer=tracer)
+    if args.metrics:
+        from .obs import Metrics, sample_fabric
+        metrics = Metrics()
+        sample_fabric(cluster.env, metrics, cluster.fabric, interval_us=5.0)
+    kv = FuseeKV(cluster=cluster)
     kv.insert(b"demo", b"it works")
     print("insert/search:", kv.search(b"demo").decode())
     kv.update(b"demo", b"it still works")
@@ -77,7 +119,55 @@ def cmd_demo(_args) -> int:
     stats = kv.cluster.fabric.stats
     print(f"verbs used: {stats.reads} reads, {stats.writes} writes, "
           f"{stats.atomics} atomics ({kv.now_us:.1f} simulated us)")
+    _export_obs(args, tracer, metrics)
     return 0
+
+
+def cmd_ycsb(args) -> int:
+    from .harness.runner import run_closed_loop
+    from .harness.systems import fusee_bed
+    from .workloads import YcsbConfig, YcsbWorkload
+
+    tracer = metrics = None
+    if args.trace or args.jsonl:
+        from .obs import Tracer
+        tracer = Tracer()
+    bed = fusee_bed(n_memory_nodes=args.memory_nodes,
+                    replication_factor=args.replicas,
+                    dataset_bytes=args.keys * 1024,
+                    variant=args.variant)
+    config = YcsbConfig(workload=args.workload, n_keys=args.keys)
+    seeder = YcsbWorkload(config, seed=args.seed)
+    loaded = bed.load((key, seeder.load_value(i))
+                      for i, key in enumerate(seeder.load_keys()))
+    print(f"loaded {loaded}/{args.keys} keys "
+          f"(YCSB-{args.workload}, seed {args.seed})")
+    # Attach observability only now, so the bulk load stays untraced.
+    if tracer is not None:
+        bed.cluster.attach_tracer(tracer)
+    if args.metrics:
+        from .obs import Metrics, sample_fabric
+        metrics = Metrics()
+        sample_fabric(bed.env, metrics, bed.cluster.fabric)
+    clients = [bed.new_client() for _ in range(args.clients)]
+    result = run_closed_loop(
+        bed.env, clients,
+        lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
+        bed.execute, duration_us=args.duration_us, metrics=metrics)
+    print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
+          f"-> {result.mops:.3f} Mops ({result.errors} errors)")
+    _export_obs(args, tracer, metrics)
+    return 0
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write a Chrome trace_event file "
+                             "(Perfetto-loadable)")
+    parser.add_argument("--jsonl", default=None, metavar="OUT.jsonl",
+                        help="write one JSON record per span/verb batch")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print a metrics report after the run")
 
 
 def main(argv=None) -> int:
@@ -100,8 +190,24 @@ def main(argv=None) -> int:
                             choices=("table", "csv", "md", "chart"))
     run_parser.set_defaults(func=cmd_run)
 
-    sub.add_parser("demo", help="smoke-test the store") \
-        .set_defaults(func=cmd_demo)
+    demo_parser = sub.add_parser("demo", help="smoke-test the store")
+    _add_obs_flags(demo_parser)
+    demo_parser.set_defaults(func=cmd_demo)
+
+    ycsb_parser = sub.add_parser(
+        "ycsb", help="run a closed-loop YCSB workload (traceable)")
+    ycsb_parser.add_argument("--workload", default="A",
+                             choices=sorted("ABCD"))
+    ycsb_parser.add_argument("--keys", type=int, default=2000)
+    ycsb_parser.add_argument("--clients", type=int, default=4)
+    ycsb_parser.add_argument("--duration-us", type=float, default=20_000.0)
+    ycsb_parser.add_argument("--seed", type=int, default=42)
+    ycsb_parser.add_argument("--memory-nodes", type=int, default=2)
+    ycsb_parser.add_argument("--replicas", type=int, default=2)
+    ycsb_parser.add_argument("--variant", default="fusee",
+                             choices=("fusee", "fusee-cr", "fusee-nc"))
+    _add_obs_flags(ycsb_parser)
+    ycsb_parser.set_defaults(func=cmd_ycsb)
 
     args = parser.parse_args(argv)
     return args.func(args)

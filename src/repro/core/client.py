@@ -150,6 +150,31 @@ class FuseeClient:
         if self.crashed:
             raise ClientCrashed("client has crashed")
 
+    def _traced(self, op: str, impl):
+        """Wrap an operation generator in a tracer span (generator).
+
+        With tracing disabled this adds one attribute check and a plain
+        ``yield from`` delegation to the hot path.
+        """
+        tracer = self.fabric.tracer
+        if not tracer.enabled:
+            return (yield from impl)
+        span = tracer.begin_span(op, self.cid)
+        try:
+            result = yield from impl
+        except BaseException as exc:
+            tracer.end_span(span, ok=False, error=type(exc).__name__)
+            raise
+        tracer.end_span(
+            span, ok=result.ok,
+            outcome=result.outcome.value if result.outcome else None,
+            error=result.error)
+        return result
+
+    def _retry(self) -> None:
+        self.stats.retries += 1
+        self.fabric.tracer.note_retry()
+
     def _slot_word_for(self, meta: KeyMeta, key: bytes, value: bytes,
                        alloc: AllocResult) -> int:
         return pack_slot(meta.fingerprint, kv_len_units(len(key), len(value)),
@@ -165,6 +190,7 @@ class FuseeClient:
     def _prepare_kv(self, key: bytes, value: bytes, opcode: int,
                     meta: KeyMeta):
         """Allocate an object and build its replica WRITE ops (generator)."""
+        self.fabric.trace_phase("alloc")
         class_idx = self.allocator.class_for(kv_block_size(len(key),
                                                            len(value)))
         alloc = yield from self.allocator.alloc(class_idx)
@@ -203,7 +229,8 @@ class FuseeClient:
         ops = clear_used_ops(self.region_map, self.fabric, alloc.gaddr,
                              alloc.size, opcode)
         if ops:
-            self.fabric.post(ops)
+            self.fabric.trace_phase("cleanup.discard")
+            self.fabric.post(ops, unsignaled=True)
         self.allocator.note_free(alloc.gaddr)
 
     def _invalidate_object_ops(self, slot_word: int) -> List[WriteOp]:
@@ -228,6 +255,7 @@ class FuseeClient:
                 ops.append(WriteOp(mn_id, addr + entry_off,
                                    bytes(LOG_ENTRY_SIZE)))
         if ops:
+            self.fabric.trace_phase("log.separate_write")
             yield self.fabric.post(ops)
 
     def _log_committer(self, prepared: _PreparedKv):
@@ -243,6 +271,7 @@ class FuseeClient:
                                        prepared.alloc.gaddr,
                                        prepared.alloc.size, v_old)
             if ops:
+                self.fabric.trace_phase("log.commit")
                 yield self.fabric.post(ops)
             self._maybe_crash(CrashPoint.C2)
         return hook
@@ -268,6 +297,9 @@ class FuseeClient:
     # ------------------------------------------------------------- SEARCH
     def search(self, key: bytes):
         """SEARCH (generator): returns OpResult with the value or ok=False."""
+        return self._traced("search", self._search_impl(key))
+
+    def _search_impl(self, key: bytes):
         self._require_alive()
         self.stats.count_op("search")
         result = OpResult(ok=False)
@@ -291,7 +323,7 @@ class FuseeClient:
                 return result
             # a membership/directory change (failover or index split)
             # raced with this op: re-hash the key and retry
-            self.stats.retries += 1
+            self._retry()
         return result
 
     def _search_via_cache(self, key: bytes, meta: KeyMeta,
@@ -306,6 +338,7 @@ class FuseeClient:
         kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
         if self.fabric.node(primary_mn).crashed or kv_read is None:
             return None
+        self.fabric.trace_phase("search.cached_read")
         comps = yield self.fabric.post(
             [ReadOp(primary_mn, primary_addr, 8), kv_read])
         if comps[0].failed or comps[1].failed:
@@ -326,6 +359,7 @@ class FuseeClient:
         now = unpack_slot(word_now)
         if now.fingerprint == meta.fingerprint:
             # Same slot, new version: one more RTT fetches it.
+            self.fabric.trace_phase("search.kv_refetch")
             comp = yield self.fabric.post_one(
                 self._kv_read_op(now.pointer, now.block_bytes))
             if not comp.failed:
@@ -348,6 +382,7 @@ class FuseeClient:
         primary_mn, primary_addr = ref.primary()
         if self.fabric.node(primary_mn).crashed:
             return None
+        self.fabric.trace_phase("search.bypass_slot_read")
         comp = yield self.fabric.post_one(
             ReadOp(primary_mn, primary_addr, 8))
         if comp.failed:
@@ -362,6 +397,7 @@ class FuseeClient:
         kv_read = self._kv_read_op(slot.pointer, slot.block_bytes)
         if kv_read is None:
             return None
+        self.fabric.trace_phase("search.bypass_kv_read")
         comp = yield self.fabric.post_one(kv_read)
         if comp.failed:
             return None
@@ -379,6 +415,7 @@ class FuseeClient:
 
     def _search_full(self, key: bytes, meta: KeyMeta):
         for _ in range(self.config.max_op_retries):
+            self.fabric.trace_phase("search.bucket_read")
             view = yield from self._read_buckets(meta)
             if view is None:
                 return OpResult(ok=False, error="index unavailable")
@@ -394,7 +431,7 @@ class FuseeClient:
                 return OpResult(ok=False)
             # The key's pair was invalidation-marked: a writer is
             # mid-replacement; re-read the slot shortly.
-            self.stats.retries += 1
+            self._retry()
             yield self.env.timeout(self.config.retry_sleep_us)
         return OpResult(ok=False, error="retries exhausted")
 
@@ -479,6 +516,7 @@ class FuseeClient:
         if not reads:
             return None, False
         saw_invalid = False
+        self.fabric.trace_phase("kv.match_read")
         comps = yield self.fabric.post(reads)
         for snap, comp in zip(usable, comps):
             if comp.failed:
@@ -499,12 +537,16 @@ class FuseeClient:
     # ------------------------------------------------------------- INSERT
     def insert(self, key: bytes, value: bytes):
         """INSERT (generator): ok=False with existed=True if already present."""
+        return self._traced("insert", self._insert_impl(key, value))
+
+    def _insert_impl(self, key: bytes, value: bytes):
         self._require_alive()
         self.stats.count_op("insert")
         meta = self.race.key_meta(key)
         yield from self._wait_if_blocked(meta.subtable)
         prepared = yield from self._prepare_kv(key, value, OP_INSERT, meta)
         # Phase ①: KV replica writes + combined-bucket read, one batch.
+        self.fabric.trace_phase("insert.kv_write+bucket_read")
         view = yield from self._read_buckets(meta,
                                              extra_ops=prepared.write_ops)
         yield from self._maybe_separate_log(prepared)
@@ -535,6 +577,7 @@ class FuseeClient:
                 raise IndexFullError(
                     f"subtable {meta.subtable} full and expansion failed")
             meta = self.race.key_meta(key)
+            self.fabric.trace_phase("insert.bucket_reread")
             view = yield from self._read_buckets(meta)
             if view is None:
                 self._discard_object(prepared.alloc, OP_INSERT)
@@ -570,6 +613,7 @@ class FuseeClient:
                     comp_op = self._kv_read_op(other.pointer,
                                                other.block_bytes)
                     if comp_op is not None:
+                        self.fabric.trace_phase("insert.conflict_check")
                         comp = yield self.fabric.post_one(comp_op)
                         if not comp.failed:
                             try:
@@ -581,8 +625,9 @@ class FuseeClient:
                                                     outcome=result.outcome)
                             except ValueError:
                                 pass
-            self.stats.retries += 1
+            self._retry()
             if not empties:
+                self.fabric.trace_phase("insert.bucket_reread")
                 view = yield from self._read_buckets(meta)
                 if view is None:
                     break
@@ -593,6 +638,9 @@ class FuseeClient:
     # ------------------------------------------------------------- UPDATE
     def update(self, key: bytes, value: bytes):
         """UPDATE (generator): ok=False if the key does not exist."""
+        return self._traced("update", self._update_impl(key, value))
+
+    def _update_impl(self, key: bytes, value: bytes):
         self._require_alive()
         self.stats.count_op("update")
         meta = self.race.key_meta(key)
@@ -622,6 +670,9 @@ class FuseeClient:
         A temporary object carries the operation's log entry and target
         key; it is freed once the request completes (§4.5).
         """
+        return self._traced("delete", self._delete_impl(key))
+
+    def _delete_impl(self, key: bytes):
         self._require_alive()
         self.stats.count_op("delete")
         meta = self.race.key_meta(key)
@@ -671,10 +722,10 @@ class FuseeClient:
                     self._after_win(key, meta, ref, v_old, v_new, opcode)
                     return OpResult(ok=True, outcome=result.outcome)
                 if resolved == v_old:
-                    self.stats.retries += 1
+                    self._retry()
                     continue  # retry the write (Algorithm 4 line 38)
                 v_old = resolved
-                self.stats.retries += 1
+                self._retry()
                 continue
             if result.outcome in (Outcome.LOSE, Outcome.FINISH):
                 if self.config.replication_mode == "sequential":
@@ -685,7 +736,7 @@ class FuseeClient:
                             self._discard_object(prepared.alloc, opcode)
                         return OpResult(ok=False)
                     v_old = refreshed
-                    self.stats.retries += 1
+                    self._retry()
                     continue
                 if (result.committed == 0 and v_new != 0
                         and result.outcome is Outcome.LOSE):
@@ -700,7 +751,7 @@ class FuseeClient:
                         self._discard_object(prepared.alloc, opcode)
                         return OpResult(ok=False)
                     ref, v_old = located
-                    self.stats.retries += 1
+                    self._retry()
                     continue
                 # SNAPSHOT: last-writer-wins — ours linearized just before
                 # the winner's; the installed object is garbage now.
@@ -721,7 +772,8 @@ class FuseeClient:
         if v_old != 0:
             ops = self._invalidate_object_ops(v_old)
             if ops:
-                self.fabric.post(ops)
+                self.fabric.trace_phase("cleanup.invalidate")
+                self.fabric.post(ops, unsignaled=True)
             self.allocator.note_free(unpack_slot(v_old).pointer)
         if opcode == OP_DELETE:
             self.cache.drop(key)
@@ -753,6 +805,7 @@ class FuseeClient:
                 batch = list(kv_write_ops)
                 batch.append(ReadOp(primary_mn, primary_addr, 8))
                 batch.append(kv_read)
+                self.fabric.trace_phase("write.locate_cached")
                 comps = yield self.fabric.post(batch)
                 slot_comp, kv_comp = comps[-2], comps[-1]
                 if not slot_comp.failed:
@@ -774,6 +827,7 @@ class FuseeClient:
                         now = unpack_slot(word_now)
                         op = self._kv_read_op(now.pointer, now.block_bytes)
                         if op is not None:
+                            self.fabric.trace_phase("write.locate_refetch")
                             comp = yield self.fabric.post_one(op)
                             if not comp.failed:
                                 try:
@@ -789,6 +843,7 @@ class FuseeClient:
                 kv_write_ops = []
         # Cache miss / bypass / stale: full bucket path.
         for attempt in range(self.config.max_op_retries):
+            self.fabric.trace_phase("write.locate_buckets")
             view = yield from self._read_buckets(
                 meta, extra_ops=kv_write_ops if kv_write_ops else None)
             kv_write_ops = []  # only piggy-back the KV writes once
@@ -801,7 +856,7 @@ class FuseeClient:
                 return ref, word
             if not saw_invalid:
                 return None
-            self.stats.retries += 1
+            self._retry()
             yield self.env.timeout(self.config.retry_sleep_us)
         return None
 
@@ -817,6 +872,7 @@ class FuseeClient:
                 yield self.fabric.post(kv_write_ops)
             return None
         batch = list(kv_write_ops) + [ReadOp(primary_mn, primary_addr, 8)]
+        self.fabric.trace_phase("write.locate_bypass")
         comps = yield self.fabric.post(batch)
         if comps[-1].failed:
             return None
@@ -844,6 +900,7 @@ class FuseeClient:
         primary_mn, primary_addr = ref.primary()
         if self.fabric.node(primary_mn).crashed:
             return None
+        self.fabric.trace_phase("write.refresh_slot")
         comp = yield self.fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
         if comp.failed:
             return None

@@ -72,14 +72,14 @@ class FuseeCluster:
     """A running deployment: memory pool + master + client factory."""
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 env: Optional[Environment] = None):
+                 env: Optional[Environment] = None, tracer=None):
         self.config = config or ClusterConfig()
         self.env = env or Environment()
         cfg = self.config
         self.size_classes = size_classes_for(cfg.region.min_object_size,
                                              cfg.region.block_size,
                                              cfg.largest_object)
-        self.fabric = Fabric(self.env, cfg.fabric)
+        self.fabric = Fabric(self.env, cfg.fabric, tracer=tracer)
         self.ring = ConsistentHashRing(range(cfg.n_memory_nodes),
                                        virtual_nodes=cfg.virtual_nodes)
         self._build_memory_pool()
@@ -249,6 +249,12 @@ class FuseeCluster:
                 state.heads.get(class_idx, 0),
                 state.last_allocs.get(class_idx, 0))
         return client
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or swap) an observability tracer on the running fabric."""
+        if tracer.env is None:
+            tracer.env = self.env
+        self.fabric.tracer = tracer
 
     # -------------------------------------------------------------- helpers
     def crash_memory_node(self, mn_id: int) -> None:

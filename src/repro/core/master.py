@@ -162,6 +162,9 @@ class Master:
     # --------------------------------------------------- MN crash (Algorithm 3)
     def handle_mn_failure(self, mn_id: int):
         """Algorithm 3: block, repair all affected slots, reconfigure."""
+        tracer = self.fabric.tracer
+        span = (tracer.begin_span("recover.mn_failover", mn_id)
+                if tracer.enabled else None)
         affected = self.race.subtables_on(mn_id)
         barriers = {}
         for subtable in affected:
@@ -173,11 +176,14 @@ class Master:
         # old membership view can still modify the crashed slots.
         yield self.env.timeout(self.config.lease_us)
         for subtable in list(barriers):
+            self.fabric.trace_phase("failover.repair_subtable")
             yield from self._repair_subtable(subtable)
         self.epoch += 1
         for subtable, barrier in barriers.items():
             del self._blocked[subtable]
             barrier.succeed(self.epoch)
+        if span is not None:
+            tracer.end_span(span, ok=True, outcome="reconfigured")
 
     def _repair_subtable(self, subtable: int):
         """Make all alive replicas of a subtable identical, preferring
@@ -414,6 +420,9 @@ class Master:
         """
         report = RecoveryReport()
         state = RecoveredClientState(cid=cid)
+        tracer = self.fabric.tracer
+        span = (tracer.begin_span("recover.client", cid)
+                if tracer.enabled else None)
         t0 = self.env.now
 
         # Step 1: re-establish connections and re-register memory regions.
@@ -423,6 +432,7 @@ class Master:
 
         # Step 2: fetch the client's metadata (per-size-class list heads).
         t1 = self.env.now
+        self.fabric.trace_phase("recover.read_heads")
         heads = yield from self._read_heads(cid)
         report.get_metadata_us = self.env.now - t1
 
@@ -430,6 +440,7 @@ class Master:
         # per-object walk: the chains give the allocation order needed for
         # batched-free recovery and account for the Table-1 traversal cost).
         t2 = self.env.now
+        self.fabric.trace_phase("recover.walk_log")
         walker = LogWalker(self.fabric, self.region_map, self.size_classes)
         chains: Dict[int, List[WalkedObject]] = {}
         terminators: Dict[int, WalkedObject] = {}
@@ -450,6 +461,7 @@ class Master:
         # broken is a *chain end* — a potentially-crashed request, safe to
         # over-approximate because every repair below is guarded.
         t3 = self.env.now
+        self.fabric.trace_phase("recover.repair_requests")
         blocks, objects = yield from self._scan_owned_objects(cid)
         used_objects: Dict[int, Set[int]] = {}
         for gaddr, obj in objects.items():
@@ -496,9 +508,12 @@ class Master:
 
         # Step 5: reconstruct the free lists from block tables and bitmaps.
         t4 = self.env.now
+        self.fabric.trace_phase("recover.free_lists")
         yield from self._construct_free_lists(cid, used_objects, heads,
                                               chains, state, report, blocks)
         report.construct_free_list_us = self.env.now - t4
+        if span is not None:
+            tracer.end_span(span, ok=True, outcome="recovered")
         return report, state
 
     def _read_heads(self, cid: int):

@@ -143,6 +143,7 @@ def snapshot_read(fabric: Fabric, ref: SlotRef):
     (``value=None``).
     """
     primary_mn, primary_addr = ref.primary()
+    fabric.trace_phase("read.primary")
     comp = yield fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
     if not comp.failed:
         return ReadResult(value=int.from_bytes(comp.value, "big"),
@@ -150,6 +151,7 @@ def snapshot_read(fabric: Fabric, ref: SlotRef):
     backups = ref.backups()
     if not backups:
         return ReadResult(value=None, from_backups=False, rtts=1)
+    fabric.trace_phase("read.backups")
     comps = yield fabric.post([ReadOp(mn, addr, 8) for mn, addr in backups])
     values = {int.from_bytes(c.value, "big") for c in comps if not c.failed}
     if len(values) == 1:
@@ -192,6 +194,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
             yield from on_win(v_old)
             rtts += 1
         primary_mn, primary_addr = ref.primary()
+        fabric.trace_phase("repl.primary_cas")
         comp = yield fabric.post_one(CasOp(primary_mn, primary_addr,
                                            expected=v_old, swap=v_new))
         rtts += 1
@@ -203,6 +206,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
 
     # Phase: broadcast CAS to all backup slots (one doorbell batch, 1 RTT).
     yield from guard()
+    fabric.trace_phase("repl.backup_cas")
     comps = yield fabric.post([CasOp(mn, addr, expected=v_old, swap=v_new)
                                for mn, addr in backups])
     rtts += 1
@@ -218,6 +222,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
     decision = evaluate_rules(v_list, v_new)
     if decision is RuleDecision.NEED_CHECK:
         primary_mn, primary_addr = ref.primary()
+        fabric.trace_phase("repl.rule3_check")
         comp = yield fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
         rtts += 1
         check = FAIL if comp.failed else int.from_bytes(comp.value, "big")
@@ -241,6 +246,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
                    if seen != v_new]
             if fix:
                 yield from guard()
+                fabric.trace_phase("repl.fixup")
                 fix_comps = yield fabric.post(fix)
                 rtts += 1
                 if any(c.failed for c in fix_comps):
@@ -251,6 +257,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
             rtts += 1
         yield from guard()
         primary_mn, primary_addr = ref.primary()
+        fabric.trace_phase("repl.primary_cas")
         comp = yield fabric.post_one(CasOp(primary_mn, primary_addr,
                                            expected=v_old, swap=v_new))
         rtts += 1
@@ -266,6 +273,7 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
     primary_mn, primary_addr = ref.primary()
     for _ in range(max_wait_rounds):
         yield env.timeout(retry_sleep_us)
+        fabric.trace_phase("repl.wait_primary")
         comp = yield fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
         rtts += 1
         if comp.failed:
@@ -292,6 +300,8 @@ def sequential_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
         if is_primary and on_win is not None:
             yield from on_win(v_old)
             rtts += 1
+        fabric.trace_phase("repl.seq_primary_cas" if is_primary
+                           else "repl.seq_backup_cas")
         comp = yield fabric.post_one(CasOp(mn, addr, expected=v_old,
                                            swap=v_new))
         rtts += 1
@@ -302,6 +312,7 @@ def sequential_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
             if committed:
                 undo = [CasOp(mn2, addr2, expected=v_new, swap=v_old)
                         for mn2, addr2 in committed]
+                fabric.trace_phase("repl.seq_undo")
                 yield fabric.post(undo)
                 rtts += 1
             return WriteResult(Outcome.LOSE, v_old, v_new, comp.value, rtts)

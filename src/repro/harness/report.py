@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 from .experiments import ExperimentResult
 
 __all__ = ["to_csv", "to_markdown", "ascii_bars", "render",
-           "timeline_chart"]
+           "timeline_chart", "obs_report"]
 
 
 def _cell(value) -> str:
@@ -72,6 +72,22 @@ def timeline_chart(result: ExperimentResult, width: int = 50) -> str:
     labels = [f"t={row[1]:.0f}us" for row in result.rows]
     return (f"{result.title}\n"
             + ascii_bars(values, labels, width=width, unit=" Mops"))
+
+
+def obs_report(tracer=None, metrics=None) -> str:
+    """Combined audit text for a run: span summary + metrics registry.
+
+    Either argument may be None; renders whichever observability sinks
+    were attached (see ``repro.obs``).
+    """
+    from ..obs import metrics_table, summary_table
+
+    sections = []
+    if tracer is not None and tracer.spans:
+        sections.append("== per-operation spans ==\n" + summary_table(tracer))
+    if metrics is not None and metrics.names():
+        sections.append("== metrics ==\n" + metrics_table(metrics))
+    return "\n\n".join(sections) if sections else "(no observability data)"
 
 
 def render(result: ExperimentResult, fmt: str = "table") -> str:

@@ -52,7 +52,8 @@ def run_closed_loop(env: Environment,
                     warmup_us: float = 0.0,
                     collect_latency: bool = False,
                     timeline_bucket_us: Optional[float] = None,
-                    events: Sequence[Tuple[float, Callable]] = ()) -> RunResult:
+                    events: Sequence[Tuple[float, Callable]] = (),
+                    metrics=None) -> RunResult:
     """Drive ``clients`` against per-client workloads for ``duration_us``.
 
     ``execute(client, op, key, value)`` is a generator performing one
@@ -60,6 +61,10 @@ def run_closed_loop(env: Environment,
     ``(at_us_from_start, callback)`` timeline actions (crash an MN, add
     clients, ...); callbacks run at the scheduled simulated time and may
     return a list of new (client, workload) pairs to start driving.
+
+    ``metrics`` (a :class:`repro.obs.Metrics`) additionally accumulates
+    ``ops.<op>`` / ``ops.errors`` counters and ``latency_us.<op>``
+    histograms over the measurement window.
     """
     start = env.now
     measure_from = start + warmup_us
@@ -73,9 +78,14 @@ def run_closed_loop(env: Environment,
             return
         if not ok:
             result.errors += 1
+            if metrics is not None:
+                metrics.counter("ops.errors").inc()
             return
         result.ops += 1
         result.per_op_counts[op] = result.per_op_counts.get(op, 0) + 1
+        if metrics is not None:
+            metrics.counter(f"ops.{op}").inc()
+            metrics.histogram(f"latency_us.{op}").observe(now - began)
         if collect_latency:
             result.latencies.setdefault(op, []).append(now - began)
         if timeline_bucket_us:

@@ -65,12 +65,15 @@ def fusee_bed(n_memory_nodes: int = 2,
               background_interval_us: float = 1000.0,
               race: Optional[RaceConfig] = None,
               max_clients: int = 256,
-              mn_cpu_cores: int = 2) -> SystemBed:
+              mn_cpu_cores: int = 2,
+              tracer=None) -> SystemBed:
     """A FUSEE deployment sized for a given dataset.
 
     ``variant``: "fusee" (default), "fusee-cr" (sequential replication),
     or "fusee-nc" (no client cache).  The paper's §6.2/6.3 comparisons use
     one index replica and two data replicas, hence the defaults.
+    ``tracer`` (a :class:`repro.obs.Tracer`) observes every verb batch and
+    client operation of the bed.
     """
     region = RegionConfig(region_size=1 << 22, block_size=1 << 16,
                           min_object_size=64)
@@ -94,7 +97,7 @@ def fusee_bed(n_memory_nodes: int = 2,
         client=client_cfg,
         mn_cpu_cores=mn_cpu_cores,
     )
-    cluster = FuseeCluster(config)
+    cluster = FuseeCluster(config, tracer=tracer)
     loader_client = cluster.new_client()
 
     def new_client():

@@ -1,0 +1,46 @@
+"""Observability layer: per-operation tracing, metrics, exporters.
+
+The paper's design is an RTT budget (§4: cached SEARCH in 1 RTT,
+doorbell-batched write phases, +1 RTT per CR replica); this package makes
+those budgets directly observable instead of inferring them from
+end-to-end throughput.  See ``tests/test_rtt_budgets.py`` for the
+paper-derived regression suite built on top of it.
+"""
+
+from .export import (
+    chrome_trace,
+    jsonl_lines,
+    metrics_table,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    TimeSeries,
+    sample_fabric,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, verb_kind
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "verb_kind",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "sample_fabric",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "summary_table",
+    "metrics_table",
+]

@@ -1,0 +1,173 @@
+"""Trace and metrics exporters.
+
+Three output shapes:
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON object format
+  (load the file in https://ui.perfetto.dev or ``chrome://tracing``).
+  KV-op spans appear as complete events on one track per client; verbs
+  and RPCs appear on one track per memory node.
+* :func:`jsonl_lines` / :func:`write_jsonl` — one JSON object per line
+  (spans first, then out-of-span fabric events), with sorted keys and
+  compact separators so identical runs produce identical bytes.
+* :func:`summary_table` — a plain-text per-op digest (count, RTTs,
+  retries, latency) for terminals and reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .metrics import Metrics
+from .tracer import Tracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "jsonl_lines",
+           "write_jsonl", "summary_table", "metrics_table"]
+
+_CLIENT_PID = 1
+_FABRIC_PID = 2
+
+
+def _batch_events(record: dict, tid_args: dict) -> List[dict]:
+    """Fabric-track events for one batch/RPC record."""
+    events = []
+    if record["kind"] == "rpc":
+        t1 = record["t1"] if record["t1"] is not None else record["t0"]
+        events.append({
+            "name": f"rpc:{record['name']}", "cat": "rpc", "ph": "X",
+            "ts": record["t0"], "dur": max(0.0, t1 - record["t0"]),
+            "pid": _FABRIC_PID, "tid": record["mn"],
+            "args": {"phase": record["phase"], **tid_args},
+        })
+        return events
+    duration = max(0.0, record["t1"] - record["t0"])
+    for verb in record["verbs"]:
+        events.append({
+            "name": verb["kind"].upper(), "cat": "verb", "ph": "X",
+            "ts": record["t0"], "dur": duration,
+            "pid": _FABRIC_PID, "tid": verb["mn"],
+            "args": {"bytes": verb["bytes"], "phase": record["phase"],
+                     "failed": verb["failed"],
+                     "unsignaled": bool(record.get("unsignaled")),
+                     **tid_args},
+        })
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Build a Chrome ``trace_event`` object from recorded spans/events."""
+    events: List[dict] = [
+        {"name": "process_name", "ph": "M", "pid": _CLIENT_PID, "tid": 0,
+         "args": {"name": "clients (KV-op spans)"}},
+        {"name": "process_name", "ph": "M", "pid": _FABRIC_PID, "tid": 0,
+         "args": {"name": "memory nodes (verbs)"}},
+    ]
+    client_tids = set()
+    mn_tids = set()
+    for span in tracer.spans:
+        client_tids.add(span.cid)
+        end = span.end_us if span.end_us is not None else span.start_us
+        events.append({
+            "name": span.op, "cat": "kvop", "ph": "X",
+            "ts": span.start_us, "dur": max(0.0, end - span.start_us),
+            "pid": _CLIENT_PID, "tid": span.cid,
+            "args": {"sid": span.sid, "ok": span.ok, "outcome": span.outcome,
+                     "rtts": span.rtts, "rpcs": span.rpcs,
+                     "retries": span.retries,
+                     "phases": span.phases()},
+        })
+        for record in span.batches:
+            for event in _batch_events(record, {"op": span.op,
+                                                "sid": span.sid}):
+                mn_tids.add(event["tid"])
+                events.append(event)
+    for record in tracer.orphan_batches:
+        for event in _batch_events(record, {"op": None, "sid": None}):
+            mn_tids.add(event["tid"])
+            events.append(event)
+    for cid in sorted(client_tids):
+        events.append({"name": "thread_name", "ph": "M", "pid": _CLIENT_PID,
+                       "tid": cid, "args": {"name": f"client {cid}"}})
+    for mn in sorted(mn_tids):
+        events.append({"name": "thread_name", "ph": "M", "pid": _FABRIC_PID,
+                       "tid": mn, "args": {"name": f"MN {mn}"}})
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"time_unit": "simulated microseconds"}}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh)
+
+
+def jsonl_lines(tracer: Tracer) -> List[str]:
+    """Deterministic JSONL rendering: spans, then out-of-span events."""
+    records = [span.to_record() for span in tracer.spans]
+    records.extend({"type": "fabric_event", **record}
+                   for record in tracer.orphan_batches)
+    return [json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in records]
+
+
+def write_jsonl(tracer: Tracer, path) -> None:
+    with open(path, "w") as fh:
+        for line in jsonl_lines(tracer):
+            fh.write(line + "\n")
+
+
+def summary_table(tracer: Tracer) -> str:
+    """Per-op digest of the recorded spans, as an aligned text table."""
+    by_op = {}
+    for span in tracer.spans:
+        by_op.setdefault(span.op, []).append(span)
+    headers = ["op", "count", "ok", "mean_us", "mean_rtts", "max_rtts",
+               "rpcs", "retries"]
+    rows = []
+    for op in sorted(by_op):
+        spans = by_op[op]
+        done = [s for s in spans if s.end_us is not None]
+        rows.append([
+            op, str(len(spans)), str(sum(1 for s in spans if s.ok)),
+            f"{(sum(s.duration_us for s in done) / len(done)):.3f}"
+            if done else "-",
+            f"{(sum(s.rtts for s in spans) / len(spans)):.2f}",
+            str(max(s.rtts for s in spans)),
+            str(sum(s.rpcs for s in spans)),
+            str(sum(s.retries for s in spans)),
+        ])
+    if not rows:
+        return "(no spans recorded)"
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines.extend("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                 for row in rows)
+    return "\n".join(lines)
+
+
+def metrics_table(metrics: Metrics) -> str:
+    """Plain-text rendering of a metrics snapshot."""
+    snap = metrics.snapshot()
+    lines: List[str] = []
+    if snap["counters"]:
+        lines.append("counters:")
+        lines.extend(f"  {name:<32} {value}"
+                     for name, value in snap["counters"].items())
+    if snap["gauges"]:
+        lines.append("gauges:")
+        lines.extend(f"  {name:<32} {value:.3f}"
+                     for name, value in snap["gauges"].items())
+    if snap["histograms"]:
+        lines.append("histograms (p50/p99/p999 are bucket upper bounds):")
+        for name, s in snap["histograms"].items():
+            lines.append(
+                f"  {name:<32} n={s['count']:<7} mean={s['mean']:.3f} "
+                f"p50={s['p50']:.3f} p99={s['p99']:.3f} "
+                f"p999={s['p999']:.3f} max={s['max']:.3f}")
+    if snap["series"]:
+        lines.append("series:")
+        for name, s in snap["series"].items():
+            lines.append(f"  {name:<32} samples={s['samples']:<6} "
+                         f"mean={s['mean']:.3f} peak={s['peak']:.3f}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,229 @@
+"""Metrics registry: counters, gauges, log-bucketed histograms, series.
+
+The registry backs per-run reporting in the harness and the ``--metrics``
+CLI flag.  Histograms are log-bucketed (default ~19% bucket growth, i.e.
+4 buckets per octave) so p50/p99/p999 queries over microsecond latencies
+cost O(buckets), not O(samples).
+
+:func:`sample_fabric` spawns a DES process that periodically samples NIC
+utilisation, NIC backlog and MN CPU queue depth from a live
+:class:`~repro.rdma.fabric.Fabric` into time series — the quantities the
+paper's throughput plateaus (Figs. 12-14) and the Clover CPU bottleneck
+(Fig. 2) are made of.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "TimeSeries", "Metrics",
+           "sample_fabric"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log-bucketed histogram for positive values (latencies, sizes).
+
+    Bucket ``i`` covers ``(base * growth**(i-1), base * growth**i]``;
+    values at or below ``base`` land in bucket 0.  Percentile queries
+    return the upper bound of the bucket holding the requested rank — an
+    over-estimate by at most one ``growth`` factor.
+    """
+
+    __slots__ = ("base", "growth", "_log_growth", "buckets", "count",
+                 "total", "max_seen")
+
+    def __init__(self, base: float = 0.1, growth: float = 2 ** 0.25):
+        if base <= 0 or growth <= 1:
+            raise ValueError("base must be > 0 and growth > 1")
+        self.base = base
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.max_seen = 0.0
+
+    def _index(self, value: float) -> int:
+        if value <= self.base:
+            return 0
+        return max(0, math.ceil(math.log(value / self.base)
+                                / self._log_growth))
+
+    def bound(self, index: int) -> float:
+        """Upper bound of bucket ``index``."""
+        return self.base * self.growth ** index
+
+    def observe(self, value: float) -> None:
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100]; 0.0 when empty."""
+        if not self.count:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(p / 100.0 * self.count)))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(self.bound(index), self.max_seen)
+        return self.max_seen  # pragma: no cover - unreachable
+
+    def summary(self) -> dict:
+        return {"count": self.count, "mean": self.mean,
+                "p50": self.percentile(50), "p99": self.percentile(99),
+                "p999": self.percentile(99.9), "max": self.max_seen}
+
+
+class TimeSeries:
+    """Sampled ``(sim_time, value)`` points (NIC utilisation, queues)."""
+
+    __slots__ = ("points",)
+
+    def __init__(self):
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def mean(self) -> float:
+        values = self.values
+        return sum(values) / len(values) if values else 0.0
+
+    def peak(self) -> float:
+        values = self.values
+        return max(values) if values else 0.0
+
+    def summary(self) -> dict:
+        return {"samples": len(self.points), "mean": self.mean(),
+                "peak": self.peak()}
+
+
+class Metrics:
+    """A named registry of counters, gauges, histograms and series.
+
+    Instruments are created on first access, so call sites never need to
+    pre-register anything::
+
+        metrics.counter("ops.search").inc()
+        metrics.histogram("latency_us.search").observe(4.2)
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str, base: float = 0.1,
+                  growth: float = 2 ** 0.25) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(base, growth)
+        return inst
+
+    def timeseries(self, name: str) -> TimeSeries:
+        inst = self.series.get(name)
+        if inst is None:
+            inst = self.series[name] = TimeSeries()
+        return inst
+
+    def names(self) -> List[str]:
+        """Sorted names of every instrument currently registered."""
+        return sorted(set(self.counters) | set(self.gauges)
+                      | set(self.histograms) | set(self.series))
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (sorted, deterministic)."""
+        return {
+            "counters": {k: self.counters[k].value
+                         for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].summary()
+                           for k in sorted(self.histograms)},
+            "series": {k: self.series[k].summary()
+                       for k in sorted(self.series)},
+        }
+
+
+def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
+                  until_us: Optional[float] = None):
+    """Spawn a process sampling NIC/CPU state into ``metrics`` series.
+
+    Per memory node and direction: NIC utilisation over the last interval
+    (busy-time delta / interval), NIC backlog (microseconds of queued
+    service), and the CPU wait-queue depth.  Returns the sampler process;
+    it self-terminates at ``until_us`` when given, else runs as long as
+    the simulation does.
+    """
+
+    def proc():
+        last_busy: Dict[Tuple[int, str], float] = {}
+        while until_us is None or env.now < until_us:
+            yield env.timeout(interval_us)
+            t = env.now
+            for mn_id in sorted(fabric.nodes):
+                node = fabric.nodes[mn_id]
+                for direction, port in (("rx", node.nic),
+                                        ("tx", node.nic_tx)):
+                    key = (mn_id, direction)
+                    delta = port.total_busy - last_busy.get(key, 0.0)
+                    last_busy[key] = port.total_busy
+                    metrics.timeseries(
+                        f"mn{mn_id}.nic_{direction}.util").record(
+                        t, min(1.0, delta / interval_us))
+                metrics.timeseries(f"mn{mn_id}.nic.backlog_us").record(
+                    t, node.nic.backlog(t))
+                metrics.timeseries(f"mn{mn_id}.cpu.queue_depth").record(
+                    t, float(node.cpu.queue_length))
+
+    return env.process(proc(), name="metrics-sampler")

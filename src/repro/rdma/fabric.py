@@ -24,7 +24,7 @@ The fabric is where the reproduction's performance model lives:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Sequence
 
 from ..sim import Environment, Event
@@ -71,22 +71,48 @@ class FabricStats:
     rpcs: int = 0
     bytes_moved: int = 0
     batches: int = 0
+    failed_verbs: int = 0   # verbs completed FAIL (crashed target)
     per_mn_ops: Dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "FabricStats":
-        return FabricStats(self.reads, self.writes, self.atomics, self.rpcs,
-                           self.bytes_moved, self.batches,
-                           dict(self.per_mn_ops))
+        """An independent copy covering *every* field.
+
+        Built generically from ``dataclasses.fields`` so a newly added
+        counter can never be silently dropped from snapshots (guarded by
+        ``tests/test_fabric.py::TestFabricStatsSnapshot``).
+        """
+        values = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            values[f.name] = dict(value) if isinstance(value, dict) else value
+        return FabricStats(**values)
 
 
 class Fabric:
-    """Posts verbs and RPCs to memory nodes with simulated timing."""
+    """Posts verbs and RPCs to memory nodes with simulated timing.
 
-    def __init__(self, env: Environment, config: FabricConfig | None = None):
+    An optional :class:`~repro.obs.Tracer` observes every doorbell batch
+    and RPC; the default is the shared no-op tracer, so the untraced path
+    costs one attribute check per batch.
+    """
+
+    def __init__(self, env: Environment, config: FabricConfig | None = None,
+                 tracer=None):
+        from ..obs.tracer import NULL_TRACER
         self.env = env
         self.config = config or FabricConfig()
         self.nodes: Dict[int, MemoryNode] = {}
         self.stats = FabricStats()
+        if tracer is None:
+            tracer = NULL_TRACER
+        elif tracer.env is None:
+            tracer.env = env   # late-bind: Tracer() made before the env
+        self.tracer = tracer
+
+    def trace_phase(self, name: str) -> None:
+        """Label the current operation's next batches (no-op untraced)."""
+        if self.tracer.enabled:
+            self.tracer.phase(name)
 
     # -- topology ------------------------------------------------------------
     def add_node(self, node: MemoryNode) -> None:
@@ -101,11 +127,13 @@ class Fabric:
         return [mn_id for mn_id, n in self.nodes.items() if not n.crashed]
 
     # -- one-sided verbs ------------------------------------------------------
-    def post(self, ops: Sequence[Verb]) -> Event:
+    def post(self, ops: Sequence[Verb], unsignaled: bool = False) -> Event:
         """Post a doorbell batch.
 
         Returns an event that fires with ``List[Completion]`` in the order
-        the verbs were posted.
+        the verbs were posted.  ``unsignaled`` marks fire-and-forget
+        batches (§4.6 selective signaling): the caller does not wait for
+        them, so the tracer excludes them from per-operation RTT counts.
         """
         if not ops:
             raise ValueError("empty doorbell batch")
@@ -119,6 +147,7 @@ class Fabric:
             node = self.nodes[op.mn_id]
             self._count(op, node)
             if node.crashed:
+                self.stats.failed_verbs += 1
                 completions.append(Completion(op, FAIL))
                 finish = max(finish, now + cfg.fail_delay_us)
                 continue
@@ -128,6 +157,9 @@ class Fabric:
             done = port.finish_time(service, not_before=arrive)
             finish = max(finish, done + cfg.one_way_delay_us)
             completions.append(Completion(op, value))
+        if self.tracer.enabled:
+            self.tracer.on_batch(ops, completions, now, finish,
+                                 unsignaled=unsignaled)
         return self.env.timeout(finish - now, value=completions)
 
     def post_one(self, op: Verb) -> Event:
@@ -147,8 +179,17 @@ class Fabric:
         travels back.  Fires with the reply dict, or :data:`FAIL` if the
         node has crashed.
         """
-        return self.env.process(self._rpc_proc(mn_id, name, payload),
+        proc = self.env.process(self._rpc_proc(mn_id, name, payload),
                                 name=f"rpc:{name}@MN{mn_id}")
+        if self.tracer.enabled:
+            record = self.tracer.on_rpc(mn_id, name)
+            env = self.env
+
+            def _finish(_event, record=record, env=env):
+                record["t1"] = env.now
+
+            proc.callbacks.append(_finish)
+        return proc
 
     def _rpc_proc(self, mn_id: int, name: str, payload: dict):
         cfg = self.config

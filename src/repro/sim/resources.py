@@ -137,6 +137,14 @@ class NicPort:
         self.ops += 1
         return end
 
+    def backlog(self, now: float) -> float:
+        """Microseconds of already-accepted service still queued at ``now``.
+
+        The port's analogue of queue depth: how far its serialisation line
+        is committed beyond the current instant (0 when idle).
+        """
+        return max(0.0, self._next_free - now)
+
     def utilisation(self, elapsed: float) -> float:
         if elapsed <= 0:
             return 0.0

@@ -292,3 +292,39 @@ class TestStats:
         run_batch(env, fabric, [ReadOp(0, 0, 8)])
         assert snap.reads == 1
         assert fabric.stats.reads == 2
+
+
+class TestFabricStatsSnapshot:
+    """Guards the generic field-complete snapshot (see FabricStats)."""
+
+    def test_snapshot_covers_every_field(self):
+        from dataclasses import fields
+
+        from repro.rdma.fabric import FabricStats
+
+        stats = FabricStats()
+        # give every field a distinctive non-default value
+        for index, f in enumerate(fields(FabricStats), start=1):
+            if f.name == "per_mn_ops":
+                stats.per_mn_ops = {0: index}
+            else:
+                setattr(stats, f.name, index)
+        snap = stats.snapshot()
+        for f in fields(FabricStats):
+            assert getattr(snap, f.name) == getattr(stats, f.name), f.name
+
+    def test_snapshot_dicts_are_deep_copied(self):
+        from repro.rdma.fabric import FabricStats
+
+        stats = FabricStats()
+        stats.per_mn_ops[0] = 1
+        snap = stats.snapshot()
+        stats.per_mn_ops[0] = 99
+        stats.per_mn_ops[1] = 7
+        assert snap.per_mn_ops == {0: 1}
+
+    def test_failed_verbs_counted_and_snapshotted(self, env, fabric):
+        fabric.node(1).crash()
+        run_batch(env, fabric, [ReadOp(0, 0, 8), ReadOp(1, 0, 8)])
+        assert fabric.stats.failed_verbs == 1
+        assert fabric.stats.snapshot().failed_verbs == 1

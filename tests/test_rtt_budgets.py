@@ -1,0 +1,191 @@
+"""RTT-budget regression suite (§4 of the paper).
+
+FUSEE's core performance claim is a *round-trip budget* per operation:
+a cached SEARCH completes in one READ RTT, each SNAPSHOT-replication
+write phase is one doorbell batch (one RTT) regardless of the replica
+count, and chain replication (FUSEE-CR) pays one extra RTT per extra
+replica.  These tests pin those budgets with the tracer so an
+accidentally serialised batch or an extra round trip fails loudly
+instead of showing up as a quiet throughput regression.
+
+Budgets asserted here (embedded op log, warm address cache unless noted):
+
+=====================  ==========  =========================================
+operation              RTTs        phases (signaled doorbell batches)
+=====================  ==========  =========================================
+SEARCH, cache hit      1           cached slot+KV read
+SEARCH, no cache       2           bucket read, KV match read
+UPDATE, r_idx = 1      2           locate (KV write batched in), primary CAS
+UPDATE, r_idx >= 2     4           locate, backup CAS broadcast, log commit,
+                                   primary CAS — flat in the replica count
+UPDATE, separate log   +1          the log-entry write gets its own batch
+FUSEE-CR, r_idx >= 2   2 + r_idx   backup CASes serialise: +1 RTT/replica
+INSERT                 UPDATE + 1  alloc batch precedes the KV write
+=====================  ==========  =========================================
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import ClusterConfig, FuseeCluster, Tracer
+from repro.core.addressing import RegionConfig
+from repro.core.race import RaceConfig
+
+
+def traced_cluster(n_memory_nodes=3, replication_factor=2,
+                   index_replication=1, **client_overrides):
+    config = ClusterConfig(
+        n_memory_nodes=n_memory_nodes,
+        replication_factor=replication_factor,
+        index_replication=index_replication,
+        regions_per_mn=2,
+        max_clients=32,
+        region=RegionConfig(region_size=1 << 18, block_size=1 << 13,
+                            min_object_size=64),
+        race=RaceConfig(n_subtables=4, n_groups=16, slots_per_bucket=7))
+    if client_overrides:
+        config = replace(config,
+                         client=replace(config.client, **client_overrides))
+    tracer = Tracer()
+    cluster = FuseeCluster(config, tracer=tracer)
+    return cluster, cluster.new_client(), tracer
+
+
+def warm_update_span(cluster, client, tracer):
+    """Insert + two updates; the second update runs fully warm."""
+    assert cluster.run_op(client.insert(b"key", b"val")).ok
+    assert cluster.run_op(client.update(b"key", b"v2")).ok
+    assert cluster.run_op(client.update(b"key", b"v3")).ok
+    return tracer.last_span("update")
+
+
+class TestSearchBudget:
+    def test_cached_search_is_one_read_rtt(self):
+        cluster, client, tracer = traced_cluster()
+        cluster.run_op(client.insert(b"key", b"val"))
+        cluster.run_op(client.search(b"key"))  # populates the cache
+        result = cluster.run_op(client.search(b"key"))
+        assert result.ok
+        span = tracer.last_span("search")
+        assert span.rtts == 1
+        assert span.phases() == ["search.cached_read"]
+        # ... and that one round trip is all READs (no atomics on the
+        # search path).
+        assert set(span.verb_counts()) == {"read"}
+
+    def test_uncached_search_is_two_rtts(self):
+        cluster, client, tracer = traced_cluster(cache_enabled=False)
+        cluster.run_op(client.insert(b"key", b"val"))
+        result = cluster.run_op(client.search(b"key"))
+        assert result.ok
+        span = tracer.last_span("search")
+        assert span.rtts == 2
+        assert span.phases() == ["search.bucket_read", "kv.match_read"]
+
+
+class TestUpdateBudget:
+    def test_unreplicated_update_is_two_rtts(self):
+        cluster, client, tracer = traced_cluster(index_replication=1)
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 2
+        assert span.phases() == ["write.locate_cached", "repl.primary_cas"]
+
+    def test_replicated_update_is_four_rtts(self):
+        cluster, client, tracer = traced_cluster(index_replication=2)
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 4
+        assert span.phases() == ["write.locate_cached", "repl.backup_cas",
+                                 "log.commit", "repl.primary_cas"]
+
+    def test_snapshot_budget_is_flat_in_replica_count(self):
+        """The backup CAS broadcast is one doorbell batch however many
+        backups there are — the paper's argument for SNAPSHOT over CR."""
+        cluster, client, tracer = traced_cluster(replication_factor=3,
+                                                 index_replication=3)
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 4
+        # the broadcast batch carries one CAS per backup replica
+        broadcast = next(b for b in span.batches
+                         if b["phase"] == "repl.backup_cas")
+        assert len(broadcast["verbs"]) == 2
+        assert all(v["kind"] == "cas" for v in broadcast["verbs"])
+
+    def test_separate_log_write_costs_one_extra_rtt(self):
+        cluster, client, tracer = traced_cluster(index_replication=1,
+                                                 embedded_log=False)
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 3
+        assert span.phases() == ["write.locate_cached", "log.separate_write",
+                                 "repl.primary_cas"]
+
+
+class TestChainReplicationBudget:
+    """FUSEE-CR serialises the per-replica CASes (Fig. 19's latency gap)."""
+
+    @pytest.mark.parametrize("replicas,expected_rtts", [
+        (1, 2),   # locate + primary CAS
+        (2, 4),   # locate + backup CAS + log commit + primary CAS
+        (3, 5),   # ... + one more RTT for the extra backup
+    ])
+    def test_sequential_update_pays_per_replica(self, replicas,
+                                                expected_rtts):
+        cluster, client, tracer = traced_cluster(
+            replication_factor=max(replicas, 1),
+            index_replication=replicas,
+            replication_mode="sequential")
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == expected_rtts
+        assert span.phases().count("repl.seq_backup_cas") == \
+            max(0, replicas - 1)
+
+    def test_snapshot_beats_chain_at_three_replicas(self):
+        snap_cluster, snap_client, snap_tracer = traced_cluster(
+            replication_factor=3, index_replication=3)
+        seq_cluster, seq_client, seq_tracer = traced_cluster(
+            replication_factor=3, index_replication=3,
+            replication_mode="sequential")
+        snap = warm_update_span(snap_cluster, snap_client, snap_tracer)
+        seq = warm_update_span(seq_cluster, seq_client, seq_tracer)
+        assert snap.rtts < seq.rtts
+
+
+class TestInsertDeleteBudget:
+    def test_insert_is_update_plus_alloc(self):
+        cluster, client, tracer = traced_cluster(index_replication=2)
+        update = warm_update_span(cluster, client, tracer)
+        insert = tracer.last_span("insert")
+        assert insert.rtts == update.rtts + 1
+        assert insert.phases()[0] == "alloc"
+
+    def test_delete_matches_update_budget(self):
+        cluster, client, tracer = traced_cluster(index_replication=2)
+        update = warm_update_span(cluster, client, tracer)
+        assert cluster.run_op(client.delete(b"key")).ok
+        delete = tracer.last_span("delete")
+        assert delete.rtts == update.rtts
+
+    def test_cleanup_batches_are_off_the_critical_path(self):
+        """Old-object invalidation is fire-and-forget (§4.4): it must be
+        recorded as unsignaled work, never as an operation RTT."""
+        cluster, client, tracer = traced_cluster(index_replication=1)
+        span = warm_update_span(cluster, client, tracer)
+        assert span.unsignaled >= 1
+        unsignaled = [b for b in span.batches if b.get("unsignaled")]
+        assert all(b["phase"].startswith("cleanup.") for b in unsignaled)
+
+
+class TestBudgetsUnderLoad:
+    def test_warm_ycsb_search_stays_within_budget(self):
+        """No operation mix may push a cached search past 2 RTTs (1 for
+        hits, 2 after an update invalidated the cached address)."""
+        cluster, client, tracer = traced_cluster()
+        keys = [f"k{i}".encode() for i in range(32)]
+        for key in keys:
+            assert cluster.run_op(client.insert(key, b"v")).ok
+        for key in keys:
+            assert cluster.run_op(client.search(key)).ok
+        for key in keys:
+            assert cluster.run_op(client.search(key)).ok
+        searches = tracer.spans_of("search")[-32:]
+        assert all(s.rtts == 1 for s in searches)
