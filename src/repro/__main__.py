@@ -13,6 +13,11 @@ Commands
     Drive a closed-loop YCSB workload against a FUSEE bed, optionally
     exporting a Chrome trace (``--trace``), a JSONL event log
     (``--jsonl``) and a metrics report (``--metrics``).
+``check``
+    Systematic schedule exploration (see docs/checking.md): explore a
+    scenario clean, verify a protocol mutation is caught, replay a
+    recorded decision sequence, or (default) run the whole
+    mutation-detection matrix.
 
 Observability flags (``demo`` and ``ycsb``)
 -------------------------------------------
@@ -160,6 +165,91 @@ def cmd_ycsb(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check import (MUTATION_SPECS, MUTATIONS, SCENARIOS,
+                        ControlledScheduler, ScheduleExplorer,
+                        format_repro, minimize_schedule)
+
+    if args.list:
+        print("scenarios:")
+        for name in SCENARIOS:
+            print(f"  {name}")
+        print("mutations (scenario, schedule budget, decision depth):")
+        for name, spec in MUTATION_SPECS.items():
+            print(f"  {name:30s} {spec.scenario}, "
+                  f"{spec.max_schedules}, {spec.max_decisions}")
+        return 0
+
+    if args.replay is not None:
+        if not args.scenario:
+            print("--replay needs --scenario", file=sys.stderr)
+            return 2
+        decisions = [int(d) for d in args.replay.split(",") if d.strip()]
+        scenario = SCENARIOS[args.scenario]()
+        if args.mutation:
+            with MUTATIONS[args.mutation]():
+                violation = scenario(ControlledScheduler(decisions=decisions))
+        else:
+            violation = scenario(ControlledScheduler(decisions=decisions))
+        print(f"replay {decisions} on {args.scenario}"
+              + (f" (mutation {args.mutation})" if args.mutation else ""))
+        print(f"  -> {violation or 'clean'}")
+        return 0 if (violation is not None) == bool(args.mutation) else 1
+
+    def detect(name: str) -> bool:
+        """Explore a mutated protocol; True iff the mutation is caught."""
+        spec = MUTATION_SPECS[name]
+        factory = SCENARIOS[spec.scenario]
+        budget = args.max_schedules or spec.max_schedules
+        depth = args.max_decisions or spec.max_decisions
+        with MUTATIONS[name]():
+            result = ScheduleExplorer(factory(), max_schedules=budget,
+                                      max_decisions=depth).explore()
+            print(f"{name} on {spec.scenario}: {result.summary()}")
+            if not result.found:
+                return False
+            minimized = minimize_schedule(factory(),
+                                          result.violating_decisions)
+        if minimized is not None:
+            print(f"  {minimized}")
+            print(format_repro(spec.scenario, minimized, mutation=name))
+        return True
+
+    def clean(scenario_name: str, budget: int, depth: int) -> bool:
+        """Explore the unmutated protocol; True iff it survives."""
+        result = ScheduleExplorer(SCENARIOS[scenario_name](),
+                                  max_schedules=budget,
+                                  max_decisions=depth).explore()
+        print(f"clean {scenario_name}: {result.summary()}")
+        if result.found:
+            print(f"  violation: {result.violation}")
+            print(f"  decisions: {result.violating_decisions}")
+            return False
+        return True
+
+    if args.mutation:
+        return 0 if detect(args.mutation) else 1
+    if args.scenario:
+        spec_budget = max((s.max_schedules for s in MUTATION_SPECS.values()
+                           if s.scenario == args.scenario), default=2000)
+        spec_depth = max((s.max_decisions for s in MUTATION_SPECS.values()
+                          if s.scenario == args.scenario), default=40)
+        return 0 if clean(args.scenario,
+                          args.max_schedules or spec_budget,
+                          args.max_decisions or spec_depth) else 1
+
+    # Default: the full matrix — every mutation caught, every scenario
+    # clean at the same documented bounds.
+    ok = True
+    for name in MUTATION_SPECS:
+        ok = detect(name) and ok
+    for name, spec in MUTATION_SPECS.items():
+        ok = clean(spec.scenario, args.max_schedules or spec.max_schedules,
+                   args.max_decisions or spec.max_decisions) and ok
+    print("check matrix:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _add_obs_flags(parser) -> None:
     parser.add_argument("--trace", default=None, metavar="OUT.json",
                         help="write a Chrome trace_event file "
@@ -208,6 +298,25 @@ def main(argv=None) -> int:
                              choices=("fusee", "fusee-cr", "fusee-nc"))
     _add_obs_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=cmd_ycsb)
+
+    check_parser = sub.add_parser(
+        "check", help="systematic schedule exploration / mutation matrix")
+    check_parser.add_argument("--list", action="store_true",
+                              help="list scenarios and mutations")
+    check_parser.add_argument("--scenario", default=None,
+                              help="explore one scenario (expects clean)")
+    check_parser.add_argument("--mutation", default=None,
+                              help="explore one mutated protocol "
+                                   "(expects a violation)")
+    check_parser.add_argument("--replay", default=None, metavar="0,1,0",
+                              help="replay a recorded decision sequence "
+                                   "(with --scenario, optionally "
+                                   "--mutation)")
+    check_parser.add_argument("--max-schedules", type=int, default=None,
+                              help="override the documented schedule budget")
+    check_parser.add_argument("--max-decisions", type=int, default=None,
+                              help="override the branch depth bound")
+    check_parser.set_defaults(func=cmd_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

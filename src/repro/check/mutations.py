@@ -1,0 +1,225 @@
+"""Known-bad protocol mutations, for validating the schedule explorer.
+
+Each mutation is a context manager that monkey-patches one protocol
+decision the FUSEE papers argue is load-bearing.  The harness
+(``tests/test_check.py``, ``python -m repro check``) asserts that the
+explorer finds a violating schedule for every mutation within its
+documented budget — i.e. that the checker would actually catch these
+bugs — and that the unmutated protocol survives the same exploration.
+
+``snapshot_write`` is bound by name in :mod:`repro.core.client` at import
+time, so mutations that replace it patch *both* modules; scenarios call
+it via the module attribute (``snapshot_mod.snapshot_write``) so slot
+workloads see the patch too.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..core import client as client_mod
+from ..core import snapshot as snapshot_mod
+from ..core.snapshot import Outcome, RuleDecision, WriteResult
+from ..core.wire import OP_DELETE, unpack_slot
+from ..rdma import FAIL, CasOp
+
+__all__ = ["MUTATIONS", "MUTATION_SPECS", "MutationSpec"]
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """Where and how hard to look for a mutation's violating schedule.
+
+    ``max_schedules`` is the *documented budget*: the explorer must find
+    a violation within this many schedules of ``scenario`` (enforced by
+    ``tests/test_check.py``), and the unmutated protocol must survive
+    the same exploration clean.
+    """
+
+    name: str
+    scenario: str            # key into repro.check.scenarios.SCENARIOS
+    max_schedules: int
+    max_decisions: int
+    description: str
+
+
+# --------------------------------------------------------------------------
+# skip-cas-recheck — Algorithm 2 without re-checking CAS results
+# --------------------------------------------------------------------------
+
+@contextmanager
+def skip_cas_recheck():
+    """Writers no longer re-check that the unanimous/majority value in
+    ``v_list`` is *their own* before declaring victory.
+
+    Every conflicting writer then decides it is the last writer: all of
+    them run the winner path (fix-up + primary CAS), and since the
+    winner path trusts the conflict resolution and does not re-validate
+    its primary CAS, two writers report WIN for one round and the
+    replicas diverge.
+    """
+    original = snapshot_mod.evaluate_rules
+
+    def mutated(v_list, v_new, check_value=None, v_old=None):
+        if any(v is FAIL for v in v_list):
+            return RuleDecision.FAIL
+        counts = Counter(v_list)
+        _v_maj, cnt = counts.most_common(1)[0]
+        if cnt == len(v_list):
+            return RuleDecision.RULE1   # BUG: never compares v_maj to v_new
+        if 2 * cnt > len(v_list):
+            return RuleDecision.RULE2   # BUG: same
+        return original(v_list, v_new, check_value=check_value, v_old=v_old)
+
+    snapshot_mod.evaluate_rules = mutated
+    try:
+        yield
+    finally:
+        snapshot_mod.evaluate_rules = original
+
+
+# --------------------------------------------------------------------------
+# reorder-replica-writes — primary committed before the backups
+# --------------------------------------------------------------------------
+
+def _primary_first_write(fabric, ref, v_old: int, v_new: int, on_win=None,
+                         retry_sleep_us: float = 2.0,
+                         max_wait_rounds: int = 10_000, phase_guard=None):
+    """A plausible-looking but wrong replication order: CAS the primary
+    first, then broadcast to the backups.
+
+    Between the two phases the new value is visible on the primary while
+    the backups still hold the old one — a reader that completes a
+    primary read and then (after the primary fails) falls back to the
+    backups observes new-then-old, which no register linearization
+    admits.
+    """
+    if v_old == v_new:
+        raise ValueError("out-of-place modification guarantees v_old != v_new")
+    primary_mn, primary_addr = ref.primary()
+    comp = yield fabric.post_one(CasOp(primary_mn, primary_addr,
+                                       expected=v_old, swap=v_new))
+    rtts = 1
+    if comp.failed:
+        return WriteResult(Outcome.NEED_MASTER, v_old, v_new, None, rtts)
+    if not comp.cas_succeeded():
+        return WriteResult(Outcome.LOSE, v_old, v_new, comp.value, rtts)
+    if on_win is not None:
+        yield from on_win(v_old)
+        rtts += 1
+    backups = ref.backups()
+    if backups:
+        comps = yield fabric.post([CasOp(mn, addr, expected=v_old,
+                                         swap=v_new)
+                                   for mn, addr in backups])
+        rtts += 1
+        if any(c.failed for c in comps):
+            return WriteResult(Outcome.NEED_MASTER, v_old, v_new, None, rtts)
+    return WriteResult(Outcome.WIN_RULE1, v_old, v_new, v_new, rtts)
+
+
+@contextmanager
+def reorder_replica_writes():
+    originals = (snapshot_mod.snapshot_write, client_mod.snapshot_write)
+    snapshot_mod.snapshot_write = _primary_first_write
+    client_mod.snapshot_write = _primary_first_write
+    try:
+        yield
+    finally:
+        snapshot_mod.snapshot_write, client_mod.snapshot_write = originals
+
+
+# --------------------------------------------------------------------------
+# drop-invalidation-write — winner skips marking the displaced object
+# --------------------------------------------------------------------------
+
+@contextmanager
+def drop_invalidation_write():
+    """The winning writer frees the displaced object but never writes its
+    invalidation flag (§4.6), so clients with a stale cached pointer can
+    keep validating the dead value forever."""
+    original = client_mod.FuseeClient._after_win
+
+    def mutated(self, key, meta, ref, v_old, v_new, opcode):
+        if v_old != 0:
+            self.allocator.note_free(unpack_slot(v_old).pointer)
+        if opcode == OP_DELETE:
+            self.cache.drop(key)
+        else:
+            self.cache.store(key, ref, v_new)
+
+    client_mod.FuseeClient._after_win = mutated
+    try:
+        yield
+    finally:
+        client_mod.FuseeClient._after_win = original
+
+
+# --------------------------------------------------------------------------
+# insert-skip-conflict-recheck — lost insert CAS treated as a foreign key
+# --------------------------------------------------------------------------
+
+@contextmanager
+def insert_skip_conflict_recheck():
+    """A losing inserter no longer reads the winner's KV block to check
+    whether the same key was inserted; it assumes a foreign key and moves
+    to the next empty slot, double-inserting the key."""
+    original = client_mod.FuseeClient._insert_conflict_recheck
+
+    def mutated(self, key, meta, committed):
+        return False
+        yield  # pragma: no cover — keeps this a generator like the original
+
+    client_mod.FuseeClient._insert_conflict_recheck = mutated
+    try:
+        yield
+    finally:
+        client_mod.FuseeClient._insert_conflict_recheck = original
+
+
+# --------------------------------------------------------------------------
+# Registry + documented detection budgets
+# --------------------------------------------------------------------------
+
+MUTATIONS: Dict[str, Callable] = {
+    "skip-cas-recheck": skip_cas_recheck,
+    "reorder-replica-writes": reorder_replica_writes,
+    "drop-invalidation-write": drop_invalidation_write,
+    "insert-skip-conflict-recheck": insert_skip_conflict_recheck,
+}
+
+MUTATION_SPECS: Dict[str, MutationSpec] = {
+    "skip-cas-recheck": MutationSpec(
+        name="skip-cas-recheck",
+        scenario="slot-write-race",
+        max_schedules=256,
+        max_decisions=24,
+        description="writers claim victory without re-checking whose "
+                    "value the backup CASes installed",
+    ),
+    "reorder-replica-writes": MutationSpec(
+        name="reorder-replica-writes",
+        scenario="slot-crash-read",
+        max_schedules=256,
+        max_decisions=24,
+        description="primary replica committed before the backups",
+    ),
+    "drop-invalidation-write": MutationSpec(
+        name="drop-invalidation-write",
+        scenario="cluster-update-invalidate",
+        max_schedules=64,
+        max_decisions=24,
+        description="winner never marks the displaced object invalid",
+    ),
+    "insert-skip-conflict-recheck": MutationSpec(
+        name="insert-skip-conflict-recheck",
+        scenario="cluster-insert-race",
+        max_schedules=256,
+        max_decisions=32,
+        description="losing inserter assumes the slot went to a foreign "
+                    "key and double-inserts",
+    ),
+}

@@ -150,16 +150,20 @@ class FuseeClient:
         if self.crashed:
             raise ClientCrashed("client has crashed")
 
-    def _traced(self, op: str, impl):
+    def _traced(self, op: str, impl, key: Optional[bytes] = None,
+                wrote: Optional[bytes] = None):
         """Wrap an operation generator in a tracer span (generator).
 
         With tracing disabled this adds one attribute check and a plain
-        ``yield from`` delegation to the hot path.
+        ``yield from`` delegation to the hot path.  ``key`` and ``wrote``
+        (the value argument, for insert/update) flow into the span so
+        concurrent histories can be reconstructed for linearizability
+        checking (docs/checking.md).
         """
         tracer = self.fabric.tracer
         if not tracer.enabled:
             return (yield from impl)
-        span = tracer.begin_span(op, self.cid)
+        span = tracer.begin_span(op, self.cid, key=key, wrote=wrote)
         try:
             result = yield from impl
         except BaseException as exc:
@@ -168,7 +172,7 @@ class FuseeClient:
         tracer.end_span(
             span, ok=result.ok,
             outcome=result.outcome.value if result.outcome else None,
-            error=result.error)
+            error=result.error, value=result.value, existed=result.existed)
         return result
 
     def _retry(self) -> None:
@@ -297,7 +301,7 @@ class FuseeClient:
     # ------------------------------------------------------------- SEARCH
     def search(self, key: bytes):
         """SEARCH (generator): returns OpResult with the value or ok=False."""
-        return self._traced("search", self._search_impl(key))
+        return self._traced("search", self._search_impl(key), key=key)
 
     def _search_impl(self, key: bytes):
         self._require_alive()
@@ -537,7 +541,8 @@ class FuseeClient:
     # ------------------------------------------------------------- INSERT
     def insert(self, key: bytes, value: bytes):
         """INSERT (generator): ok=False with existed=True if already present."""
-        return self._traced("insert", self._insert_impl(key, value))
+        return self._traced("insert", self._insert_impl(key, value),
+                            key=key, wrote=value)
 
     def _insert_impl(self, key: bytes, value: bytes):
         self._require_alive()
@@ -606,25 +611,11 @@ class FuseeClient:
                 result = result
             # Lost the slot to a concurrent writer.  If it was a concurrent
             # INSERT of the same key, ours linearizes right before it.
-            committed = result.committed
-            if committed is not None and committed != 0:
-                other = unpack_slot(committed)
-                if other.fingerprint == meta.fingerprint:
-                    comp_op = self._kv_read_op(other.pointer,
-                                               other.block_bytes)
-                    if comp_op is not None:
-                        self.fabric.trace_phase("insert.conflict_check")
-                        comp = yield self.fabric.post_one(comp_op)
-                        if not comp.failed:
-                            try:
-                                _h, kv_key, _v = decode_kv_payload(comp.value)
-                                if kv_key == key:
-                                    self._discard_object(prepared.alloc,
-                                                         OP_INSERT)
-                                    return OpResult(ok=True,
-                                                    outcome=result.outcome)
-                            except ValueError:
-                                pass
+            same_key = yield from self._insert_conflict_recheck(
+                key, meta, result.committed)
+            if same_key:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                return OpResult(ok=True, outcome=result.outcome)
             self._retry()
             if not empties:
                 self.fabric.trace_phase("insert.bucket_reread")
@@ -635,10 +626,40 @@ class FuseeClient:
         self._discard_object(prepared.alloc, OP_INSERT)
         return OpResult(ok=False, error="retries exhausted")
 
+    def _insert_conflict_recheck(self, key: bytes, meta: KeyMeta,
+                                 committed: Optional[int]):
+        """After losing a slot CAS, decide whether the winner inserted the
+        *same* key (generator; returns bool).
+
+        A protocol decision point: skipping this re-check makes a losing
+        inserter grab another empty slot and double-insert the key — the
+        ``insert-skip-conflict-recheck`` mutation in ``repro.check``
+        exercises exactly that, and the KV linearizability checker flags
+        the resulting pair of ok=True inserts.
+        """
+        if committed is None or committed == 0:
+            return False
+        other = unpack_slot(committed)
+        if other.fingerprint != meta.fingerprint:
+            return False
+        comp_op = self._kv_read_op(other.pointer, other.block_bytes)
+        if comp_op is None:
+            return False
+        self.fabric.trace_phase("insert.conflict_check")
+        comp = yield self.fabric.post_one(comp_op)
+        if comp.failed:
+            return False
+        try:
+            _h, kv_key, _v = decode_kv_payload(comp.value)
+        except ValueError:
+            return False
+        return kv_key == key
+
     # ------------------------------------------------------------- UPDATE
     def update(self, key: bytes, value: bytes):
         """UPDATE (generator): ok=False if the key does not exist."""
-        return self._traced("update", self._update_impl(key, value))
+        return self._traced("update", self._update_impl(key, value),
+                            key=key, wrote=value)
 
     def _update_impl(self, key: bytes, value: bytes):
         self._require_alive()
@@ -670,7 +691,7 @@ class FuseeClient:
         A temporary object carries the operation's log entry and target
         key; it is freed once the request completes (§4.5).
         """
-        return self._traced("delete", self._delete_impl(key))
+        return self._traced("delete", self._delete_impl(key), key=key)
 
     def _delete_impl(self, key: bytes):
         self._require_alive()

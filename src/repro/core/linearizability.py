@@ -1,34 +1,68 @@
-"""A linearizability checker for replicated-slot histories (Appendix A).
+"""Linearizability checkers for replicated-slot and whole-KV histories.
 
 The paper verifies SNAPSHOT with TLA+; here we mechanically check the same
-safety property on *actual executions*: a history of READ/WRITE operations
-on one replicated slot is linearizable iff there is a total order of the
-operations that (1) respects real-time precedence and (2) is legal for a
-register — every read returns the most recently written value.
+safety property on *actual executions*.  Two checkers share the classical
+Wing & Gong search with memoisation on (set of linearized ops, abstract
+state), which is exact and fast for the history sizes our protocol tests
+produce (well under ~25 operations per partition):
 
-The checker is the classical Wing & Gong search with memoisation on
-(set of linearized ops, current register value), which is exact and fast
-for the history sizes our protocol tests produce (well under ~25
-operations per slot).
+* :func:`check_linearizable` — a history of READ/WRITE operations on one
+  replicated 8-byte slot is linearizable iff there is a total order of the
+  operations that (1) respects real-time precedence and (2) is legal for a
+  register: every read returns the most recently written value.
+
+* :func:`check_kv_linearizable` — a history of SEARCH / INSERT / UPDATE /
+  DELETE operations against the whole store, with operations that *truly
+  overlap* in time (collected from concurrent client processes, e.g. via
+  the tracer's spans — see :func:`repro.check.history.kv_ops_from_spans`).
+  By the Herlihy & Wing locality theorem, and because FUSEE keys are
+  independent objects, the history is linearizable iff each per-key
+  subhistory is — so the checker partitions by key and runs an
+  independent search per partition against map semantics.
+
+Both checkers accept **pending** operations (``required=False``): an
+operation that was invoked but never completed (its issuer crashed, or it
+escalated to the master and gave up) may either have taken effect or not —
+the search is free to linearize it anywhere after its invocation or to
+drop it entirely.  This is what makes crash schedules checkable: a write
+whose client died mid-protocol is exactly such a pending operation.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["Op", "History", "check_linearizable"]
+__all__ = [
+    "Op",
+    "History",
+    "check_linearizable",
+    "KvOp",
+    "KvViolation",
+    "check_kv_linearizable",
+]
 
+
+# --------------------------------------------------------------------------
+# Single-slot register histories
+# --------------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class Op:
-    """One completed operation on the replicated slot."""
+    """One operation on the replicated slot.
+
+    ``required=False`` marks a pending operation: invoked but never
+    completed (``completed`` should then be ``math.inf``).  The checker
+    may linearize it or drop it.
+    """
 
     kind: str          # "r" or "w"
     value: int         # value written, or value returned by the read
     invoked: float
     completed: float
     op_id: int = 0
+    required: bool = True
 
     def __post_init__(self):
         if self.kind not in ("r", "w"):
@@ -53,6 +87,14 @@ class History:
         self.ops.append(op)
         return op
 
+    def record_pending(self, kind: str, value: int, invoked: float) -> Op:
+        """Record an operation that never completed (crash / escalation)."""
+        op = Op(kind=kind, value=value, invoked=invoked,
+                completed=math.inf, op_id=self._next_id, required=False)
+        self._next_id += 1
+        self.ops.append(op)
+        return op
+
     def __len__(self) -> int:
         return len(self.ops)
 
@@ -64,15 +106,19 @@ def check_linearizable(history: History,
     Raises ``RuntimeError`` if the search exceeds ``max_states`` explored
     states (never observed for protocol-test-sized histories).
     """
-    ops = history.ops
+    # A pending read constrains nothing (its result was never returned),
+    # so drop them up front; pending writes stay as optional candidates.
+    ops = [op for op in history.ops if op.required or op.kind == "w"]
     n = len(ops)
     if n == 0:
         return True
     if n > 63:
         raise ValueError("history too large for the bitmask checker")
 
-    # precedence: op i must come before op j if resp(i) < inv(j)
-    all_mask = (1 << n) - 1
+    all_required = 0
+    for i, op in enumerate(ops):
+        if op.required:
+            all_required |= 1 << i
     seen: Set[Tuple[int, int]] = set()
     states = 0
 
@@ -87,7 +133,9 @@ def check_linearizable(history: History,
 
     def search(done_mask: int, value: int) -> bool:
         nonlocal states
-        if done_mask == all_mask:
+        if done_mask & all_required == all_required:
+            # Every completed op is linearized; the remaining (pending)
+            # ops may simply never have taken effect.
             return True
         key = (done_mask, value)
         if key in seen:
@@ -109,3 +157,178 @@ def check_linearizable(history: History,
         return False
 
     return search(0, history.initial_value)
+
+
+# --------------------------------------------------------------------------
+# Whole-store KV histories (partitioned by key)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KvOp:
+    """One completed (or pending) client operation against the store.
+
+    ``kind``    one of ``search`` / ``insert`` / ``update`` / ``delete``;
+    ``key``     the operation's key;
+    ``wrote``   the value argument (insert/update), else ``None``;
+    ``ok``      the reported success flag;
+    ``value``   the value a successful search returned;
+    ``existed`` insert's already-present flag;
+    ``lost``    True when the operation reported success *because it lost*
+                a SNAPSHOT round (outcome LOSE/FINISH): last-writer-wins
+                linearizes it next to the concurrent winner, so its own
+                effect is never observable — the checker treats it as a
+                legal no-op (for insert/update: only while the key is
+                present, i.e. the winner has linearized);
+    ``required`` False for pending ops (crashed client), which the checker
+                may linearize anywhere after invocation or drop.
+    """
+
+    kind: str
+    key: bytes
+    invoked: float
+    completed: float
+    ok: bool = True
+    wrote: Optional[bytes] = None
+    value: Optional[bytes] = None
+    existed: bool = False
+    lost: bool = False
+    op_id: int = 0
+    required: bool = True
+
+    def __post_init__(self):
+        if self.kind not in ("search", "insert", "update", "delete"):
+            raise ValueError(f"unknown op kind {self.kind!r}")
+        if self.completed < self.invoked:
+            raise ValueError("completion precedes invocation")
+
+
+@dataclass(frozen=True)
+class KvViolation:
+    """A non-linearizable per-key subhistory, with context for reports."""
+
+    key: bytes
+    ops: Tuple[KvOp, ...]
+
+    def __str__(self) -> str:
+        lines = [f"key {self.key!r}: no legal linearization of "
+                 f"{len(self.ops)} ops:"]
+        for op in self.ops:
+            outcome = "pending" if not op.required else (
+                "ok" if op.ok else
+                ("existed" if op.existed else "failed"))
+            detail = ""
+            if op.kind in ("insert", "update"):
+                detail = f" wrote={op.wrote!r}"
+            elif op.kind == "search" and op.ok:
+                detail = f" -> {op.value!r}"
+            lines.append(f"  [{op.invoked:g},{op.completed:g}] "
+                         f"{op.kind}{detail} ({outcome})")
+        return "\n".join(lines)
+
+
+def _legal(op: KvOp, state: Optional[bytes]
+           ) -> Tuple[bool, Optional[bytes]]:
+    """Map semantics: is ``op``'s reported result legal in ``state``
+    (the key's current value, None = absent), and the state after it."""
+    if op.lost and op.ok:
+        # SNAPSHOT last-writer-wins: the op succeeded but lost its round,
+        # so its effect was superseded by the concurrent winner before
+        # anyone could observe it — a no-op.  A lost insert/update proved
+        # the key present (conflict re-check / located slot); a lost
+        # delete may have lost to another delete, so it is always legal.
+        if op.kind == "delete":
+            return True, state
+        return state is not None, state
+    if op.kind == "search":
+        if op.ok:
+            return (state is not None and op.value == state), state
+        return state is None, state
+    if op.kind == "insert":
+        if op.ok:
+            return state is None, op.wrote
+        # A failed insert must be due to the key existing.
+        return (op.existed and state is not None), state
+    if op.kind == "update":
+        if op.ok:
+            return state is not None, op.wrote
+        return state is None, state
+    # delete.  Success is *idempotent*: a DELETE's v_new is the null slot
+    # word, which aliases the empty slot, so a deleter whose CAS raced a
+    # completed concurrent delete sees every replica already holding its
+    # target value and (correctly, per SNAPSHOT's rules) reports a win.
+    # The spec is therefore "ok means the key is absent afterwards", legal
+    # from either state; a failed delete proved the key absent at locate
+    # time.
+    if op.ok:
+        return True, None
+    return state is None, state
+
+
+def _check_partition(ops: Sequence[KvOp], initial: Optional[bytes],
+                     max_states: int) -> bool:
+    n = len(ops)
+    if n == 0:
+        return True
+    if n > 63:
+        raise ValueError(
+            f"per-key history too large for the bitmask checker ({n} ops)")
+    all_required = 0
+    for i, op in enumerate(ops):
+        if op.required:
+            all_required |= 1 << i
+    seen: Set[Tuple[int, Optional[bytes]]] = set()
+    states = 0
+
+    def candidates(done_mask: int) -> List[int]:
+        pending = [i for i in range(n) if not done_mask & (1 << i)]
+        if not pending:
+            return []
+        min_completed = min(ops[i].completed for i in pending)
+        return [i for i in pending if ops[i].invoked <= min_completed]
+
+    def search(done_mask: int, state: Optional[bytes]) -> bool:
+        nonlocal states
+        if done_mask & all_required == all_required:
+            return True
+        key = (done_mask, state)
+        if key in seen:
+            return False
+        seen.add(key)
+        states += 1
+        if states > max_states:
+            raise RuntimeError("kv linearizability search exploded")
+        for i in candidates(done_mask):
+            ok, next_state = _legal(ops[i], state)
+            if ok and search(done_mask | (1 << i), next_state):
+                return True
+        return False
+
+    return search(0, initial)
+
+
+def check_kv_linearizable(
+        ops: Sequence[KvOp],
+        initial: Optional[Dict[bytes, bytes]] = None,
+        max_states: int = 2_000_000) -> Optional[KvViolation]:
+    """Check a concurrent whole-store history against map semantics.
+
+    Returns ``None`` when the history is linearizable, else a
+    :class:`KvViolation` naming the first key whose subhistory admits no
+    legal total order.  ``initial`` seeds per-key starting values (keys
+    absent from it start empty).
+
+    Pending operations (``required=False``) may be linearized anywhere
+    after their invocation or dropped; pending searches are ignored.
+    """
+    initial = initial or {}
+    partitions: Dict[bytes, List[KvOp]] = {}
+    for op in ops:
+        if not op.required and op.kind == "search":
+            continue
+        partitions.setdefault(op.key, []).append(op)
+    for key in sorted(partitions):
+        part = partitions[key]
+        if not _check_partition(part, initial.get(key), max_states):
+            return KvViolation(key=key, ops=tuple(
+                sorted(part, key=lambda o: (o.invoked, o.completed))))
+    return None

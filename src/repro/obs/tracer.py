@@ -52,9 +52,11 @@ class Span:
 
     __slots__ = ("sid", "op", "cid", "start_us", "end_us", "ok", "outcome",
                  "error", "rtts", "unsignaled", "rpcs", "retries", "batches",
-                 "cur_phase")
+                 "cur_phase", "key", "wrote", "value", "existed")
 
-    def __init__(self, sid: int, op: str, cid: int, start_us: float):
+    def __init__(self, sid: int, op: str, cid: int, start_us: float,
+                 key: Optional[bytes] = None,
+                 wrote: Optional[bytes] = None):
         self.sid = sid
         self.op = op
         self.cid = cid
@@ -63,6 +65,13 @@ class Span:
         self.ok: Optional[bool] = None
         self.outcome: Optional[str] = None
         self.error: Optional[str] = None
+        # KV-history fields (concurrent linearizability checking): the
+        # operation's key, the value argument it wrote, the value a
+        # successful search returned, and insert's already-present flag.
+        self.key = key
+        self.wrote = wrote
+        self.value: Optional[bytes] = None
+        self.existed = False
         self.rtts = 0          # signaled doorbell batches (1 batch = 1 RTT)
         self.unsignaled = 0    # fire-and-forget batches (off critical path)
         self.rpcs = 0
@@ -93,6 +102,7 @@ class Span:
             "sid": self.sid,
             "op": self.op,
             "cid": self.cid,
+            "key": self.key.hex() if self.key is not None else None,
             "t0": self.start_us,
             "t1": self.end_us,
             "ok": self.ok,
@@ -138,8 +148,10 @@ class Tracer:
         stack = self._stacks.get(proc)
         return stack[-1] if stack else None
 
-    def begin_span(self, op: str, cid: int) -> Span:
-        span = Span(next(self._sid), op, cid, self.env.now)
+    def begin_span(self, op: str, cid: int, key: Optional[bytes] = None,
+                   wrote: Optional[bytes] = None) -> Span:
+        span = Span(next(self._sid), op, cid, self.env.now, key=key,
+                    wrote=wrote)
         self.spans.append(span)
         stack = self._stack()
         if stack is not None:
@@ -147,11 +159,15 @@ class Tracer:
         return span
 
     def end_span(self, span: Span, ok: bool, outcome: Optional[str] = None,
-                 error: Optional[str] = None) -> None:
+                 error: Optional[str] = None,
+                 value: Optional[bytes] = None,
+                 existed: bool = False) -> None:
         span.end_us = self.env.now
         span.ok = ok
         span.outcome = outcome
         span.error = error
+        span.value = value
+        span.existed = existed
         proc = self.env.active_process
         stack = self._stacks.get(proc)
         if stack and span in stack:
@@ -245,10 +261,11 @@ class NullTracer:
     spans: List[Span] = []
     orphan_batches: List[dict] = []
 
-    def begin_span(self, op: str, cid: int) -> None:
+    def begin_span(self, op: str, cid: int, key=None, wrote=None) -> None:
         return None
 
-    def end_span(self, span, ok, outcome=None, error=None) -> None:
+    def end_span(self, span, ok, outcome=None, error=None, value=None,
+                 existed=False) -> None:
         pass
 
     def phase(self, name: str) -> None:

@@ -146,6 +146,7 @@ class Fabric:
         for op in ops:
             node = self.nodes[op.mn_id]
             self._count(op, node)
+            self.env.note_access(("crash", node.mn_id), False)
             if node.crashed:
                 self.stats.failed_verbs += 1
                 completions.append(Completion(op, FAIL))
@@ -195,6 +196,7 @@ class Fabric:
         cfg = self.config
         node = self.nodes[mn_id]
         self.stats.rpcs += 1
+        self.env.note_access(("crash", mn_id), False)
         if node.crashed:
             yield self.env.timeout(cfg.fail_delay_us)
             return FAIL
@@ -208,6 +210,11 @@ class Fabric:
         req = node.cpu.request()
         yield req
         try:
+            # RPC handlers mutate MN-side Python state (allocator maps,
+            # master metadata) that word-level footprints cannot see; mark
+            # the whole endpoint as written so schedule exploration never
+            # prunes a reordering across a handler invocation.
+            self.env.note_access(("rpc", mn_id, name), True)
             handler = node.rpc_handler(name)
             reply, cpu_time = handler(payload)
             yield self.env.timeout(cpu_time)

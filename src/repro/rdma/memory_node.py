@@ -68,10 +68,15 @@ class MemoryNode:
 
     # -- failure injection --------------------------------------------------
     def crash(self) -> None:
+        # The liveness flag is shared state every verb's outcome depends
+        # on; footprint it so schedule exploration never prunes a
+        # reordering across a crash (the fabric notes the matching read).
+        self.env.note_access(("crash", self.mn_id), True)
         self.crashed = True
 
     def recover(self) -> None:
         """Bring the node back (used by elasticity / reconfiguration tests)."""
+        self.env.note_access(("crash", self.mn_id), True)
         self.crashed = False
 
     # -- verb execution (called by the fabric at the serialisation point) ---
@@ -79,23 +84,35 @@ class MemoryNode:
         """Atomically apply a verb to local memory; returns its raw result."""
         if isinstance(op, ReadOp):
             self._check_range(op.addr, op.length)
+            self._note_words(op.addr, op.length, write=False)
             return bytes(self.memory[op.addr:op.addr + op.length])
         if isinstance(op, WriteOp):
             self._check_range(op.addr, len(op.data))
+            self._note_words(op.addr, len(op.data), write=True)
             self.memory[op.addr:op.addr + len(op.data)] = op.data
             return None
         if isinstance(op, CasOp):
             self._check_range(op.addr, WORD)
+            self._note_words(op.addr, WORD, write=True)
             old = _U64.unpack_from(self.memory, op.addr)[0]
             if old == op.expected & MASK64:
                 _U64.pack_into(self.memory, op.addr, op.swap & MASK64)
             return old
         if isinstance(op, FaaOp):
             self._check_range(op.addr, WORD)
+            self._note_words(op.addr, WORD, write=True)
             old = _U64.unpack_from(self.memory, op.addr)[0]
             _U64.pack_into(self.memory, op.addr, (old + op.delta) & MASK64)
             return old
         raise TypeError(f"unknown verb {op!r}")
+
+    def _note_words(self, addr: int, length: int, write: bool) -> None:
+        """Report touched 8-byte words to the schedule explorer, if any."""
+        if self.env._access_hook is None or length <= 0:
+            return
+        note = self.env.note_access
+        for word in range(addr // WORD, (addr + length - 1) // WORD + 1):
+            note(("m", self.mn_id, word), write)
 
     def read_word(self, addr: int) -> int:
         """Debug/recovery helper: read an 8-byte word without the fabric."""

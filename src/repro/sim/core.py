@@ -301,6 +301,11 @@ class Environment:
         self._queue: List = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        # Controlled-schedule hooks (repro.check): both default to None so
+        # the normal path costs one attribute check per step/access.
+        self._scheduler = None
+        self._access_hook = None
+        self._uids = itertools.count()
 
     @property
     def now(self) -> float:
@@ -309,6 +314,41 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    # -- controlled scheduling (repro.check) --------------------------------
+    @property
+    def scheduler(self):
+        return self._scheduler
+
+    def set_scheduler(self, scheduler) -> None:
+        """Install (or remove, with ``None``) a controlled scheduler.
+
+        A scheduler object must provide ``select(env) -> entry`` which pops
+        and returns one entry from ``env._queue`` (the choice among all
+        co-runnable entries at the minimum timestamp), plus
+        ``begin_event(event)`` / ``end_event(event)`` bracketing hooks and
+        a ``note_access(token, write)`` footprint sink.
+        """
+        self._scheduler = scheduler
+        self._access_hook = None if scheduler is None \
+            else scheduler.note_access
+        if scheduler is not None and getattr(scheduler, "env", None) is None:
+            scheduler.env = self
+
+    def note_access(self, token, write: bool) -> None:
+        """Report a shared-state access of the currently running step.
+
+        ``token`` is any hashable identity of the touched state (a memory
+        word, a resource, an RPC target); used by the schedule explorer's
+        sleep-set reduction to decide which event reorderings commute.
+        """
+        hook = self._access_hook
+        if hook is not None:
+            hook(token, write)
+
+    def next_uid(self) -> int:
+        """A deterministic id for shared resources (footprint tokens)."""
+        return next(self._uids)
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -335,17 +375,37 @@ class Environment:
             (self._now + delay, priority, next(self._eid), event))
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled event.
+
+        With a controlled scheduler installed the choice among co-runnable
+        events (all entries sharing the minimum timestamp) is delegated to
+        it; otherwise the heap order (time, priority, insertion) applies.
+        """
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        scheduler = self._scheduler
+        if scheduler is None:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            for callback in callbacks or ():
+                callback(event)
+            if event._ok is False and not event._defused:
+                # Unhandled failure: surface it to the run()/step() caller.
+                raise event._value
+            return
+        when, _prio, _eid, event = scheduler.select(self)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        event._processed = True
-        for callback in callbacks or ():
-            callback(event)
+        scheduler.begin_event(event)
+        try:
+            callbacks, event.callbacks = event.callbacks, None
+            event._processed = True
+            for callback in callbacks or ():
+                callback(event)
+        finally:
+            scheduler.end_event(event)
         if event._ok is False and not event._defused:
-            # An unhandled failure: surface it to the caller of run()/step().
             raise event._value
 
     def peek(self) -> float:

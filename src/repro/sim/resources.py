@@ -46,6 +46,10 @@ class Resource:
         self.capacity = capacity
         self._in_use = 0
         self._waiting: Deque[Request] = deque()
+        # Deterministic identity for schedule-exploration footprints: the
+        # grant order of a contended pool is shared state, so acquisitions
+        # and releases must register as conflicting accesses.
+        self._uid = env.next_uid()
 
     @property
     def in_use(self) -> int:
@@ -56,6 +60,7 @@ class Resource:
         return len(self._waiting)
 
     def request(self) -> Request:
+        self.env.note_access(("res", self._uid), True)
         req = Request(self)
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -65,6 +70,7 @@ class Resource:
         return req
 
     def release(self, request: Request) -> None:
+        self.env.note_access(("res", self._uid), True)
         if self._waiting:
             nxt = self._waiting.popleft()
             nxt.succeed()
@@ -110,6 +116,7 @@ class NicPort:
         self._next_free = 0.0
         self.total_busy = 0.0
         self.ops = 0
+        self._uid = env.next_uid()
 
     def occupy(self, service_time: float,
                not_before: Optional[float] = None) -> Event:
@@ -121,6 +128,10 @@ class NicPort:
         earliest = self.env.now if not_before is None else not_before
         start = max(earliest, self._next_free)
         end = start + service_time
+        if service_time > 0.0:
+            # With zero service time the line never queues, so occupancy is
+            # not observable shared state — keep it out of footprints.
+            self.env.note_access(("nic", self._uid), True)
         self._next_free = end
         self.total_busy += service_time
         self.ops += 1
@@ -132,6 +143,8 @@ class NicPort:
         earliest = self.env.now if not_before is None else not_before
         start = max(earliest, self._next_free)
         end = start + service_time
+        if service_time > 0.0:
+            self.env.note_access(("nic", self._uid), True)
         self._next_free = end
         self.total_busy += service_time
         self.ops += 1

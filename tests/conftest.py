@@ -1,10 +1,35 @@
-"""Shared fixtures: small FUSEE clusters sized for fast tests."""
+"""Shared fixtures: small FUSEE clusters sized for fast tests.
+
+Also pins the Hypothesis profile for the whole suite.  CI runs must not
+flake on a slow runner or an unlucky draw, so the default ``ci`` profile
+is derandomized (the seed is fixed per test body) and has no deadline;
+``HYPOTHESIS_PROFILE=dev`` restores randomized exploration for local
+bug-hunting sessions.
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import ClusterConfig, FuseeCluster
 from repro.core.addressing import RegionConfig
 from repro.core.race import RaceConfig
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def small_config(**overrides) -> ClusterConfig:
