@@ -18,6 +18,11 @@ Commands
     scenario clean, verify a protocol mutation is caught, replay a
     recorded decision sequence, or (default) run the whole
     mutation-detection matrix.
+``faults``
+    Run a fault-injection campaign (see docs/faults.md): a scripted or
+    seeded-random timeline of packet loss, duplication, partitions and
+    gray nodes under a multi-client workload, with a fault/outcome
+    report and linearizability verdict.
 
 Observability flags (``demo`` and ``ycsb``)
 -------------------------------------------
@@ -250,6 +255,21 @@ def cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_faults(args) -> int:
+    from .faults.campaign import CAMPAIGNS, run_campaign
+
+    if args.list:
+        for name in (*CAMPAIGNS, "random"):
+            print(name)
+        return 0
+    report = run_campaign(args.campaign, seed=args.seed,
+                          retries=not args.no_retries,
+                          clients=args.clients,
+                          ops_per_client=args.ops_per_client)
+    print(report.render())
+    return 0 if report.sound else 1
+
+
 def _add_obs_flags(parser) -> None:
     parser.add_argument("--trace", default=None, metavar="OUT.json",
                         help="write a Chrome trace_event file "
@@ -317,6 +337,23 @@ def main(argv=None) -> int:
     check_parser.add_argument("--max-decisions", type=int, default=None,
                               help="override the branch depth bound")
     check_parser.set_defaults(func=cmd_check)
+
+    faults_parser = sub.add_parser(
+        "faults", help="run a network-fault-injection campaign")
+    faults_parser.add_argument("--campaign", default="mixed",
+                               help="campaign name (see --list); "
+                                    "'random' draws a seeded plan")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="fate seed (and plan seed for "
+                                    "'random')")
+    faults_parser.add_argument("--clients", type=int, default=3)
+    faults_parser.add_argument("--ops-per-client", type=int, default=120)
+    faults_parser.add_argument("--no-retries", action="store_true",
+                               help="disable the client retry layer "
+                                    "(negative control)")
+    faults_parser.add_argument("--list", action="store_true",
+                               help="list campaign names")
+    faults_parser.set_defaults(func=cmd_faults)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -40,13 +40,16 @@ from ..core.linearizability import (History, check_kv_linearizable,
                                     check_linearizable)
 from ..core.race import RaceConfig, SlotRef
 from ..core.wire import FLAG_INVALID, SLOT_SIZE, unpack_slot
+from ..faults.model import CN, FaultInjector, FaultPlan, LinkFault, Partition
+from ..faults.retry import RetryPolicy
 from ..rdma import Fabric, FabricConfig, MemoryNode
 from ..sim import Environment, NicProfile
 from .history import LogicalClockTracer, kv_ops_from_spans
 from .scheduler import ControlledScheduler
 
 __all__ = ["SCENARIOS", "make_slot_write_race", "make_slot_crash_read",
-           "make_cluster_insert_race", "make_cluster_update_invalidate"]
+           "make_cluster_insert_race", "make_cluster_update_invalidate",
+           "make_slot_write_race_lossy", "make_cluster_partition_heal"]
 
 Scenario = Callable[[ControlledScheduler], Optional[str]]
 
@@ -178,6 +181,64 @@ def make_slot_crash_read(replicas: int = 3) -> Scenario:
                    for op in history.ops]
             return (f"crash-read history not linearizable as a register: "
                     f"{ops}")
+        return None
+
+    return scenario
+
+
+def make_slot_write_race_lossy(writers: int = 2, replicas: int = 3) -> Scenario:
+    """Conflicting SNAPSHOT writers on one slot over a *lossy* fabric.
+
+    A deterministic fault plan drops/duplicates CAS messages (fates are
+    content+time keyed, so replaying a schedule replays the faults).  A
+    timed-out CAS is uncertain — it may have applied — so writers may end
+    in ``NEED_MASTER``; with no master in this world those rounds stay
+    *pending* in the history.  Invariants: at most one winner, replica
+    convergence whenever nobody needed the master, and register
+    linearizability with uncertain writes treated as pending.
+    """
+    plan = FaultPlan(link_faults=[
+        LinkFault(drop_p=0.12, dup_p=0.10, start_us=0.0, end_us=60.0)],
+        seed=7)
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env, fabric, ref = _slot_world(sched, replicas)
+        fabric.injector = FaultInjector(
+            plan, retry=RetryPolicy(max_attempts=4, verb_timeout_us=4.0,
+                                    backoff_base_us=1.0, backoff_cap_us=8.0))
+        history = History(initial_value=0)
+        results = {}
+
+        def writer(val: int):
+            invoked = sched.logical_clock()
+            res = yield from snapshot_mod.snapshot_write(
+                fabric, ref, 0, val, retry_sleep_us=1.0, max_wait_rounds=64)
+            results[val] = res
+            if res.outcome.completed:
+                history.record("w", val, invoked, sched.logical_clock())
+            else:
+                history.record_pending("w", val, invoked)
+
+        for i in range(writers):
+            env.process(writer(100 + i), name=f"writer-{i}")
+        env.run()
+
+        winners = sorted(v for v, r in results.items() if r.outcome.won)
+        if len(winners) > 1:
+            return (f"two last writers decided for one round under loss: "
+                    f"{winners}")
+        uncertain = [v for v, r in results.items()
+                     if not r.outcome.completed]
+        if not uncertain:
+            # Every round decided without the master: replicas converge.
+            words = {mn: fabric.node(mn).read_word(0)
+                     for mn in range(replicas)}
+            if len(set(words.values())) > 1:
+                return f"replica divergence without NEED_MASTER: {words}"
+        if not check_linearizable(history):
+            ops = [(op.kind, op.value, op.invoked, op.completed)
+                   for op in history.ops]
+            return f"lossy slot history not linearizable: {ops}"
         return None
 
     return scenario
@@ -318,13 +379,59 @@ def make_cluster_update_invalidate() -> Scenario:
     return scenario
 
 
+def make_cluster_partition_heal() -> Scenario:
+    """An UPDATE and a SEARCH racing across a transient client<->MN
+    partition that heals mid-schedule.
+
+    While partitioned, the clients' verbs time out and retry; once the
+    window closes the operations must all terminate (no hangs) with a
+    KV-linearizable history — operations that gave up with a typed error
+    become pending ops the checker may discard, but a search must never
+    claim absence it could not prove.
+    """
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env = Environment()
+        tracer = LogicalClockTracer(sched.logical_clock, env=env)
+        cluster = FuseeCluster(_small_cluster_config(), env=env,
+                               tracer=tracer)
+        c1, c2 = cluster.new_client(), cluster.new_client()
+        key = b"partitioned-key"
+        cluster.run_op(c1.insert(key, b"old-value"))
+        meta = cluster.race.key_meta(key)
+        primary_mn = cluster.race.placement(meta.subtable)[0][0]
+        cluster.install_faults(
+            FaultPlan(partitions=[Partition(a=CN, b=primary_mn,
+                                            start_us=0.0, end_us=40.0)],
+                      seed=3),
+            retry=RetryPolicy(max_attempts=4, verb_timeout_us=4.0,
+                              rpc_timeout_us=8.0, backoff_base_us=1.0,
+                              backoff_cap_us=8.0))
+
+        env.set_scheduler(sched)
+        p1 = env.process(c1.update(key, b"new-value"), name="update")
+        p2 = env.process(c2.search(key), name="search")
+        env.run(until=env.all_of([p1, p2]))
+        if not (p1.triggered and p2.triggered):
+            return "an operation hung across the partition"
+        cluster.clear_faults()
+        # Epilogue on the healed fabric: the final value must be one the
+        # history can explain.
+        cluster.run_op(c2.search(key))
+        violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+        return str(violation) if violation is not None else None
+
+    return scenario
+
+
 # --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
 
 SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "slot-write-race": make_slot_write_race,
+    "slot-write-race-lossy": make_slot_write_race_lossy,
     "slot-crash-read": make_slot_crash_read,
     "cluster-insert-race": make_cluster_insert_race,
     "cluster-update-invalidate": make_cluster_update_invalidate,
+    "cluster-partition-heal": make_cluster_partition_heal,
 }

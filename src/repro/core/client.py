@@ -23,7 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..rdma import Fabric, ReadOp, WriteOp
+from ..rdma import Fabric, ReadOp, TIMEOUT, WriteOp
 from .addressing import RegionMap
 from .cache import AdaptiveIndexCache, CacheEntry
 from .memory import AllocResult, ClientAllocator, ClientTable
@@ -87,6 +87,27 @@ class OpResult:
     existed: bool = False       # INSERT: the key was already present
     outcome: Optional[Outcome] = None
     error: Optional[str] = None
+
+
+class _Unavailable:
+    """Sentinel: a locate/refresh could not determine whether the key
+    exists (transport timeouts under fault injection) — distinct from a
+    definite absence (None).  Ops that see it fail with a typed error
+    instead of claiming the key was missing, which keeps fault-injected
+    histories honest for the linearizability checker.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "UNAVAILABLE"
+
+
+_UNAVAILABLE = _Unavailable()
+
+#: Link id of the client<->master connection for fault-fate draws (the
+#: master lives in the compute pool, not on a memory node).
+_MASTER_LINK = -1
 
 
 @dataclass
@@ -425,16 +446,17 @@ class FuseeClient:
                 return OpResult(ok=False, error="index unavailable")
             if not view.matches:
                 return OpResult(ok=False)
-            found, saw_invalid = yield from self._match_candidates(
-                key, view.matches)
+            found, saw_invalid, unreadable = yield from \
+                self._match_candidates(key, view.matches)
             if found is not None:
                 ref, word, value = found
                 self.cache.store(key, ref, word)
                 return OpResult(ok=True, value=value)
-            if not saw_invalid:
+            if not saw_invalid and not unreadable:
                 return OpResult(ok=False)
-            # The key's pair was invalidation-marked: a writer is
-            # mid-replacement; re-read the slot shortly.
+            # The key's pair was invalidation-marked (a writer is
+            # mid-replacement) or unreadable (transport timeout); re-read
+            # the slot shortly rather than conclude absence.
             self._retry()
             yield self.env.timeout(self.config.retry_sleep_us)
         return OpResult(ok=False, error="retries exhausted")
@@ -454,13 +476,19 @@ class FuseeClient:
             ops = self.race.bucket_read_ops(meta, replica=0)
             batch = ops + list(extra_ops or [])
             comps = yield self.fabric.post(batch)
+            if any(c.value is TIMEOUT for c in comps[len(ops):]):
+                # A KV replica write timed out: it may never have applied,
+                # so the op cannot go on to install a pointer to it.
+                return None
             if not any(c.failed for c in comps[:len(ops)]):
                 payloads = [c.value for c in comps[:len(ops)]]
                 return self.race.parse_buckets(meta, payloads)
             extra_ops = None  # crashed mid-read; writes were still posted
         elif extra_ops:
             # honour the piggy-backed KV writes exactly once
-            yield self.fabric.post(list(extra_ops))
+            comps = yield self.fabric.post(list(extra_ops))
+            if any(c.value is TIMEOUT for c in comps):
+                return None
         for _attempt in range(self.config.max_op_retries):
             placement = self.race.placement(meta.subtable)
             if not self.fabric.node(placement[0][0]).crashed:
@@ -503,12 +531,15 @@ class FuseeClient:
     def _match_candidates(self, key: bytes, matches):
         """Read fingerprint-hit KV blocks and return the true key match
         (lowest slot index wins so concurrent readers agree), as
-        ``((ref, word, value) | None, saw_invalid_match)`` (generator).
+        ``((ref, word, value) | None, saw_invalid_match, unreadable)``
+        (generator).
 
         ``saw_invalid_match`` is True when a candidate held the key but was
         invalidation-marked — i.e. a concurrent writer is mid-replacement
         and the caller should re-read the slot rather than conclude the
-        key is absent.
+        key is absent.  ``unreadable`` is True when a candidate read timed
+        out (fault injection): the key's presence is unknown, so callers
+        must not conclude absence from this view.
         """
         reads = []
         usable = []
@@ -518,12 +549,15 @@ class FuseeClient:
                 reads.append(op)
                 usable.append(snap)
         if not reads:
-            return None, False
+            return None, False, False
         saw_invalid = False
+        unreadable = False
         self.fabric.trace_phase("kv.match_read")
         comps = yield self.fabric.post(reads)
         for snap, comp in zip(usable, comps):
             if comp.failed:
+                if comp.value is TIMEOUT:
+                    unreadable = True
                 continue
             try:
                 header, kv_key, kv_value = decode_kv_payload(comp.value)
@@ -535,8 +569,8 @@ class FuseeClient:
             if header.invalid:
                 saw_invalid = True
                 continue
-            return (snap.ref, snap.word, kv_value), saw_invalid
-        return None, saw_invalid
+            return (snap.ref, snap.word, kv_value), saw_invalid, False
+        return None, saw_invalid, unreadable
 
     # ------------------------------------------------------------- INSERT
     def insert(self, key: bytes, value: bytes):
@@ -561,12 +595,17 @@ class FuseeClient:
             return OpResult(ok=False, error="index unavailable")
         for _expansion in range(8):
             if view.matches:
-                found, saw_invalid = yield from self._match_candidates(
-                    key, view.matches)
+                found, saw_invalid, unreadable = yield from \
+                    self._match_candidates(key, view.matches)
                 if found is not None or saw_invalid:
                     # present (or mid-replacement by a concurrent writer)
                     self._discard_object(prepared.alloc, OP_INSERT)
                     return OpResult(ok=False, existed=True)
+                if unreadable:
+                    # A candidate KV read timed out: we cannot rule out
+                    # that this key already exists, so we must not insert.
+                    self._discard_object(prepared.alloc, OP_INSERT)
+                    return OpResult(ok=False, error="index unavailable")
             if view.empties:
                 break
             # Candidate buckets are full: ask the master to split the
@@ -576,7 +615,13 @@ class FuseeClient:
                 raise IndexFullError(
                     f"no free slot for key {key!r} in subtable "
                     f"{meta.subtable} and no master to expand it")
-            expanded = yield from self.master.request_expand(meta.subtable)
+            expanded = yield from self._master_rpc(
+                "expand",
+                lambda token: self.master.request_expand(meta.subtable,
+                                                         token=token))
+            if expanded is _UNAVAILABLE:
+                self._discard_object(prepared.alloc, OP_INSERT)
+                return OpResult(ok=False, error="master unavailable")
             if not expanded:
                 self._discard_object(prepared.alloc, OP_INSERT)
                 raise IndexFullError(
@@ -613,6 +658,12 @@ class FuseeClient:
             # INSERT of the same key, ours linearizes right before it.
             same_key = yield from self._insert_conflict_recheck(
                 key, meta, result.committed)
+            if same_key is None:
+                # Could not read the winner's object (timeout): unknown
+                # whether it holds our key, so neither success nor another
+                # slot attempt is safe.
+                self._discard_object(prepared.alloc, OP_INSERT)
+                return OpResult(ok=False, error="conflict check unavailable")
             if same_key:
                 self._discard_object(prepared.alloc, OP_INSERT)
                 return OpResult(ok=True, outcome=result.outcome)
@@ -629,7 +680,8 @@ class FuseeClient:
     def _insert_conflict_recheck(self, key: bytes, meta: KeyMeta,
                                  committed: Optional[int]):
         """After losing a slot CAS, decide whether the winner inserted the
-        *same* key (generator; returns bool).
+        *same* key (generator; returns bool, or None when the winner's
+        object was unreadable under fault injection).
 
         A protocol decision point: skipping this re-check makes a losing
         inserter grab another empty slot and double-insert the key — the
@@ -648,7 +700,8 @@ class FuseeClient:
         self.fabric.trace_phase("insert.conflict_check")
         comp = yield self.fabric.post_one(comp_op)
         if comp.failed:
-            return False
+            # TIMEOUT means "could not tell" (None), not "different key".
+            return None if comp.value is TIMEOUT else False
         try:
             _h, kv_key, _v = decode_kv_payload(comp.value)
         except ValueError:
@@ -672,11 +725,14 @@ class FuseeClient:
                                                     prepared.write_ops)
         yield from self._maybe_separate_log(prepared)
         self._maybe_crash(CrashPoint.C0)
-        if located is None and self.master is not None \
-                and self.master.epoch != epoch0:
+        if (located is None or located is _UNAVAILABLE) \
+                and self.master is not None and self.master.epoch != epoch0:
             # directory/membership changed under us: re-hash and re-locate
             meta = self.race.key_meta(key)
             located = yield from self._locate_for_write(key, meta, [])
+        if located is _UNAVAILABLE:
+            self._discard_object(prepared.alloc, OP_UPDATE)
+            return OpResult(ok=False, error="index unavailable")
         if located is None:
             self._discard_object(prepared.alloc, OP_UPDATE)
             return OpResult(ok=False)
@@ -704,10 +760,13 @@ class FuseeClient:
                                                     prepared.write_ops)
         yield from self._maybe_separate_log(prepared)
         self._maybe_crash(CrashPoint.C0)
-        if located is None and self.master is not None \
-                and self.master.epoch != epoch0:
+        if (located is None or located is _UNAVAILABLE) \
+                and self.master is not None and self.master.epoch != epoch0:
             meta = self.race.key_meta(key)
             located = yield from self._locate_for_write(key, meta, [])
+        if located is _UNAVAILABLE:
+            self._discard_object(prepared.alloc, OP_DELETE)
+            return OpResult(ok=False, error="index unavailable")
         if located is None:
             self._discard_object(prepared.alloc, OP_DELETE)
             return OpResult(ok=False)
@@ -752,6 +811,10 @@ class FuseeClient:
                 if self.config.replication_mode == "sequential":
                     # FUSEE-CR serializes: a lost CAS means retry the op.
                     refreshed = yield from self._refresh_v_old(key, meta, ref)
+                    if refreshed is _UNAVAILABLE:
+                        if opcode == OP_UPDATE:
+                            self._discard_object(prepared.alloc, opcode)
+                        return OpResult(ok=False, error="index unavailable")
                     if refreshed is None:
                         if opcode == OP_UPDATE:
                             self._discard_object(prepared.alloc, opcode)
@@ -768,6 +831,9 @@ class FuseeClient:
                     meta = self.race.key_meta(key)
                     located = yield from self._locate_for_write(key, meta,
                                                                 [])
+                    if located is _UNAVAILABLE:
+                        self._discard_object(prepared.alloc, opcode)
+                        return OpResult(ok=False, error="index unavailable")
                     if located is None:
                         self._discard_object(prepared.alloc, opcode)
                         return OpResult(ok=False)
@@ -806,12 +872,16 @@ class FuseeClient:
         """Phase ① of UPDATE/DELETE: find the key's slot and read its
         primary value, batching the new-KV writes into the same RTT.
 
-        Returns ``(ref, v_old)`` or None if the key is absent (generator).
+        Returns ``(ref, v_old)``, None if the key is definitely absent, or
+        :data:`_UNAVAILABLE` when transport timeouts left its presence
+        unknown (generator).
         """
         entry, bypassed = self.cache.lookup_for_access(key)
         if entry is not None and bypassed:
             located = yield from self._locate_bypass(key, meta, entry,
                                                      kv_write_ops)
+            if located is _UNAVAILABLE:
+                return _UNAVAILABLE
             if located is not None:
                 return located
             kv_write_ops = []  # the KV writes were posted by the bypass
@@ -828,6 +898,11 @@ class FuseeClient:
                 batch.append(kv_read)
                 self.fabric.trace_phase("write.locate_cached")
                 comps = yield self.fabric.post(batch)
+                if any(c.value is TIMEOUT for c in comps):
+                    # A piggy-backed KV replica write (or the slot read)
+                    # may not have applied; the op must not proceed to CAS
+                    # a pointer at possibly-unwritten memory.
+                    return _UNAVAILABLE
                 slot_comp, kv_comp = comps[-2], comps[-1]
                 if not slot_comp.failed:
                     word_now = int.from_bytes(slot_comp.value, "big")
@@ -868,18 +943,20 @@ class FuseeClient:
             view = yield from self._read_buckets(
                 meta, extra_ops=kv_write_ops if kv_write_ops else None)
             kv_write_ops = []  # only piggy-back the KV writes once
-            if view is None or not view.matches:
+            if view is None:
+                return _UNAVAILABLE
+            if not view.matches:
                 return None
-            found, saw_invalid = yield from self._match_candidates(
-                key, view.matches)
+            found, saw_invalid, unreadable = yield from \
+                self._match_candidates(key, view.matches)
             if found is not None:
                 ref, word, _value = found
                 return ref, word
-            if not saw_invalid:
+            if not saw_invalid and not unreadable:
                 return None
             self._retry()
             yield self.env.timeout(self.config.retry_sleep_us)
-        return None
+        return _UNAVAILABLE
 
     def _locate_bypass(self, key: bytes, meta: KeyMeta,
                        entry: CacheEntry, kv_write_ops: List[WriteOp]):
@@ -890,11 +967,17 @@ class FuseeClient:
         primary_mn, primary_addr = ref.primary()
         if self.fabric.node(primary_mn).crashed:
             if kv_write_ops:
-                yield self.fabric.post(kv_write_ops)
+                comps = yield self.fabric.post(kv_write_ops)
+                if any(c.value is TIMEOUT for c in comps):
+                    return _UNAVAILABLE
             return None
         batch = list(kv_write_ops) + [ReadOp(primary_mn, primary_addr, 8)]
         self.fabric.trace_phase("write.locate_bypass")
         comps = yield self.fabric.post(batch)
+        if any(c.value is TIMEOUT for c in comps):
+            # The piggy-backed KV writes (or the slot read) may not have
+            # applied: neither proceeding nor falling back is safe.
+            return _UNAVAILABLE
         if comps[-1].failed:
             return None
         word = int.from_bytes(comps[-1].value, "big")
@@ -909,7 +992,7 @@ class FuseeClient:
             return None
         comp = yield self.fabric.post_one(kv_read)
         if comp.failed:
-            return None
+            return _UNAVAILABLE if comp.value is TIMEOUT else None
         try:
             _h, kv_key, _v = decode_kv_payload(comp.value)
         except ValueError:
@@ -924,7 +1007,7 @@ class FuseeClient:
         self.fabric.trace_phase("write.refresh_slot")
         comp = yield self.fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
         if comp.failed:
-            return None
+            return _UNAVAILABLE if comp.value is TIMEOUT else None
         word = int.from_bytes(comp.value, "big")
         if word == 0:
             return None
@@ -936,7 +1019,7 @@ class FuseeClient:
             return None
         kv = yield self.fabric.post_one(op)
         if kv.failed:
-            return None
+            return _UNAVAILABLE if kv.value is TIMEOUT else None
         try:
             _h, kv_key, _v = decode_kv_payload(kv.value)
         except ValueError:
@@ -955,11 +1038,56 @@ class FuseeClient:
 
     def _escalate(self, ref: SlotRef, v_old: int):
         """fail_query RPC to the master (Algorithm 4); returns the resolved
-        slot value, or None without a master (generator)."""
+        slot value, or None without a master / an unreachable one
+        (generator)."""
         if self.master is None:
             return None
         self.stats.master_escalations += 1
-        return (yield from self.master.fail_query(ref, v_old))
+        resolved = yield from self._master_rpc(
+            "fail_query",
+            lambda token: self.master.fail_query(ref, v_old, token=token))
+        return None if resolved is _UNAVAILABLE else resolved
+
+    def _master_rpc(self, name: str, make_call):
+        """Call a master RPC with fault-aware timeout/retry semantics
+        (generator).
+
+        Without a fault injector this is a plain call.  With one, the
+        client↔master link suffers the plan's faults: a dropped request
+        means this attempt never reached the master; a dropped reply
+        means the call *did* run — the idempotency ``token`` (threaded to
+        the master by ``make_call``) lets it answer the retry from its
+        reply cache instead of re-applying.  Returns the RPC result, or
+        :data:`_UNAVAILABLE` once the retry budget is exhausted.
+        """
+        inj = self.fabric.injector
+        if inj is None:
+            return (yield from make_call(None))
+        stats = self.fabric.stats
+        policy = inj.retry
+        token = self.env.next_uid()
+        ident = ("master", name, token)
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                stats.rpc_retries += 1
+                self.fabric.tracer.note_transport_retry()
+            t0 = self.env.now
+            fate = inj.fate(ident, _MASTER_LINK, attempt, t0)
+            backoff = policy.backoff_us(attempt, fate.backoff_u)
+            if fate.drop_request:
+                stats.dropped_requests += 1
+                yield self.env.timeout(policy.rpc_timeout_us + backoff)
+                continue
+            result = yield from make_call(token)
+            if fate.drop_reply:
+                stats.dropped_replies += 1
+                waited = self.env.now - t0
+                yield self.env.timeout(
+                    max(0.0, policy.rpc_timeout_us - waited) + backoff)
+                continue
+            return result
+        stats.rpc_timeouts += 1
+        return _UNAVAILABLE
 
     # ----------------------------------------------------------- background
     def maintenance(self, release_blocks: bool = False):

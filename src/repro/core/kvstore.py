@@ -208,6 +208,8 @@ class FuseeCluster:
                 mn_ids=[mn_id] + backups)
         self.mn_allocators[mn_id] = MnBlockAllocator(
             node, self.region_map, self.fabric.nodes)
+        # a node joining mid-campaign lives on the same imperfect fabric
+        self.mn_allocators[mn_id].injector = self.fabric.injector
         return mn_id
 
     def _allocate_subtable(self, new_id: int, n_replicas: int):
@@ -255,6 +257,38 @@ class FuseeCluster:
         if tracer.env is None:
             tracer.env = self.env
         self.fabric.tracer = tracer
+
+    # --------------------------------------------------------------- faults
+    def install_faults(self, plan, retry=None):
+        """Install a fault plan (or a prebuilt injector) on the cluster.
+
+        Wires the injector into the fabric (verb/RPC delivery), the master
+        (RPC idempotency dedup), and every MN block allocator (replica
+        mirror writes honour partitions).  ``retry`` overrides the client
+        retry policy.  Pass ``None`` to uninstall.  Returns the injector.
+        """
+        from ..faults.model import FaultInjector, FaultPlan
+
+        if plan is None:
+            injector = None
+        elif isinstance(plan, FaultInjector):
+            injector = plan
+            if retry is not None:
+                injector.retry = retry
+        else:
+            if not isinstance(plan, FaultPlan):
+                raise TypeError(f"expected FaultPlan or FaultInjector, "
+                                f"got {type(plan).__name__}")
+            injector = FaultInjector(plan, retry=retry)
+        self.fabric.injector = injector
+        self.master.fault_injector = injector
+        for allocator in self.mn_allocators.values():
+            allocator.injector = injector
+        return injector
+
+    def clear_faults(self):
+        """Remove any installed fault injector (the fabric heals)."""
+        self.install_faults(None)
 
     # -------------------------------------------------------------- helpers
     def crash_memory_node(self, mn_id: int) -> None:

@@ -20,6 +20,7 @@ on the data path; it only
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -138,6 +139,27 @@ class Master:
         # installed by the cluster: (new_id, n_replicas) -> placement
         self.subtable_allocator = None
         self.splits_performed = 0
+        # Client-RPC idempotency (repro.faults): results cached by token so
+        # a client retransmission after a lost reply never re-runs the
+        # handler — in particular a completed split is never split again.
+        self.fault_injector = None
+        self.rpc_dedup_hits = 0
+        self._rpc_results: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def _dedup_call(self, token: Optional[int], call):
+        """Run a client-RPC generator at most once per token (generator)."""
+        if token is None:
+            return (yield from call)
+        hit = self._rpc_results.get(token)
+        if hit is not None:
+            self.rpc_dedup_hits += 1
+            call.close()
+            return hit[0]
+        result = yield from call
+        self._rpc_results[token] = (result,)
+        if len(self._rpc_results) > 4096:
+            self._rpc_results.popitem(last=False)
+        return result
 
     # ------------------------------------------------------------ membership
     def start(self) -> None:
@@ -266,13 +288,20 @@ class Master:
         return None
 
     # --------------------------------------------------- index expansion
-    def request_expand(self, subtable: int):
+    def request_expand(self, subtable: int, token: Optional[int] = None):
         """Client RPC: the subtable rejected an insert for lack of slots.
 
         Concurrent requests for the same subtable coalesce onto one split.
         Returns True if the directory changed (the caller must recompute
-        its key metadata).  Generator.
+        its key metadata).  ``token`` is the client's idempotency token: a
+        retransmitted request whose first invocation already completed is
+        answered from the result cache instead of splitting again.
+        Generator.
         """
+        return (yield from self._dedup_call(
+            token, self._request_expand(subtable)))
+
+    def _request_expand(self, subtable: int):
         yield self.env.timeout(self.config.rpc_one_way_us)
         barrier = self._blocked.get(subtable)
         if barrier is not None:
@@ -376,12 +405,18 @@ class Master:
         return True
 
     # ------------------------------------------------------------ fail_query
-    def fail_query(self, ref: SlotRef, v_old: int):
+    def fail_query(self, ref: SlotRef, v_old: int,
+                   token: Optional[int] = None):
         """Client RPC (Algorithm 4): resolve a slot blocked by a failure.
 
         Returns the committed value of the slot after repair.  The caller
         retries its write if the returned value equals its ``v_old``.
+        ``token``: idempotency token for fault-aware retransmissions.
         """
+        return (yield from self._dedup_call(
+            token, self._fail_query(ref, v_old)))
+
+    def _fail_query(self, ref: SlotRef, v_old: int):
         yield self.env.timeout(self.config.rpc_one_way_us)
         req = self.cpu.request()
         yield req

@@ -120,6 +120,9 @@ class MnBlockAllocator:
             for region_id in region_map.primary_regions_of(node.mn_id)
             for block in range(layout.n_blocks))
         self._central_free: Dict[int, Deque[int]] = {}
+        # Optional fault injection: MN->MN mirror writes are skipped while
+        # an injected MN<->MN partition blocks the replica (repro.faults).
+        self.injector = None
         node.register_rpc("alloc_block", self._handle_alloc)
         node.register_rpc("free_block", self._handle_free)
         node.register_rpc("find_client_blocks", self._handle_find_blocks)
@@ -128,6 +131,13 @@ class MnBlockAllocator:
     @property
     def free_block_count(self) -> int:
         return len(self._free_blocks)
+
+    def _replica_reachable(self, mn_id: int) -> bool:
+        """Is the replica MN reachable for a mirror write right now?"""
+        if mn_id == self.node.mn_id or self.injector is None:
+            return True
+        return self.injector.mn_reachable(self.node.mn_id, mn_id,
+                                          self.node.env.now)
 
     def _handle_alloc(self, payload: dict):
         cid = payload["cid"]
@@ -142,7 +152,7 @@ class MnBlockAllocator:
         bitmap_len = layout.bitmap_bytes_per_block
         for mn_id, base in self.region_map.placement(region_id):
             replica = self.nodes[mn_id]
-            if replica.crashed:
+            if replica.crashed or not self._replica_reachable(mn_id):
                 continue
             replica.write_word(base + table_off, entry)
             replica.memory[base + bitmap_off:base + bitmap_off + bitmap_len] = (
@@ -176,7 +186,7 @@ class MnBlockAllocator:
         bitmap_len = layout.bitmap_bytes_per_block
         for mn_id, base in self.region_map.placement(region_id):
             replica = self.nodes[mn_id]
-            if replica.crashed:
+            if replica.crashed or not self._replica_reachable(mn_id):
                 continue
             replica.write_word(base + table_off, 0)
             replica.memory[base + bitmap_off:base + bitmap_off + bitmap_len]                 = bytes(bitmap_len)
@@ -201,7 +211,7 @@ class MnBlockAllocator:
             table_off = layout.block_table_entry_offset(block)
             for mn_id, base in self.region_map.placement(region_id):
                 replica = self.nodes[mn_id]
-                if not replica.crashed:
+                if not replica.crashed and self._replica_reachable(mn_id):
                     replica.write_word(base + table_off, entry)
             start = layout.block_offset(block)
             for off in range(0, layout.config.block_size - size + 1, size):

@@ -213,6 +213,10 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
     v_list: List[object] = []
     for comp in comps:
         if comp.failed:
+            # Covers both crashed-replica FAIL and fault-injected TIMEOUT:
+            # an uncertain CAS (it may have applied with the reply lost)
+            # escalates to NEED_MASTER, and fail_query resolves the slot's
+            # true committed value once the link heals — never guessed here.
             v_list.append(FAIL)
         elif comp.value == v_old:   # our CAS took effect: slot now holds v_new
             v_list.append(v_new)

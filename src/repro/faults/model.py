@@ -1,0 +1,268 @@
+"""Deterministic, seeded fault model for the simulated RDMA fabric.
+
+A :class:`FaultPlan` is a scripted timeline of network imperfections:
+
+* :class:`LinkFault` — per-link drop/duplicate probability and delay
+  jitter over a time window (``mn_id=None`` applies to every
+  compute-side↔MN link);
+* :class:`Partition` — a link partition between the compute side
+  (clients + master, endpoint :data:`CN`) and an MN, or between two MNs;
+  ``drop_requests`` / ``drop_replies`` make it asymmetric (one direction
+  only);
+* :class:`GrayNode` — a slow-but-alive MN whose NIC/CPU service times
+  are inflated by ``factor``.
+
+The :class:`FaultInjector` turns a plan into per-delivery *fates*.  Every
+probabilistic draw is a keyed hash (BLAKE2b over the plan seed, the link,
+the message identity, the attempt number, and the current sim time) —
+**not** a sequential RNG — so a fate depends only on *what* is sent and
+*when*, never on how many unrelated draws happened before it.  Replaying
+a schedule replays the exact same faults, which keeps the
+:mod:`repro.check` schedule explorer and Hypothesis shrinking sound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Iterable, Optional, Tuple
+
+from ..rdma.verbs import verb_ident
+from .retry import RetryPolicy
+
+__all__ = [
+    "CN",
+    "LinkFault",
+    "Partition",
+    "GrayNode",
+    "FaultPlan",
+    "Fate",
+    "FaultInjector",
+    "verb_ident",
+]
+
+#: Endpoint label for the compute side of the fabric (clients + master).
+CN = "cn"
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Loss / duplication / jitter on a compute-side↔MN link."""
+
+    mn_id: Optional[int] = None    # None: every compute↔MN link
+    drop_p: float = 0.0            # per message, per direction
+    dup_p: float = 0.0             # per delivered request
+    jitter_us: float = 0.0         # extra one-way delay, uniform [0, jitter)
+    start_us: float = 0.0
+    end_us: float = _INF
+
+    def active(self, now: float) -> bool:
+        return self.start_us <= now < self.end_us
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A (possibly asymmetric) partition between ``a`` and ``b``.
+
+    ``a``/``b`` are :data:`CN` or MN ids.  ``drop_requests`` kills a→b
+    traffic, ``drop_replies`` kills b→a traffic; set only one for an
+    asymmetric partition.
+    """
+
+    a: object
+    b: object
+    start_us: float = 0.0
+    end_us: float = _INF
+    drop_requests: bool = True
+    drop_replies: bool = True
+
+    def active(self, now: float) -> bool:
+        return self.start_us <= now < self.end_us
+
+
+@dataclass(frozen=True)
+class GrayNode:
+    """A slow-but-alive MN: service times multiplied by ``factor``."""
+
+    mn_id: int
+    factor: float = 8.0
+    start_us: float = 0.0
+    end_us: float = _INF
+
+    def active(self, now: float) -> bool:
+        return self.start_us <= now < self.end_us
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted timeline of fabric imperfections (plus the fate seed)."""
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    gray_nodes: Tuple[GrayNode, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        # accept lists for convenience, store tuples (hashable/frozen)
+        object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "gray_nodes", tuple(self.gray_nodes))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.link_faults or self.partitions or self.gray_nodes)
+
+    def horizon_us(self) -> float:
+        """Latest finite fault-window end — after this the fabric is clean."""
+        ends = [f.end_us for f in
+                (*self.link_faults, *self.partitions, *self.gray_nodes)
+                if f.end_us != _INF]
+        return max(ends, default=0.0)
+
+    @staticmethod
+    def random(seed: int, n_mns: int, duration_us: float,
+               max_loss_bursts: int = 3, max_drop_p: float = 0.05,
+               max_dup_p: float = 0.02, max_jitter_us: float = 2.0,
+               partition: bool = True, gray: bool = True) -> "FaultPlan":
+        """A seeded random campaign: a few loss bursts, at most one
+        transient compute↔MN partition, at most one gray node."""
+        rng = random.Random(seed)
+        links = []
+        for _ in range(rng.randint(1, max(1, max_loss_bursts))):
+            start = rng.uniform(0.0, 0.7 * duration_us)
+            links.append(LinkFault(
+                mn_id=rng.choice([None] + list(range(n_mns))),
+                drop_p=rng.uniform(0.001, max_drop_p),
+                dup_p=rng.uniform(0.0, max_dup_p),
+                jitter_us=rng.uniform(0.0, max_jitter_us),
+                start_us=start,
+                end_us=start + rng.uniform(0.05, 0.4) * duration_us))
+        partitions = []
+        if partition and rng.random() < 0.8:
+            start = rng.uniform(0.1, 0.6) * duration_us
+            asym = rng.random() < 0.3
+            partitions.append(Partition(
+                a=CN, b=rng.randrange(n_mns),
+                start_us=start,
+                end_us=start + rng.uniform(0.05, 0.25) * duration_us,
+                drop_requests=True,
+                drop_replies=not asym))
+        grays = []
+        if gray and rng.random() < 0.5:
+            start = rng.uniform(0.0, 0.5) * duration_us
+            grays.append(GrayNode(
+                mn_id=rng.randrange(n_mns),
+                factor=rng.uniform(2.0, 8.0),
+                start_us=start,
+                end_us=start + rng.uniform(0.1, 0.5) * duration_us))
+        return FaultPlan(link_faults=tuple(links),
+                         partitions=tuple(partitions),
+                         gray_nodes=tuple(grays), seed=seed)
+
+
+@dataclass(frozen=True)
+class Fate:
+    """The drawn outcome of one delivery attempt."""
+
+    drop_request: bool = False
+    drop_reply: bool = False
+    duplicate: bool = False
+    request_jitter_us: float = 0.0
+    reply_jitter_us: float = 0.0
+    backoff_u: float = 0.0      # uniform variate for the retry backoff
+
+
+_CLEAN_FATE = Fate()
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` into per-delivery :class:`Fate`\\ s.
+
+    Installed on a fabric via
+    :meth:`repro.core.kvstore.FuseeCluster.install_faults` (or by setting
+    ``fabric.injector`` directly for substrate-level tests).
+    """
+
+    def __init__(self, plan: FaultPlan, retry: RetryPolicy | None = None):
+        self.plan = plan
+        self.retry = retry or RetryPolicy()
+        self._key = struct.pack(">q", plan.seed & ((1 << 63) - 1))
+
+    # ------------------------------------------------------------ draws
+    def _u(self, *parts) -> float:
+        """Deterministic uniform in [0, 1) keyed by seed + ``parts``."""
+        h = blake2b(repr(parts).encode(), digest_size=8, key=self._key)
+        return int.from_bytes(h.digest(), "big") / 2.0 ** 64
+
+    # ------------------------------------------------------------ topology
+    def cn_partition(self, mn_id: int, now: float) -> Tuple[bool, bool]:
+        """Active compute↔MN partition state → (drop_request, drop_reply)."""
+        drop_req = drop_rep = False
+        for p in self.plan.partitions:
+            if not p.active(now):
+                continue
+            if p.a == CN and p.b == mn_id:
+                drop_req |= p.drop_requests
+                drop_rep |= p.drop_replies
+            elif p.a == mn_id and p.b == CN:
+                drop_req |= p.drop_replies
+                drop_rep |= p.drop_requests
+        return drop_req, drop_rep
+
+    def mn_reachable(self, src: int, dst: int, now: float) -> bool:
+        """Can MN ``src`` currently push traffic to MN ``dst``?"""
+        for p in self.plan.partitions:
+            if not p.active(now):
+                continue
+            if p.a == src and p.b == dst and p.drop_requests:
+                return False
+            if p.a == dst and p.b == src and p.drop_replies:
+                return False
+        return True
+
+    def service_factor(self, mn_id: int, now: float) -> float:
+        factor = 1.0
+        for g in self.plan.gray_nodes:
+            if g.mn_id == mn_id and g.active(now):
+                factor *= g.factor
+        return factor
+
+    # ------------------------------------------------------------ fates
+    def _active_link_faults(self, mn_id: int,
+                            now: float) -> Iterable[Tuple[int, LinkFault]]:
+        for i, lf in enumerate(self.plan.link_faults):
+            if (lf.mn_id is None or lf.mn_id == mn_id) and lf.active(now):
+                yield i, lf
+
+    def fate(self, ident: tuple, mn_id: int, attempt: int,
+             now: float) -> Fate:
+        """Draw the fate of delivery attempt ``attempt`` of message
+        ``ident`` to/from ``mn_id`` starting at sim time ``now``."""
+        drop_req, drop_rep = self.cn_partition(mn_id, now)
+        dup = False
+        jit_req = jit_rep = 0.0
+        for i, lf in self._active_link_faults(mn_id, now):
+            if lf.drop_p > 0.0:
+                drop_req = drop_req or (
+                    self._u("dq", i, mn_id, ident, attempt, now) < lf.drop_p)
+                drop_rep = drop_rep or (
+                    self._u("dr", i, mn_id, ident, attempt, now) < lf.drop_p)
+            if lf.dup_p > 0.0:
+                dup = dup or (
+                    self._u("dup", i, mn_id, ident, attempt, now) < lf.dup_p)
+            if lf.jitter_us > 0.0:
+                jit_req += lf.jitter_us * self._u("jq", i, mn_id, ident,
+                                                  attempt, now)
+                jit_rep += lf.jitter_us * self._u("jr", i, mn_id, ident,
+                                                  attempt, now)
+        if not (drop_req or drop_rep or dup or jit_req or jit_rep):
+            return _CLEAN_FATE
+        return Fate(drop_request=drop_req, drop_reply=drop_rep,
+                    duplicate=dup, request_jitter_us=jit_req,
+                    reply_jitter_us=jit_rep,
+                    backoff_u=self._u("bo", mn_id, ident, attempt, now))

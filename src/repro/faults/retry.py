@@ -1,0 +1,81 @@
+"""Transport-level retry/backoff policy and typed fault errors.
+
+The policy mirrors what a reliable-connection RNIC does in hardware:
+each verb (and each RPC) gets a per-attempt timeout; a lost request or
+reply triggers a retransmission after a capped exponential backoff with
+jitter.  Retransmissions carry the *same* idempotency token (the PSN
+analogue), so the responder deduplicates re-deliveries and a retry after
+a dropped reply never double-applies — see :mod:`repro.faults.model` and
+the fault-aware paths in :mod:`repro.rdma.fabric`.
+
+All draws are externalised: :meth:`RetryPolicy.backoff_us` takes the
+uniform variate ``u`` as an argument, so the schedule is a pure function
+of ``(attempt, u)`` — deterministic, unit-testable, and replayable under
+schedule exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "NO_RETRY", "FaultError", "RetriesExhausted"]
+
+
+class FaultError(Exception):
+    """Base class for typed failures surfaced by the fault layer."""
+
+
+class RetriesExhausted(FaultError):
+    """An operation ran out of transport retries (link down too long)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-verb / per-RPC timeout and capped exponential backoff.
+
+    ``max_attempts`` counts the first try: ``max_attempts=1`` disables
+    retries entirely (one shot, then a typed timeout), which is how the
+    fault campaigns prove the injector actually injects.
+    """
+
+    max_attempts: int = 6
+    verb_timeout_us: float = 12.0   # one-sided verbs: ~SLA of a clean RTT
+    rpc_timeout_us: float = 60.0    # RPCs queue on the weak MN CPU
+    backoff_base_us: float = 2.0
+    backoff_cap_us: float = 64.0
+    jitter_frac: float = 0.5        # fraction of the backoff jittered away
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError("jitter_frac must be in [0, 1]")
+
+    def backoff_us(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff before retransmitting after failed attempt ``attempt``.
+
+        ``attempt`` is 1-based; ``u`` in [0, 1) is the jitter variate.
+        Deterministic: the same ``(attempt, u)`` always yields the same
+        delay, and the result never exceeds ``backoff_cap_us``.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = self.backoff_base_us * (2.0 ** (attempt - 1))
+        capped = min(raw, self.backoff_cap_us)
+        return capped * (1.0 - self.jitter_frac * u)
+
+    def timeout_us(self, rpc: bool) -> float:
+        return self.rpc_timeout_us if rpc else self.verb_timeout_us
+
+    def budget_us(self, rpc: bool = False) -> float:
+        """Worst-case time spent before giving up (timeouts + backoffs)."""
+        timeout = self.timeout_us(rpc)
+        total = self.max_attempts * timeout
+        for attempt in range(1, self.max_attempts):
+            total += self.backoff_us(attempt, 0.0)
+        return total
+
+
+#: One shot, no retransmissions — used to demonstrate that campaigns fail
+#: without the resilience layer.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -51,8 +51,9 @@ class Span:
     """One traced KV operation (or recovery procedure)."""
 
     __slots__ = ("sid", "op", "cid", "start_us", "end_us", "ok", "outcome",
-                 "error", "rtts", "unsignaled", "rpcs", "retries", "batches",
-                 "cur_phase", "key", "wrote", "value", "existed")
+                 "error", "rtts", "unsignaled", "rpcs", "retries",
+                 "transport_retries", "batches", "cur_phase", "key", "wrote",
+                 "value", "existed")
 
     def __init__(self, sid: int, op: str, cid: int, start_us: float,
                  key: Optional[bytes] = None,
@@ -75,7 +76,8 @@ class Span:
         self.rtts = 0          # signaled doorbell batches (1 batch = 1 RTT)
         self.unsignaled = 0    # fire-and-forget batches (off critical path)
         self.rpcs = 0
-        self.retries = 0
+        self.retries = 0            # protocol-level retries (CAS races, ...)
+        self.transport_retries = 0  # fault-layer retransmissions
         self.batches: List[dict] = []
         self.cur_phase = ""
 
@@ -112,6 +114,7 @@ class Span:
             "unsignaled": self.unsignaled,
             "rpcs": self.rpcs,
             "retries": self.retries,
+            "transport_retries": self.transport_retries,
             "batches": self.batches,
         }
 
@@ -186,10 +189,25 @@ class Tracer:
         if span is not None:
             span.retries += 1
 
+    def note_transport_retry(self, span: Optional[Span] = None) -> None:
+        """A fault-layer retransmission.  The fabric's fault-aware paths
+        run in their own delivery processes, so they pass the issuing
+        span explicitly (captured at post time)."""
+        if span is None:
+            span = self.current_span()
+        if span is not None:
+            span.transport_retries += 1
+
     # ------------------------------------------------- fabric-side hooks
     def on_batch(self, ops, completions, t0: float, t1: float,
-                 unsignaled: bool = False) -> None:
-        """Called by the fabric for every posted doorbell batch."""
+                 unsignaled: bool = False,
+                 span: Optional[Span] = None) -> None:
+        """Called by the fabric for every posted doorbell batch.
+
+        ``span`` overrides process-based attribution when the batch
+        completes inside a fabric-internal delivery process (fault
+        injection) rather than the client's own process step.
+        """
         record = {
             "kind": "batch",
             "phase": "",
@@ -202,7 +220,8 @@ class Tracer:
         }
         if unsignaled:
             record["unsignaled"] = True
-        span = self.current_span()
+        if span is None:
+            span = self.current_span()
         if span is not None:
             record["phase"] = span.cur_phase
             span.batches.append(record)
@@ -274,10 +293,14 @@ class NullTracer:
     def note_retry(self) -> None:
         pass
 
+    def note_transport_retry(self, span=None) -> None:
+        pass
+
     def current_span(self) -> None:
         return None
 
-    def on_batch(self, ops, completions, t0, t1, unsignaled=False) -> None:
+    def on_batch(self, ops, completions, t0, t1, unsignaled=False,
+                 span=None) -> None:
         pass
 
     def on_rpc(self, mn_id: int, name: str) -> dict:

@@ -4,6 +4,7 @@ from .fabric import Fabric, FabricConfig, FabricStats
 from .memory_node import MemoryNode
 from .verbs import (
     FAIL,
+    TIMEOUT,
     CasOp,
     Completion,
     FaaOp,
@@ -20,6 +21,7 @@ __all__ = [
     "FabricStats",
     "MemoryNode",
     "FAIL",
+    "TIMEOUT",
     "CasOp",
     "Completion",
     "FaaOp",

@@ -31,6 +31,7 @@ from ..sim import Environment, Event
 from .memory_node import MemoryNode
 from .verbs import (
     FAIL,
+    TIMEOUT,
     CasOp,
     Completion,
     FaaOp,
@@ -38,6 +39,7 @@ from .verbs import (
     Verb,
     WriteOp,
     op_bytes,
+    verb_ident,
 )
 
 __all__ = ["Fabric", "FabricConfig", "FabricStats"]
@@ -72,6 +74,16 @@ class FabricStats:
     bytes_moved: int = 0
     batches: int = 0
     failed_verbs: int = 0   # verbs completed FAIL (crashed target)
+    # fault-injection counters (all zero on a clean fabric)
+    dropped_requests: int = 0   # request messages lost in flight
+    dropped_replies: int = 0    # acks/replies lost after execution
+    duplicates: int = 0         # fabric-duplicated request deliveries
+    dedup_hits: int = 0         # re-deliveries answered from token cache
+    transport_retries: int = 0  # verb retransmissions
+    verb_timeouts: int = 0      # verbs that exhausted their retry budget
+    rpc_retries: int = 0        # RPC retransmissions
+    rpc_dedup_hits: int = 0     # RPC re-deliveries answered from cache
+    rpc_timeouts: int = 0       # RPCs that exhausted their retry budget
     per_mn_ops: Dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "FabricStats":
@@ -108,6 +120,9 @@ class Fabric:
         elif tracer.env is None:
             tracer.env = env   # late-bind: Tracer() made before the env
         self.tracer = tracer
+        # Optional fault injection (repro.faults).  None keeps the clean
+        # fast path at one attribute check per post/rpc.
+        self.injector = None
 
     def trace_phase(self, name: str) -> None:
         """Label the current operation's next batches (no-op untraced)."""
@@ -137,6 +152,8 @@ class Fabric:
         """
         if not ops:
             raise ValueError("empty doorbell batch")
+        if self.injector is not None:
+            return self._post_faulty(ops, unsignaled)
         cfg = self.config
         now = self.env.now
         arrive = now + cfg.post_overhead_us + cfg.one_way_delay_us
@@ -171,6 +188,107 @@ class Fabric:
             lambda ev: proxy.succeed(ev.value[0]) if ev.ok else proxy.fail(ev.value))
         return proxy
 
+    # -- fault-injected verb path (repro.faults) ------------------------------
+    def _post_faulty(self, ops: Sequence[Verb], unsignaled: bool) -> Event:
+        """Doorbell batch under an installed fault injector.
+
+        Each verb runs in its own delivery process: per attempt the
+        injector draws a fate (lost request, lost reply, duplicated
+        delivery, extra jitter) and the transport retries with capped
+        backoff under the *same* idempotency token, so the memory node
+        applies each verb at most once (`MemoryNode.apply_once`).  A verb
+        whose retry budget runs out completes with :data:`TIMEOUT`.
+        Verbs are applied at their simulated arrival time, so effects
+        still land inside the invocation-completion window and executions
+        remain linearizable.
+        """
+        env = self.env
+        t0 = env.now
+        self.stats.batches += 1
+        span = self.tracer.current_span() if self.tracer.enabled else None
+        completions: List[Completion] = [None] * len(ops)
+        procs = [env.process(
+                    self._deliver_verb(i, op, env.next_uid(), completions,
+                                       span),
+                    name=f"verb:{i}@MN{op.mn_id}")
+                 for i, op in enumerate(ops)]
+        return env.process(self._gather_batch(ops, procs, completions, t0,
+                                              unsignaled, span),
+                           name="batch")
+
+    def _gather_batch(self, ops, procs, completions, t0, unsignaled, span):
+        if len(procs) == 1:
+            yield procs[0]
+        else:
+            yield self.env.all_of(procs)
+        if self.tracer.enabled:
+            self.tracer.on_batch(ops, completions, t0, self.env.now,
+                                 unsignaled=unsignaled, span=span)
+        return completions
+
+    def _deliver_verb(self, i, op, token, completions, span):
+        env = self.env
+        cfg = self.config
+        inj = self.injector
+        policy = inj.retry
+        node = self.nodes[op.mn_id]
+        self._count(op, node)
+        ident = verb_ident(op)
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self.stats.transport_retries += 1
+                if span is not None:
+                    self.tracer.note_transport_retry(span)
+            t_attempt = env.now
+            env.note_access(("crash", node.mn_id), False)
+            if node.crashed:
+                self.stats.failed_verbs += 1
+                yield env.timeout(cfg.fail_delay_us)
+                completions[i] = Completion(op, FAIL)
+                return
+            fate = inj.fate(ident, op.mn_id, attempt, t_attempt)
+            backoff = policy.backoff_us(attempt, fate.backoff_u)
+            if fate.drop_request:
+                self.stats.dropped_requests += 1
+                yield env.timeout(policy.verb_timeout_us + backoff)
+                continue
+            # request propagation (plus drawn jitter)
+            yield env.timeout(cfg.post_overhead_us + cfg.one_way_delay_us
+                              + fate.request_jitter_us)
+            env.note_access(("crash", node.mn_id), False)
+            if node.crashed:
+                self.stats.failed_verbs += 1
+                completions[i] = Completion(op, FAIL)
+                return
+            value, deduped = node.apply_once(token, op)
+            if deduped:
+                self.stats.dedup_hits += 1
+            service = (self._service_time(node, op)
+                       * inj.service_factor(op.mn_id, env.now))
+            port = node.nic_tx if isinstance(op, ReadOp) else node.nic
+            done = port.finish_time(service, not_before=env.now)
+            if fate.duplicate:
+                # The fabric delivered the request twice.  The second copy
+                # hits the token cache (no re-execution) but still costs
+                # NIC service.
+                self.stats.duplicates += 1
+                _, dup_hit = node.apply_once(token, op)
+                if dup_hit:
+                    self.stats.dedup_hits += 1
+                port.finish_time(service, not_before=env.now)
+            if fate.drop_reply:
+                self.stats.dropped_replies += 1
+                elapsed = env.now - t_attempt
+                yield env.timeout(
+                    max(0.0, policy.verb_timeout_us - elapsed) + backoff)
+                continue
+            yield env.timeout(max(0.0, done - env.now)
+                              + cfg.one_way_delay_us + fate.reply_jitter_us)
+            completions[i] = Completion(op, value)
+            return
+        self.stats.verb_timeouts += 1
+        completions[i] = Completion(op, TIMEOUT)
+
     # -- RPCs -------------------------------------------------------------------
     def rpc(self, mn_id: int, name: str, payload: dict) -> Event:
         """Call an RPC handler registered on a memory node.
@@ -180,8 +298,13 @@ class Fabric:
         travels back.  Fires with the reply dict, or :data:`FAIL` if the
         node has crashed.
         """
-        proc = self.env.process(self._rpc_proc(mn_id, name, payload),
-                                name=f"rpc:{name}@MN{mn_id}")
+        span = self.tracer.current_span() if self.tracer.enabled else None
+        if self.injector is not None:
+            gen = self._rpc_faulty_proc(mn_id, name, payload,
+                                        self.env.next_uid(), span)
+        else:
+            gen = self._rpc_proc(mn_id, name, payload)
+        proc = self.env.process(gen, name=f"rpc:{name}@MN{mn_id}")
         if self.tracer.enabled:
             record = self.tracer.on_rpc(mn_id, name)
             env = self.env
@@ -227,6 +350,73 @@ class Fabric:
         yield node.nic.occupy(node.nic.profile.rpc_overhead)
         yield self.env.timeout(cfg.one_way_delay_us)
         return reply
+
+    def _rpc_faulty_proc(self, mn_id: int, name: str, payload: dict,
+                         token: int, span):
+        """RPC path under fault injection: per-attempt timeout, capped
+        backoff, and reply caching keyed by idempotency token on the
+        memory node — a retransmission after a lost reply is answered
+        from the cache, so ALLOC can never leak a block and FREE can
+        never double-free.  Returns :data:`FAIL` when the retry budget
+        runs out (callers already handle FAIL replies)."""
+        cfg = self.config
+        env = self.env
+        inj = self.injector
+        policy = inj.retry
+        node = self.nodes[mn_id]
+        self.stats.rpcs += 1
+        ident = ("rpc", name, token)
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self.stats.rpc_retries += 1
+                if span is not None:
+                    self.tracer.note_transport_retry(span)
+            t_attempt = env.now
+            env.note_access(("crash", mn_id), False)
+            if node.crashed:
+                yield env.timeout(cfg.fail_delay_us)
+                return FAIL
+            fate = inj.fate(ident, mn_id, attempt, t_attempt)
+            backoff = policy.backoff_us(attempt, fate.backoff_u)
+            if fate.drop_request:
+                self.stats.dropped_requests += 1
+                yield env.timeout(policy.rpc_timeout_us + backoff)
+                continue
+            yield env.timeout(cfg.one_way_delay_us + fate.request_jitter_us)
+            yield node.nic.occupy(node.nic.profile.rpc_overhead)
+            if node.crashed:
+                yield env.timeout(cfg.one_way_delay_us)
+                return FAIL
+            cached = node.rpc_reply_cached(token)
+            if cached is not None:
+                self.stats.rpc_dedup_hits += 1
+                reply = cached[0]
+            else:
+                req = node.cpu.request()
+                yield req
+                try:
+                    self.env.note_access(("rpc", mn_id, name), True)
+                    handler = node.rpc_handler(name)
+                    reply, cpu_time = handler(payload)
+                    yield env.timeout(
+                        cpu_time * inj.service_factor(mn_id, env.now))
+                finally:
+                    req.release()
+                node.cache_rpc_reply(token, reply)
+            if node.crashed:
+                yield env.timeout(cfg.one_way_delay_us)
+                return FAIL
+            if fate.drop_reply:
+                self.stats.dropped_replies += 1
+                elapsed = env.now - t_attempt
+                yield env.timeout(
+                    max(0.0, policy.rpc_timeout_us - elapsed) + backoff)
+                continue
+            yield node.nic.occupy(node.nic.profile.rpc_overhead)
+            yield env.timeout(cfg.one_way_delay_us + fate.reply_jitter_us)
+            return reply
+        self.stats.rpc_timeouts += 1
+        return FAIL
 
     # -- internals -----------------------------------------------------------
     def _service_time(self, node: MemoryNode, op: Verb) -> float:

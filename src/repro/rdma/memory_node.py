@@ -12,7 +12,8 @@ completes with :data:`~repro.rdma.verbs.FAIL`.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
 
 from ..sim import Environment, NicPort, NicProfile, Resource
 from .verbs import WORD, CasOp, FaaOp, ReadOp, WriteOp
@@ -50,6 +51,14 @@ class MemoryNode:
         self._rpc_handlers: Dict[str, RpcHandler] = {}
         # simple bump allocator for carving regions at cluster-build time
         self._carve_cursor = 0
+        # Transport-level idempotency (the RNIC's PSN dedup, emulated by
+        # token): result caches consulted by the fault-aware fabric paths
+        # so a retransmission after a lost reply is answered from the
+        # cache instead of re-executing — a retried CAS/FAA can never
+        # double-apply and a retried ALLOC/FREE RPC can never re-run.
+        self._verb_results: "OrderedDict[int, tuple]" = OrderedDict()
+        self._rpc_replies: "OrderedDict[int, tuple]" = OrderedDict()
+        self.dedup_capacity = 8192
 
     # -- cluster-build-time helpers ---------------------------------------
     def carve(self, nbytes: int, align: int = WORD) -> int:
@@ -105,6 +114,32 @@ class MemoryNode:
             _U64.pack_into(self.memory, op.addr, (old + op.delta) & MASK64)
             return old
         raise TypeError(f"unknown verb {op!r}")
+
+    def apply_once(self, token: int, op) -> Tuple[object, bool]:
+        """Apply a verb at most once per idempotency ``token``.
+
+        Returns ``(value, deduplicated)``.  A re-delivery with a token
+        already seen (a retransmission, or a fabric-duplicated request)
+        returns the cached first result without touching memory — the
+        PSN-dedup behaviour of a reliable-connection RNIC.
+        """
+        hit = self._verb_results.get(token)
+        if hit is not None:
+            return hit[0], True
+        value = self.apply(op)
+        self._verb_results[token] = (value,)
+        if len(self._verb_results) > self.dedup_capacity:
+            self._verb_results.popitem(last=False)
+        return value, False
+
+    def rpc_reply_cached(self, token: int) -> Optional[tuple]:
+        """``(reply,)`` if an RPC with this token already ran, else None."""
+        return self._rpc_replies.get(token)
+
+    def cache_rpc_reply(self, token: int, reply: dict) -> None:
+        self._rpc_replies[token] = (reply,)
+        if len(self._rpc_replies) > self.dedup_capacity:
+            self._rpc_replies.popitem(last=False)
 
     def _note_words(self, addr: int, length: int, write: bool) -> None:
         """Report touched 8-byte words to the schedule explorer, if any."""

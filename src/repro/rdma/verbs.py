@@ -20,6 +20,7 @@ from typing import Union
 
 __all__ = [
     "FAIL",
+    "TIMEOUT",
     "ReadOp",
     "WriteOp",
     "CasOp",
@@ -27,6 +28,7 @@ __all__ = [
     "Completion",
     "Verb",
     "WORD",
+    "verb_ident",
 ]
 
 WORD = 8  # size of the atomic unit, bytes
@@ -50,6 +52,32 @@ class _Fail:
 
 
 FAIL = _Fail()
+
+
+class _TimedOut:
+    """Singleton sentinel for verbs whose transport retries ran out.
+
+    Distinct from :data:`FAIL` (crashed target) so callers can tell a
+    dead node from a flaky/partitioned link, but equally falsy and
+    equally covered by :attr:`Completion.failed` — every existing
+    failure-handling path treats both the same way.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TIMEOUT = _TimedOut()
 
 
 @dataclass(frozen=True)
@@ -97,7 +125,8 @@ class Completion:
     """Result of one verb.
 
     ``value`` is ``bytes`` for READ, ``None`` for WRITE, the old integer for
-    CAS/FAA, or :data:`FAIL` if the target memory node had crashed.
+    CAS/FAA, :data:`FAIL` if the target memory node had crashed, or
+    :data:`TIMEOUT` if transport retries were exhausted (fault injection).
     """
 
     op: Verb
@@ -105,13 +134,35 @@ class Completion:
 
     @property
     def failed(self) -> bool:
-        return self.value is FAIL
+        return self.value is FAIL or self.value is TIMEOUT
+
+    @property
+    def timed_out(self) -> bool:
+        return self.value is TIMEOUT
 
     def cas_succeeded(self) -> bool:
         """For a CAS completion: did the swap take effect?"""
         if not isinstance(self.op, CasOp):
             raise TypeError("cas_succeeded() on a non-CAS completion")
         return self.value == self.op.expected
+
+
+def verb_ident(op: Verb) -> tuple:
+    """Content identity of a verb (kind, address, operands).
+
+    The fault layer keys its deterministic fate draws on this, so a
+    fate depends on *what* is sent, not on how many unrelated draws
+    happened before it — replaying a schedule replays the same faults.
+    """
+    if isinstance(op, ReadOp):
+        return ("R", op.addr, op.length)
+    if isinstance(op, WriteOp):
+        return ("W", op.addr, op.data)
+    if isinstance(op, CasOp):
+        return ("C", op.addr, op.expected, op.swap)
+    if isinstance(op, FaaOp):
+        return ("F", op.addr, op.delta)
+    raise TypeError(f"unknown verb {op!r}")
 
 
 def op_bytes(op: Verb) -> int:

@@ -3,7 +3,8 @@
 Sequential phases with a dict oracle between them, so any lost update,
 phantom key, or corrupted value is pinpointed to the phase that caused it:
 
-  load → churn → index splits → MN crash → client crash + recovery →
+  load → churn → churn under packet loss → churn across a healed
+  partition → index splits → MN crash → client crash + recovery →
   pool growth → more churn → final audit.
 """
 
@@ -15,6 +16,7 @@ from repro.core import FuseeCluster
 from repro.core.addressing import RegionConfig
 from repro.core.client import ClientCrashed, CrashPoint
 from repro.core.race import RaceConfig
+from repro.faults import CN, FaultPlan, LinkFault, Partition
 from tests.conftest import run
 
 
@@ -30,15 +32,19 @@ def chaos_cluster():
     ))
 
 
-def audit(cluster, model, phase):
+def audit(cluster, model, phase, deleted=()):
     reader = cluster.new_client()
     for key, value in model.items():
         result = run(cluster, reader.search(key))
         assert result.ok, f"{phase}: lost {key!r}"
         assert result.value == value, f"{phase}: corrupt {key!r}"
-    # spot-check absence of some deleted keys
-    for key in list(model)[:3]:
-        pass
+    # spot-check absence of recently deleted keys
+    for key in list(deleted)[:5]:
+        assert key not in model
+        result = run(cluster, reader.search(key))
+        assert not result.ok, f"{phase}: deleted {key!r} resurrected"
+        assert result.error is None, \
+            f"{phase}: absence check of {key!r} failed: {result.error}"
     return reader
 
 
@@ -63,6 +69,7 @@ def test_full_lifecycle(seed):
     audit(cluster, model, "load")
 
     # phase 2: churn (updates + deletes + reinserts)
+    deleted = set()
     keys = list(model)
     for _ in range(120):
         key = rng.choice(keys)
@@ -72,20 +79,84 @@ def test_full_lifecycle(seed):
             value = f"upd-{rng.randrange(10**6)}".encode()
             if run(cluster, client.update(key, value)).ok:
                 model[key] = value
+                deleted.discard(key)
         elif key in model:
             assert run(cluster, client.delete(key)).ok
             del model[key]
+            deleted.add(key)
         else:
             value = b"re-insert"
             if run(cluster, client.insert(key, value)).ok:
                 model[key] = value
-    audit(cluster, model, "churn")
+                deleted.discard(key)
+    audit(cluster, model, "churn", deleted)
+
+    # phase 2b: churn under 1% packet loss + duplication.  Operations may
+    # now fail with a typed error instead of succeeding, so the oracle is
+    # only advanced on reported success — a success that did not stick, or
+    # a failure that secretly applied, shows up in the audit.
+    now = cluster.env.now
+    cluster.install_faults(FaultPlan(link_faults=[
+        LinkFault(drop_p=0.01, dup_p=0.005, jitter_us=0.5,
+                  start_us=now, end_us=now + 10**9)], seed=seed))
+    for _ in range(60):
+        key = rng.choice(keys)
+        client = rng.choice(clients)
+        op = rng.random()
+        if op < 0.6 or key not in model:
+            value = f"lossy-{rng.randrange(10**6)}".encode()
+            writer = client.update if key in model else client.insert
+            if run(cluster, writer(key, value)).ok:
+                model[key] = value
+                deleted.discard(key)
+        else:
+            if run(cluster, client.delete(key)).ok:
+                del model[key]
+                deleted.add(key)
+    cluster.clear_faults()
+    audit(cluster, model, "lossy-churn", deleted)
+
+    # phase 2c: churn *scratch* keys across a client<->MN partition that
+    # heals mid-phase, then reconcile each scratch key on the healed
+    # fabric.  Scratch keys keep the shared oracle untouched while the
+    # partition makes outcomes uncertain; after reconciliation they join
+    # the model with known values.
+    now = cluster.env.now
+    heal_at = now + 400.0
+    cluster.install_faults(FaultPlan(partitions=[
+        Partition(a=CN, b=1, start_us=now, end_us=heal_at)],
+        seed=seed + 17))
+    scratch = [f"scratch-{seed}-{i}".encode() for i in range(6)]
+    for i in range(24):
+        key = scratch[i % len(scratch)]
+        client = rng.choice(clients)
+        roll = rng.random()
+        if roll < 0.5:
+            run(cluster, client.insert(key, f"part-i{i}".encode()))
+        elif roll < 0.8:
+            run(cluster, client.update(key, f"part-u{i}".encode()))
+        else:
+            run(cluster, client.delete(key))
+    if cluster.env.now < heal_at:
+        cluster.run(until=heal_at + 50.0)
+    cluster.clear_faults()
+    for key in scratch:
+        value = f"reconciled-{key.decode()}".encode()
+        result = run(cluster, clients[0].update(key, value))
+        if not result.ok:
+            assert result.error is None, \
+                f"healed update of {key!r} failed: {result.error}"
+            result = run(cluster, clients[0].insert(key, value))
+            assert result.ok, f"healed insert of {key!r} failed: {result}"
+        model[key] = value
+        deleted.discard(key)
+    audit(cluster, model, "partition-heal", deleted)
 
     # phase 3: crash a memory node mid-traffic
     victim_mn = rng.choice([0, 1, 2])
     cluster.crash_memory_node(victim_mn)
     cluster.run(until=cluster.env.now + cluster.config.master.lease_us * 4)
-    audit(cluster, model, "mn-crash")
+    audit(cluster, model, "mn-crash", deleted)
     for i in range(20):
         key = f"post-crash-{seed}-{i}".encode()
         assert run(cluster, clients[0].insert(key, b"pc")).ok
@@ -108,7 +179,7 @@ def test_full_lifecycle(seed):
     _report, state = run(cluster, recover())
     if point in (CrashPoint.C1, CrashPoint.C2, CrashPoint.C3):
         model[target] = b"crash-write"  # the request is (re)done
-    audit(cluster, model, f"client-crash-{point.value}")
+    audit(cluster, model, f"client-crash-{point.value}", deleted)
     revived = cluster.revive_client(doomed, state)
     clients[1] = revived
     revived.start_background(400.0)
@@ -120,10 +191,10 @@ def test_full_lifecycle(seed):
         value = f"g{i}".encode()
         assert run(cluster, rng.choice(clients).insert(key, value)).ok
         model[key] = value
-    audit(cluster, model, "pool-growth")
+    audit(cluster, model, "pool-growth", deleted)
 
     # final audit: everything, plus replica agreement on the index
-    reader = audit(cluster, model, "final")
+    reader = audit(cluster, model, "final", deleted)
     race = cluster.race
     race.check_directory_invariants()
     for subtable in race.physical_tables():

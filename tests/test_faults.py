@@ -1,0 +1,294 @@
+"""Tests for the network-imperfection fault layer (repro.faults).
+
+Three tiers:
+
+* unit — the retry/backoff schedule is a deterministic pure function,
+  and the idempotency-token caches on the MN and the master dedup
+  retransmissions without re-executing;
+* acceptance — the mixed campaign (loss + duplication + a transient
+  partition) completes with zero hung ops, zero leaked blocks, and a
+  KV-linearizable history; the same campaign with retries disabled
+  demonstrably fails, proving the resilience layer is load-bearing;
+* property — Hypothesis generates small fault plans over random op
+  programs and asserts every run is *sound* (no hangs, no leaks,
+  linearizable) even when individual ops fail with typed errors.
+
+The long random sweep is marked ``campaign`` and excluded from tier-1;
+run it with ``pytest -m campaign``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FuseeCluster
+from repro.faults import (
+    CN,
+    CAMPAIGNS,
+    FaultInjector,
+    FaultPlan,
+    GrayNode,
+    LinkFault,
+    NO_RETRY,
+    Partition,
+    RetryPolicy,
+    run_campaign,
+)
+from repro.rdma.memory_node import MemoryNode
+from repro.rdma.verbs import CasOp, FaaOp
+from repro.sim import Environment
+from tests.conftest import run, small_config
+
+
+# --------------------------------------------------------------------------
+# Retry / backoff policy
+# --------------------------------------------------------------------------
+def test_backoff_schedule_is_deterministic_and_exponential():
+    policy = RetryPolicy(backoff_base_us=2.0, backoff_cap_us=64.0,
+                         jitter_frac=0.5)
+    # same (attempt, u) -> same delay, every time
+    for attempt in range(1, 8):
+        for u in (0.0, 0.25, 0.999):
+            assert policy.backoff_us(attempt, u) == \
+                policy.backoff_us(attempt, u)
+    # with u=0 (no jitter taken) the schedule doubles until the cap
+    undithered = [policy.backoff_us(a, 0.0) for a in range(1, 8)]
+    assert undithered == [2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 64.0]
+
+
+def test_backoff_cap_and_jitter_bounds():
+    policy = RetryPolicy(backoff_base_us=3.0, backoff_cap_us=50.0,
+                         jitter_frac=0.5)
+    for attempt in range(1, 20):
+        for u in (0.0, 0.1, 0.5, 0.999999):
+            delay = policy.backoff_us(attempt, u)
+            assert delay <= policy.backoff_cap_us
+            # jitter shaves off at most jitter_frac of the capped delay
+            full = policy.backoff_us(attempt, 0.0)
+            assert delay >= full * (1.0 - policy.jitter_frac)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter_frac=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy().backoff_us(0)
+
+
+def test_budget_covers_all_attempts():
+    policy = RetryPolicy(max_attempts=4, verb_timeout_us=10.0,
+                         backoff_base_us=2.0, backoff_cap_us=64.0,
+                         jitter_frac=0.5)
+    # 4 timeouts + 3 undithered backoffs (2 + 4 + 8)
+    assert policy.budget_us(rpc=False) == 4 * 10.0 + 2.0 + 4.0 + 8.0
+    assert NO_RETRY.budget_us(rpc=False) == NO_RETRY.verb_timeout_us
+
+
+# --------------------------------------------------------------------------
+# Idempotency tokens
+# --------------------------------------------------------------------------
+def _bare_mn():
+    env = Environment()
+    return MemoryNode(env, mn_id=0, capacity=4096)
+
+
+def test_mn_verb_dedup_never_double_applies():
+    mn = _bare_mn()
+    faa = FaaOp(mn_id=0, addr=0, delta=5)
+    value, deduped = mn.apply_once(token=101, op=faa)
+    assert (value, deduped) == (0, False)
+    # retransmission with the same token: cached result, memory untouched
+    value, deduped = mn.apply_once(token=101, op=faa)
+    assert (value, deduped) == (0, True)
+    assert mn.apply(FaaOp(mn_id=0, addr=0, delta=0)) == 5  # applied exactly once
+    # a *new* token is a new operation
+    value, deduped = mn.apply_once(token=102, op=FaaOp(mn_id=0, addr=0, delta=5))
+    assert (value, deduped) == (5, False)
+
+
+def test_mn_cas_dedup_returns_first_outcome():
+    mn = _bare_mn()
+    cas = CasOp(mn_id=0, addr=8, expected=0, swap=7)
+    old, deduped = mn.apply_once(token=7, op=cas)
+    assert (old, deduped) == (0, False)
+    # the re-delivery must NOT observe the new value and report failure
+    old, deduped = mn.apply_once(token=7, op=cas)
+    assert (old, deduped) == (0, True)
+
+
+def test_mn_rpc_reply_cache_round_trip_and_eviction():
+    mn = _bare_mn()
+    assert mn.rpc_reply_cached(1) is None
+    mn.cache_rpc_reply(1, {"ok": True, "block": 3})
+    assert mn.rpc_reply_cached(1) == ({"ok": True, "block": 3},)
+    mn.dedup_capacity = 4
+    for token in range(2, 10):
+        mn.cache_rpc_reply(token, {"ok": True})
+    assert mn.rpc_reply_cached(1) is None      # oldest evicted
+    assert mn.rpc_reply_cached(9) is not None
+
+
+def test_master_rpc_dedup_runs_handler_once():
+    cluster = FuseeCluster(small_config())
+    master = cluster.master
+    calls = []
+
+    def handler(tag):
+        calls.append(tag)
+        yield cluster.env.timeout(1.0)
+        return f"reply-{tag}"
+
+    assert run(cluster, master._dedup_call(500, handler("a"))) == "reply-a"
+    # retransmission: cached reply, handler generator closed unentered
+    assert run(cluster, master._dedup_call(500, handler("b"))) == "reply-a"
+    assert calls == ["a"]
+    assert master.rpc_dedup_hits == 1
+    # token=None bypasses dedup entirely (fault layer not installed)
+    assert run(cluster, master._dedup_call(None, handler("c"))) == "reply-c"
+    assert run(cluster, master._dedup_call(None, handler("d"))) == "reply-d"
+    assert calls == ["a", "c", "d"]
+
+
+# --------------------------------------------------------------------------
+# Fault injector draws
+# --------------------------------------------------------------------------
+def test_fates_are_deterministic_and_window_scoped():
+    plan = FaultPlan(link_faults=[
+        LinkFault(drop_p=0.5, dup_p=0.3, jitter_us=1.0,
+                  start_us=100.0, end_us=200.0)], seed=42)
+    inj = FaultInjector(plan)
+    ident = ("write", 1, 2, 3)
+    inside = [inj.fate(ident, 0, attempt, 150.0) for attempt in (1, 2, 3)]
+    assert inside == [inj.fate(ident, 0, a, 150.0) for a in (1, 2, 3)]
+    # outside the window every delivery is clean
+    clean = inj.fate(ident, 0, 1, 250.0)
+    assert not (clean.drop_request or clean.drop_reply or clean.duplicate)
+    # attempts draw independent fates (retries can escape a bad draw)
+    assert len({(f.drop_request, f.drop_reply, f.duplicate, f.backoff_u)
+                for f in inside}) > 1
+
+
+def test_partition_topology_queries():
+    plan = FaultPlan(partitions=[
+        Partition(a=CN, b=1, start_us=0.0, end_us=50.0,
+                  drop_requests=True, drop_replies=False),
+        Partition(a=0, b=2, start_us=0.0, end_us=50.0)], seed=0)
+    inj = FaultInjector(plan)
+    assert inj.cn_partition(1, 10.0) == (True, False)   # asymmetric
+    assert inj.cn_partition(1, 60.0) == (False, False)  # healed
+    assert inj.cn_partition(0, 10.0) == (False, False)  # other MN untouched
+    assert not inj.mn_reachable(0, 2, 10.0)
+    assert inj.mn_reachable(0, 2, 60.0)
+    assert inj.mn_reachable(1, 2, 10.0)
+
+
+def test_gray_node_service_factor():
+    plan = FaultPlan(gray_nodes=[
+        GrayNode(mn_id=1, factor=4.0, start_us=10.0, end_us=20.0)], seed=0)
+    inj = FaultInjector(plan)
+    assert inj.service_factor(1, 15.0) == 4.0
+    assert inj.service_factor(1, 25.0) == 1.0
+    assert inj.service_factor(0, 15.0) == 1.0
+
+
+# --------------------------------------------------------------------------
+# Campaign acceptance: mixed faults, with and without the resilience layer
+# --------------------------------------------------------------------------
+def test_mixed_campaign_with_retries_is_clean():
+    report = run_campaign("mixed", seed=0, clients=3, ops_per_client=60)
+    assert report.hung_ops == 0
+    assert not report.exceptions
+    assert report.balance_ok, \
+        f"alloc leak: {report.blocks_outstanding} != {report.blocks_owned}"
+    assert report.linearizable, report.violation
+    assert report.ops_failed == 0 and report.clean
+    # the faults actually fired and the layer actually retried
+    assert report.fabric["dropped_requests"] + \
+        report.fabric["dropped_replies"] > 0
+    assert report.fabric["transport_retries"] > 0
+
+
+def test_mixed_campaign_without_retries_fails():
+    """Negative control: the same campaign, one-shot transport."""
+    report = run_campaign("mixed", seed=0, retries=False,
+                          clients=3, ops_per_client=60)
+    assert report.hung_ops == 0          # failures are typed, never hangs
+    assert not report.exceptions
+    assert not report.clean
+    # without retransmission+dedup, ops fail outright and a granted-but-
+    # unacknowledged ALLOC leaks a block
+    assert report.ops_failed > 0 or not report.balance_ok
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_every_named_campaign_is_sound(name):
+    report = run_campaign(name, seed=1, clients=2, ops_per_client=40)
+    assert report.sound, report.render()
+
+
+# --------------------------------------------------------------------------
+# Property: random small fault plans over random op programs
+# --------------------------------------------------------------------------
+_DURATION = 3000.0
+
+
+@st.composite
+def fault_plans(draw):
+    """Small scripted plans: loss bursts, at most one compute↔MN
+    partition (requests always dropped, so a partitioned MN can never
+    grant a block the client will abandon), at most one gray node."""
+    links = []
+    for _ in range(draw(st.integers(0, 2))):
+        start = draw(st.floats(0.0, 0.6 * _DURATION))
+        links.append(LinkFault(
+            mn_id=draw(st.sampled_from([None, 0, 1, 2])),
+            drop_p=draw(st.floats(0.0, 0.05)),
+            dup_p=draw(st.floats(0.0, 0.02)),
+            jitter_us=draw(st.floats(0.0, 2.0)),
+            start_us=start,
+            end_us=start + draw(st.floats(50.0, 0.4 * _DURATION))))
+    partitions = []
+    if draw(st.booleans()):
+        start = draw(st.floats(0.0, 0.5 * _DURATION))
+        partitions.append(Partition(
+            a=CN, b=draw(st.integers(0, 2)),
+            start_us=start,
+            end_us=start + draw(st.floats(20.0, 400.0)),
+            drop_requests=True,
+            drop_replies=draw(st.booleans())))
+    grays = []
+    if draw(st.booleans()):
+        start = draw(st.floats(0.0, 0.5 * _DURATION))
+        grays.append(GrayNode(
+            mn_id=draw(st.integers(0, 2)),
+            factor=draw(st.floats(2.0, 6.0)),
+            start_us=start,
+            end_us=start + draw(st.floats(100.0, 0.5 * _DURATION))))
+    return FaultPlan(link_faults=links, partitions=partitions,
+                     gray_nodes=grays, seed=draw(st.integers(0, 2 ** 16)))
+
+
+@settings(max_examples=12, deadline=None)
+@given(plan=fault_plans(), program_seed=st.integers(0, 2 ** 16))
+def test_random_plans_stay_sound(plan, program_seed):
+    """Every op terminates (ok or typed failure), no block leaks, and the
+    observed history is KV-linearizable — for arbitrary small plans."""
+    report = run_campaign(seed=program_seed, plan=plan,
+                          clients=2, ops_per_client=25)
+    assert report.hung_ops == 0, report.render()
+    assert not report.exceptions, report.render()
+    assert report.balance_ok, report.render()
+    assert report.linearizable, report.render()
+
+
+# --------------------------------------------------------------------------
+# Long random sweep — excluded from tier-1 (run with `pytest -m campaign`)
+# --------------------------------------------------------------------------
+@pytest.mark.campaign
+@pytest.mark.parametrize("seed", range(8))
+def test_long_random_campaign(seed):
+    report = run_campaign("random", seed=seed, clients=3,
+                          ops_per_client=150)
+    assert report.sound, report.render()
