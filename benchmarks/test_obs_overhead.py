@@ -19,7 +19,7 @@ import time
 from repro.core import ClusterConfig, FuseeCluster
 from repro.core.addressing import RegionConfig
 from repro.core.race import RaceConfig
-from repro.obs import Tracer
+from repro.obs import Profiler, Tracer
 
 OPS_PER_ROUND = 300
 ROUNDS = 7
@@ -29,12 +29,14 @@ RELATIVE_BUDGET = 1.05
 ABSOLUTE_SLACK_S = 0.010
 
 
-def _make_workload(tracer):
+def _make_workload(tracer, profile=False):
     cluster = FuseeCluster(ClusterConfig(
         n_memory_nodes=2, replication_factor=2, regions_per_mn=4,
         region=RegionConfig(region_size=1 << 20, block_size=1 << 14),
         race=RaceConfig(n_subtables=4, n_groups=64)),
         tracer=tracer)
+    profiler = (Profiler(tracer=tracer).install(cluster.env)
+                if profile else None)
     client = cluster.new_client()
     cluster.run_op(client.insert(b"bench-key", b"v" * 64))
 
@@ -45,6 +47,8 @@ def _make_workload(tracer):
         cluster.run_op(client.maintenance())
         if tracer is not None:
             tracer.clear()  # keep memory flat across rounds
+        if profiler is not None:
+            profiler.clear()
 
     return round_fn
 
@@ -79,4 +83,22 @@ def test_disabled_tracer_overhead_under_five_percent():
     # Enabled tracing does real work; just require it stays same-order.
     assert enabled <= baseline * 2.0 + ABSOLUTE_SLACK_S, (
         f"enabled tracer is pathologically slow: {enabled:.4f}s "
+        f"vs {baseline:.4f}s per round")
+
+
+def test_profiler_overhead_is_bounded():
+    """The profiler's hooks ride the same hot paths as the tracer.
+
+    Its *disabled* configuration is ``env.profiler is None`` — exactly
+    what the baseline above times, since the resource/fabric checks run
+    unconditionally — so the 5% guard already covers it.  This guard
+    bounds the *enabled* cost: installing a profiler on top of an enabled
+    tracer records an interval per resource grant and NIC slot, which must
+    stay the same order of magnitude as untraced execution.
+    """
+    baseline_fn = _make_workload(tracer=None)
+    profiled_fn = _make_workload(tracer=Tracer(), profile=True)
+    baseline, profiled = _min_round_time([baseline_fn, profiled_fn])
+    assert profiled <= baseline * 2.5 + ABSOLUTE_SLACK_S, (
+        f"enabled profiler is pathologically slow: {profiled:.4f}s "
         f"vs {baseline:.4f}s per round")

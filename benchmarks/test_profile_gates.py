@@ -1,0 +1,65 @@
+"""Budget gates: the profiler must localise the paper's known bottlenecks.
+
+These are the end-to-end checks that the attribution is *right*, not just
+additive: run each system in a regime whose bottleneck the paper
+establishes, and assert the profile points at it.
+
+* Fig. 2 (motivation): Clover's metadata server is the CPU bottleneck —
+  at the paper's operating point the slowest ops spend the majority of
+  their time queueing for ``metadata.cpu``.
+* Fig. 13 (YCSB scalability): FUSEE's throughput plateau is NIC-bound —
+  under saturating client counts NIC serialisation (wait + service)
+  overtakes wire propagation, which dominates when the fabric is idle.
+
+Scales are pinned here (not taken from ``REPRO_BENCH_SCALE``): the gates
+assert regime-dependent facts, and shrinking the client count moves the
+regime.
+"""
+
+from repro.harness import Scale
+from repro.harness.profiling import profile_ycsb
+
+# Enough clients to queue on the bottleneck, short enough for CI.
+_CLOVER_SCALE = Scale(n_keys=800, n_clients=24, duration_us=1_000.0)
+_FUSEE_LOADED = Scale(n_keys=800, n_clients=64, duration_us=1_000.0)
+_FUSEE_IDLE = Scale(n_keys=800, n_clients=4, duration_us=1_000.0)
+
+
+def test_fig02_clover_tail_is_metadata_cpu_wait():
+    result = profile_ycsb(system="clover", workload="A",
+                          scale=_CLOVER_SCALE, metadata_cores=2)
+    profile = result.profile
+    assert result.run.ops > 100
+    # Majority of p99 latency is queueing for the metadata server's CPU
+    # (calibrated ~0.84 at this operating point; 0.5 is the claim).
+    assert profile.tail_share("cpu_wait", label="metadata.cpu") > 0.5
+    # ... and it dominates overall too, with NIC/propagation minor.
+    assert profile.share("cpu_wait", label="metadata.cpu") > 0.5
+    assert profile.share("cpu_wait") > profile.share("propagation")
+    # The critical path agrees: metadata CPU is the top attribution.
+    top = max(result.critical.attribution.items(), key=lambda kv: kv[1])
+    assert top[0] == ("cpu_wait", "metadata.cpu")
+
+
+def test_fig13_fusee_plateau_is_nic_serialisation():
+    result = profile_ycsb(system="fusee", workload="A",
+                          scale=_FUSEE_LOADED, n_memory_nodes=2)
+    profile = result.profile
+    assert result.run.ops > 1000
+    nic = profile.share("nic_wait") + profile.share("nic_service")
+    # At saturation the NIC (queueing + serialisation) overtakes wire
+    # propagation (calibrated ~0.51 vs ~0.43 at 64 clients / 2 MNs).
+    assert nic > profile.share("propagation")
+    assert profile.share("nic_wait") > 0.25
+    # FUSEE has no RPC on the data path: MN CPU must stay negligible.
+    assert profile.share("cpu_wait") + profile.share("cpu_service") < 0.1
+
+
+def test_fusee_unloaded_is_propagation_dominated():
+    result = profile_ycsb(system="fusee", workload="A",
+                          scale=_FUSEE_IDLE, n_memory_nodes=2)
+    profile = result.profile
+    # The RTT budget regime: with no queueing, ops are wire-bound.
+    assert profile.share("propagation") > 0.6
+    assert profile.share("nic_wait") < 0.1
+    assert profile.share("backoff") == 0.0

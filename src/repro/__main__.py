@@ -13,6 +13,12 @@ Commands
     Drive a closed-loop YCSB workload against a FUSEE bed, optionally
     exporting a Chrome trace (``--trace``), a JSONL event log
     (``--jsonl``) and a metrics report (``--metrics``).
+``profile``
+    Run a profiled YCSB mix on any system bed (FUSEE, Clover, pDPM) and
+    attribute where the simulated microseconds go: per-op queueing
+    breakdowns, tail attribution, the critical path, folded flamegraph
+    stacks (``--flame``) and a Chrome trace with resource counter tracks
+    (``--trace``).  See docs/profiling.md.
 ``check``
     Systematic schedule exploration (see docs/checking.md): explore a
     scenario clean, verify a protocol mutation is caught, replay a
@@ -94,7 +100,7 @@ def _export_obs(args, tracer, metrics) -> None:
     from .obs import write_chrome_trace, write_jsonl
 
     if tracer is not None and args.trace:
-        write_chrome_trace(tracer, args.trace)
+        write_chrome_trace(tracer, args.trace, metrics=metrics)
         print(f"chrome trace: {args.trace} ({len(tracer.spans)} spans; "
               f"open at https://ui.perfetto.dev)")
     if tracer is not None and args.jsonl:
@@ -138,8 +144,8 @@ def cmd_ycsb(args) -> int:
     from .harness.systems import fusee_bed
     from .workloads import YcsbConfig, YcsbWorkload
 
-    tracer = metrics = None
-    if args.trace or args.jsonl:
+    tracer = metrics = profiler = None
+    if args.trace or args.jsonl or args.profile:
         from .obs import Tracer
         tracer = Tracer()
     bed = fusee_bed(n_memory_nodes=args.memory_nodes,
@@ -155,6 +161,9 @@ def cmd_ycsb(args) -> int:
     # Attach observability only now, so the bulk load stays untraced.
     if tracer is not None:
         bed.cluster.attach_tracer(tracer)
+    if args.profile:
+        from .obs import Profiler
+        profiler = Profiler(tracer=tracer).install(bed.env)
     if args.metrics:
         from .obs import Metrics, sample_fabric
         metrics = Metrics()
@@ -166,7 +175,45 @@ def cmd_ycsb(args) -> int:
         bed.execute, duration_us=args.duration_us, metrics=metrics)
     print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
           f"-> {result.mops:.3f} Mops ({result.errors} errors)")
+    if profiler is not None:
+        from .obs import (RunProfile, analyze_critical_path,
+                          critical_report, profile_report)
+        print()
+        print(profile_report(RunProfile.collect(profiler, tracer.spans)))
+        print()
+        print(critical_report(analyze_critical_path(profiler,
+                                                    tracer.spans)))
     _export_obs(args, tracer, metrics)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from .harness.profiling import profile_ycsb
+    from .obs import write_chrome_trace, write_folded
+
+    result = profile_ycsb(system=args.system, workload=args.workload,
+                          scale=_scale_from(args.scale),
+                          n_clients=args.clients,
+                          n_memory_nodes=args.memory_nodes,
+                          metadata_cores=args.metadata_cores,
+                          tail_pct=args.tail_pct)
+    print(result.report())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nprofile json: {args.out}")
+    if args.flame:
+        write_folded(result.profiler, result.spans, args.flame)
+        print(f"folded stacks: {args.flame} "
+              "(render with flamegraph.pl or speedscope)")
+    if args.trace:
+        write_chrome_trace(result.tracer, args.trace,
+                           metrics=result.metrics)
+        print(f"chrome trace: {args.trace} (counter tracks included; "
+              "open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -316,8 +363,44 @@ def main(argv=None) -> int:
     ycsb_parser.add_argument("--replicas", type=int, default=2)
     ycsb_parser.add_argument("--variant", default="fusee",
                              choices=("fusee", "fusee-cr", "fusee-nc"))
+    ycsb_parser.add_argument("--profile", action="store_true",
+                             help="attribute span time (profiler) and "
+                                  "print the latency breakdown")
     _add_obs_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=cmd_ycsb)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run a profiled YCSB mix and print/write the latency "
+             "attribution (see docs/profiling.md)")
+    profile_parser.add_argument("--system", default="fusee",
+                                choices=("fusee", "clover", "pdpm"))
+    profile_parser.add_argument("--workload", default="A",
+                                choices=sorted("ABCD"))
+    profile_parser.add_argument("--scale", default="bench",
+                                choices=("tiny", "bench", "full"))
+    profile_parser.add_argument("--clients", type=int, default=None,
+                                help="override the scale's client count")
+    profile_parser.add_argument("--memory-nodes", type=int, default=2)
+    profile_parser.add_argument("--metadata-cores", type=int, default=2,
+                                help="Clover metadata-server cores "
+                                     "(Fig. 2 knob)")
+    profile_parser.add_argument("--tail-pct", type=float, default=99.0,
+                                help="tail percentile for the slowest-"
+                                     "spans breakdown")
+    profile_parser.add_argument("--out", default="BENCH_profile.json",
+                                metavar="OUT.json",
+                                help="write the attribution bundle "
+                                     "(default BENCH_profile.json; '' "
+                                     "to skip)")
+    profile_parser.add_argument("--flame", default=None,
+                                metavar="OUT.folded",
+                                help="write folded flamegraph stacks")
+    profile_parser.add_argument("--trace", default=None,
+                                metavar="OUT.json",
+                                help="write a Chrome trace with counter "
+                                     "tracks")
+    profile_parser.set_defaults(func=cmd_profile)
 
     check_parser = sub.add_parser(
         "check", help="systematic schedule exploration / mutation matrix")

@@ -71,7 +71,8 @@ class CloverCluster:
             self.fabric.add_node(MemoryNode(self.env, mn, cfg.mn_capacity,
                                             nic_profile=cfg.nic))
         self.metadata = RpcServer(self.env, cores=cfg.metadata_cores,
-                                  nic_profile=cfg.metadata_nic)
+                                  nic_profile=cfg.metadata_nic,
+                                  label="metadata")
         # server-side state: the hash index and MM info (plain structures —
         # they live in the metadata server's DRAM, not on the fabric)
         self._index: Dict[bytes, Tuple[Tuple[Tuple[int, int], ...], int]] = {}

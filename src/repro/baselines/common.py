@@ -45,10 +45,14 @@ class RpcServer:
 
     def __init__(self, env: Environment, cores: int = 8,
                  nic_profile: Optional[NicProfile] = None,
-                 one_way_delay_us: float = 0.9):
+                 one_way_delay_us: float = 0.9,
+                 label: str = "server"):
         self.env = env
-        self.cpu = Resource(env, capacity=max(1, cores))
-        self.nic = NicPort(env, nic_profile or NicProfile())
+        self.label = label
+        self.cpu = Resource(env, capacity=max(1, cores),
+                            label=f"{label}.cpu")
+        self.nic = NicPort(env, nic_profile or NicProfile(),
+                           label=f"{label}.nic")
         self.one_way_delay_us = one_way_delay_us
         self.stats = ServerStats()
         self._handlers: Dict[str, Callable] = {}
@@ -58,24 +62,38 @@ class RpcServer:
 
     def call(self, name: str, payload: dict):
         """RPC as an event (spawned process); fires with the reply."""
-        return self.env.process(self._call_proc(name, payload),
+        proc = self.env.process(self._call_proc(name, payload),
                                 name=f"rpc:{name}")
+        prof = self.env.profiler
+        if prof is not None:
+            # The call runs in its own process; bind it to the caller's
+            # span so its CPU/NIC intervals land in the right breakdown.
+            prof.bind(proc, prof.current_span())
+        return proc
 
     def _call_proc(self, name: str, payload: dict):
+        env = self.env
         self.stats.calls += 1
         self.stats.per_op[name] = self.stats.per_op.get(name, 0) + 1
-        yield self.env.timeout(self.one_way_delay_us)
+        prof = env.profiler
+        if prof is not None:
+            prof.note("propagation", "net.request", env.now,
+                      env.now + self.one_way_delay_us)
+        yield env.timeout(self.one_way_delay_us)
         yield self.nic.occupy(self.nic.profile.rpc_overhead)
         req = self.cpu.request()
         yield req
         try:
             reply, cpu_us = self._handlers[name](payload)
             self.stats.busy_us += cpu_us
-            yield self.env.timeout(cpu_us)
+            yield env.timeout(cpu_us)
         finally:
             req.release()
         yield self.nic.occupy(self.nic.profile.rpc_overhead)
-        yield self.env.timeout(self.one_way_delay_us)
+        if prof is not None:
+            prof.note("propagation", "net.reply", env.now,
+                      env.now + self.one_way_delay_us)
+        yield env.timeout(self.one_way_delay_us)
         return reply
 
 

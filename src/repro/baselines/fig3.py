@@ -62,7 +62,8 @@ class ConsensusReplicatedObject:
     def __init__(self, bed: ReplicatedObjectBed, leader_cores: int = 1,
                  sequence_cpu_us: float = 1.5):
         self.bed = bed
-        self.leader = RpcServer(bed.env, cores=leader_cores)
+        self.leader = RpcServer(bed.env, cores=leader_cores,
+                                label="leader")
         self._sequence_cpu_us = sequence_cpu_us
         self.leader.register("write", self._h_write)
         self._seq = 0

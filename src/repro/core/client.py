@@ -458,7 +458,8 @@ class FuseeClient:
             # mid-replacement) or unreadable (transport timeout); re-read
             # the slot shortly rather than conclude absence.
             self._retry()
-            yield self.env.timeout(self.config.retry_sleep_us)
+            yield self.env.attributed_timeout(
+                self.config.retry_sleep_us, "backoff", "client.retry")
         return OpResult(ok=False, error="retries exhausted")
 
     def _read_buckets(self, meta: KeyMeta, extra_ops: Optional[list] = None):
@@ -498,7 +499,8 @@ class FuseeClient:
                 if not any(c.failed for c in comps):
                     return self.race.parse_buckets(
                         meta, [c.value for c in comps])
-                yield self.env.timeout(self.config.retry_sleep_us)
+                yield self.env.attributed_timeout(
+                    self.config.retry_sleep_us, "backoff", "client.retry")
                 continue
             alive = [replica for replica, (mn, _b) in enumerate(placement)
                      if not self.fabric.node(mn).crashed]
@@ -525,7 +527,8 @@ class FuseeClient:
             # writer (Algorithm 4), then retry.
             self.stats.master_escalations += 1
             yield from self._wait_if_blocked(meta.subtable)
-            yield self.env.timeout(self.config.retry_sleep_us)
+            yield self.env.attributed_timeout(
+                self.config.retry_sleep_us, "backoff", "client.retry")
         return None
 
     def _match_candidates(self, key: bytes, matches):
@@ -955,7 +958,8 @@ class FuseeClient:
             if not saw_invalid and not unreadable:
                 return None
             self._retry()
-            yield self.env.timeout(self.config.retry_sleep_us)
+            yield self.env.attributed_timeout(
+                self.config.retry_sleep_us, "backoff", "client.retry")
         return _UNAVAILABLE
 
     def _locate_bypass(self, key: bytes, meta: KeyMeta,
@@ -1076,14 +1080,17 @@ class FuseeClient:
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 stats.dropped_requests += 1
-                yield self.env.timeout(policy.rpc_timeout_us + backoff)
+                yield self.env.attributed_timeout(
+                    policy.rpc_timeout_us + backoff, "backoff",
+                    "master.retry")
                 continue
             result = yield from make_call(token)
             if fate.drop_reply:
                 stats.dropped_replies += 1
                 waited = self.env.now - t0
-                yield self.env.timeout(
-                    max(0.0, policy.rpc_timeout_us - waited) + backoff)
+                yield self.env.attributed_timeout(
+                    max(0.0, policy.rpc_timeout_us - waited) + backoff,
+                    "backoff", "master.retry")
                 continue
             return result
         stats.rpc_timeouts += 1

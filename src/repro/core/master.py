@@ -131,7 +131,8 @@ class Master:
         self.client_table = client_table
         self.size_classes = size_classes
         self.config = config or MasterConfig()
-        self.cpu = Resource(env, capacity=self.config.cpu_cores)
+        self.cpu = Resource(env, capacity=self.config.cpu_cores,
+                            label="master.cpu")
         self.epoch = 0
         self.handled_mn_failures: List[int] = []
         self._blocked: Dict[int, Event] = {}

@@ -276,7 +276,8 @@ def snapshot_write(fabric: Fabric, ref: SlotRef, v_old: int, v_new: int,
     env = fabric.env
     primary_mn, primary_addr = ref.primary()
     for _ in range(max_wait_rounds):
-        yield env.timeout(retry_sleep_us)
+        yield env.attributed_timeout(retry_sleep_us, "backoff",
+                                     "write.wait_primary")
         fabric.trace_phase("repl.wait_primary")
         comp = yield fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
         rtts += 1

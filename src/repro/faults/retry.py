@@ -18,7 +18,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["RetryPolicy", "NO_RETRY", "FaultError", "RetriesExhausted"]
+__all__ = ["RetryPolicy", "NO_RETRY", "FaultError", "RetriesExhausted",
+           "backoff_wait"]
+
+
+def backoff_wait(env, duration_us: float, label: str = "retry"):
+    """A timeout attributed as backoff time in latency breakdowns.
+
+    Every deliberate retry/timeout sleep (transport retransmission waits,
+    client-level retry pauses, master-RPC re-sends) should yield this
+    instead of a bare ``env.timeout`` so the profiler
+    (:mod:`repro.obs.profile`) attributes the sleep explicitly rather
+    than leaving it in the client-compute residual.  Without a profiler
+    installed this is exactly ``env.timeout(duration_us)``.
+    """
+    return env.attributed_timeout(duration_us, "backoff", label)
 
 
 class FaultError(Exception):

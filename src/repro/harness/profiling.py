@@ -1,0 +1,154 @@
+"""Profiled workload runs: where do the simulated microseconds go?
+
+Glue between the harness beds and :mod:`repro.obs.profile`: run a YCSB
+mix on any system bed with a profiler installed and return the full
+attribution bundle — per-op breakdowns, tail attribution, the critical
+path, folded flamegraph stacks, and sampled resource counters — in one
+deterministic, JSON-serialisable result.
+
+FUSEE traces its own spans (`attach_tracer`); the baseline beds (Clover,
+pDPM) have no internal tracing, so their ``execute`` is wrapped in a
+begin/end span per operation — coarser (no phases) but attribution of
+wait/service/propagation still lands via the resource layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..obs import (
+    CriticalPath,
+    Metrics,
+    Profiler,
+    RunProfile,
+    Tracer,
+    analyze_critical_path,
+    critical_report,
+    folded_stacks,
+    profile_report,
+    sample_fabric,
+)
+from .experiments import Scale, _dataset, _ycsb_factory
+from .runner import RunResult, run_closed_loop
+from .systems import SystemBed, clover_bed, fusee_bed, pdpm_bed
+
+__all__ = ["ProfiledRun", "profile_ycsb", "PROFILE_SYSTEMS"]
+
+PROFILE_SYSTEMS = ("fusee", "clover", "pdpm")
+
+
+@dataclass
+class ProfiledRun:
+    """Everything a profiled run produced."""
+
+    system: str
+    workload: str
+    run: RunResult
+    profile: RunProfile
+    critical: CriticalPath
+    tracer: Tracer
+    profiler: Profiler
+    metrics: Metrics
+
+    @property
+    def spans(self):
+        return self.tracer.spans
+
+    def folded(self) -> List[str]:
+        return folded_stacks(self.profiler, self.tracer.spans)
+
+    def report(self) -> str:
+        return "\n\n".join([
+            f"profile: {self.system} YCSB-{self.workload} "
+            f"({self.run.ops} ops, {self.run.mops:.3f} Mops)",
+            profile_report(self.profile),
+            critical_report(self.critical),
+        ])
+
+    def to_dict(self) -> dict:
+        """Deterministic payload for ``BENCH_profile.json``."""
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "ops": self.run.ops,
+            "errors": self.run.errors,
+            "duration_us": self.run.duration_us,
+            "mops": round(self.run.mops, 6),
+            "profile": self.profile.to_dict(),
+            "critical_path": self.critical.to_dict(),
+            "series": {name: self.metrics.series[name].summary()
+                       for name in sorted(self.metrics.series)},
+        }
+
+
+def _traced_execute(bed: SystemBed, tracer: Tracer):
+    """Wrap ``bed.execute`` in one span per op (for untraced beds)."""
+    inner = bed.execute
+
+    def execute(client, op, key, value):
+        span = tracer.begin_span(op, getattr(client, "cid", 0), key=key)
+        ok = yield from inner(client, op, key, value)
+        tracer.end_span(span, bool(ok))
+        return ok
+
+    return execute
+
+
+def _make_bed(system: str, scale: Scale, n_memory_nodes: int,
+              metadata_cores: int, tracer: Tracer) -> SystemBed:
+    dataset_bytes = scale.n_keys * scale.kv_size
+    if system == "fusee":
+        return fusee_bed(n_memory_nodes=n_memory_nodes,
+                         dataset_bytes=dataset_bytes, tracer=tracer)
+    if system == "clover":
+        return clover_bed(n_memory_nodes=n_memory_nodes,
+                          metadata_cores=metadata_cores,
+                          dataset_bytes=dataset_bytes)
+    if system == "pdpm":
+        return pdpm_bed(n_memory_nodes=n_memory_nodes,
+                        dataset_bytes=dataset_bytes,
+                        n_keys_hint=scale.n_keys)
+    raise ValueError(f"unknown system {system!r}; "
+                     f"pick from {PROFILE_SYSTEMS}")
+
+
+def profile_ycsb(system: str = "fusee", workload: str = "A",
+                 scale: Optional[Scale] = None,
+                 n_clients: Optional[int] = None,
+                 n_memory_nodes: int = 2,
+                 metadata_cores: int = 2,
+                 tail_pct: float = 99.0,
+                 sample_interval_us: float = 50.0) -> ProfiledRun:
+    """Run a profiled closed-loop YCSB mix and attribute its time.
+
+    The bulk load runs unprofiled (intervals are cleared before the
+    measured window).  No warmup: every span that *ends* inside the run
+    is attributed; spans cut off at the deadline are skipped and counted
+    (``RunProfile.unfinished_spans``).
+    """
+    scale = scale or Scale.bench()
+    tracer = Tracer()
+    bed = _make_bed(system, scale, n_memory_nodes, metadata_cores, tracer)
+    self_traced = hasattr(bed.cluster, "attach_tracer")
+    profiler = Profiler(tracer=tracer).install(bed.env)
+    bed.load(_dataset(scale))
+    profiler.clear()
+    tracer.clear()
+
+    execute = bed.execute if self_traced else _traced_execute(bed, tracer)
+    metrics = Metrics()
+    if hasattr(bed.cluster, "fabric"):
+        sample_fabric(bed.env, metrics, bed.cluster.fabric,
+                      interval_us=sample_interval_us)
+    clients = [bed.new_client() for _ in range(n_clients
+                                               or scale.n_clients)]
+    run = run_closed_loop(bed.env, clients,
+                          _ycsb_factory(scale, workload),
+                          execute, duration_us=scale.duration_us,
+                          warmup_us=0.0, metrics=metrics)
+    profile = RunProfile.collect(profiler, tracer.spans, tail_pct=tail_pct)
+    critical = analyze_critical_path(profiler, tracer.spans)
+    return ProfiledRun(system=system, workload=workload, run=run,
+                       profile=profile, critical=critical, tracer=tracer,
+                       profiler=profiler, metrics=metrics)

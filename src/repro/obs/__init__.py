@@ -7,6 +7,7 @@ end-to-end throughput.  See ``tests/test_rtt_budgets.py`` for the
 paper-derived regression suite built on top of it.
 """
 
+from .critical import CriticalPath, analyze_critical_path, critical_report
 from .export import (
     chrome_trace,
     jsonl_lines,
@@ -15,6 +16,7 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .flame import folded_stacks, write_folded
 from .metrics import (
     Counter,
     Gauge,
@@ -22,6 +24,14 @@ from .metrics import (
     Metrics,
     TimeSeries,
     sample_fabric,
+)
+from .profile import (
+    CATEGORIES,
+    RESIDUAL,
+    Profiler,
+    RunProfile,
+    profile_report,
+    span_breakdown,
 )
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, verb_kind
 
@@ -43,4 +53,15 @@ __all__ = [
     "write_jsonl",
     "summary_table",
     "metrics_table",
+    "CATEGORIES",
+    "RESIDUAL",
+    "Profiler",
+    "RunProfile",
+    "profile_report",
+    "span_breakdown",
+    "CriticalPath",
+    "analyze_critical_path",
+    "critical_report",
+    "folded_stacks",
+    "write_folded",
 ]

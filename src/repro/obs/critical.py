@@ -1,0 +1,164 @@
+"""Critical-path analysis over the span/interval DAG.
+
+The simulated analogue of ``perf top``: where did the *makespan* go, and
+which operations blocked which?
+
+Two complementary views:
+
+* **Makespan walk** — the client whose last span ends latest defines the
+  run's completion time.  That client's timeline is walked span by span;
+  each span contributes its partitioned breakdown and the gaps between
+  its spans are charged to ``client:idle`` (closed-loop think time /
+  harness scheduling).  The result attributes the whole makespan to
+  resource categories — additive, like the per-span breakdowns.
+* **Blocking edges** — for every ``*_wait`` interval, the service
+  intervals of *other* spans that occupied the same resource during the
+  wait.  Aggregated by (blocker op, waiter op, resource) and ranked,
+  these are the "top blocking edges": which op kinds make which other op
+  kinds queue, and on what.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from .profile import Profiler, span_breakdown
+
+__all__ = ["CriticalPath", "analyze_critical_path", "critical_report"]
+
+#: Makespan-walk bucket for inter-span gaps on the defining client.
+IDLE = ("client", "idle")
+
+
+class CriticalPath:
+    """Result of :func:`analyze_critical_path`."""
+
+    def __init__(self):
+        self.makespan_us = 0.0
+        self.t0 = 0.0
+        self.t1 = 0.0
+        self.cid: Optional[int] = None      # client defining the makespan
+        self.spans_on_path = 0
+        #: ``(category, label) -> us`` over the defining client's timeline
+        #: (plus :data:`IDLE`); values sum to ``makespan_us``.
+        self.attribution: Dict[Tuple[str, str], float] = {}
+        #: ``[(us, blocker_op, waiter_op, label), ...]`` ranked by weight.
+        self.edges: List[Tuple[float, str, str, str]] = []
+
+    def top_edges(self, n: int = 10) -> List[Tuple[float, str, str, str]]:
+        return self.edges[:n]
+
+    def to_dict(self) -> dict:
+        return {
+            "makespan_us": round(self.makespan_us, 6),
+            "cid": self.cid,
+            "spans_on_path": self.spans_on_path,
+            "attribution_us": {f"{cat}:{label}": round(us, 6)
+                               for (cat, label), us
+                               in sorted(self.attribution.items())},
+            "top_edges": [{"us": round(us, 6), "blocker": blocker,
+                           "waiter": waiter, "resource": label}
+                          for us, blocker, waiter, label
+                          in self.edges[:20]],
+        }
+
+
+def analyze_critical_path(profiler: Profiler, spans) -> CriticalPath:
+    """Attribute the makespan and rank blocking edges.
+
+    ``spans`` is the span population (e.g. ``tracer.spans``); unfinished
+    spans are ignored.  Deterministic: ties broken by span id.
+    """
+    result = CriticalPath()
+    ended = [s for s in spans if s.end_us is not None]
+    if not ended:
+        return result
+    t0 = min(s.start_us for s in ended)
+    last = max(ended, key=lambda s: (s.end_us, s.sid))
+    result.t0 = t0
+    result.t1 = last.end_us
+    result.makespan_us = last.end_us - t0
+    result.cid = last.cid
+
+    # --- makespan walk over the defining client's timeline -------------
+    by_span: Dict[int, List[tuple]] = {}
+    for span, cat, label, a, b in profiler.intervals:
+        if span is not None:
+            by_span.setdefault(id(span), []).append((cat, label, a, b))
+    chain = sorted((s for s in ended if s.cid == last.cid),
+                   key=lambda s: (s.start_us, s.sid))
+    cursor = t0
+    for span in chain:
+        if span.end_us <= cursor:
+            continue                      # nested/overlapping span: skip
+        if span.start_us > cursor:
+            result.attribution[IDLE] = (result.attribution.get(IDLE, 0.0)
+                                        + span.start_us - cursor)
+        lo = max(cursor, span.start_us)
+        parts = span_breakdown(by_span.get(id(span), ()), lo, span.end_us)
+        for key, us in parts.items():
+            result.attribution[key] = result.attribution.get(key, 0.0) + us
+        result.spans_on_path += 1
+        cursor = span.end_us
+    if last.end_us > cursor:
+        result.attribution[IDLE] = (result.attribution.get(IDLE, 0.0)
+                                    + last.end_us - cursor)
+
+    # --- blocking edges -------------------------------------------------
+    # Per resource label: sorted service timeline, then overlap each wait
+    # interval against it.
+    service: Dict[str, List[Tuple[float, float, object]]] = {}
+    waits: List[Tuple[object, str, float, float]] = []
+    for span, cat, label, a, b in profiler.intervals:
+        if cat in ("cpu_service", "nic_service"):
+            service.setdefault(label, []).append((a, b, span))
+        elif cat in ("cpu_wait", "nic_wait") and span is not None:
+            waits.append((span, label, a, b))
+    for timeline in service.values():
+        timeline.sort(key=lambda iv: iv[0])
+    edges: Dict[Tuple[str, str, str], float] = {}
+    starts_by_label = {label: [iv[0] for iv in timeline]
+                       for label, timeline in service.items()}
+    for waiter, label, a, b in waits:
+        timeline = service.get(label, ())
+        if not timeline:
+            continue
+        # Service intervals are sorted by start but can overlap on a
+        # multi-core Resource, so step back far enough to catch services
+        # that started earlier and were still running at the wait start
+        # (bounded by core count; 32 is ample for every pool here).
+        i = max(0, bisect_left(starts_by_label[label], a) - 32)
+        for s0, s1, blocker in timeline[i:]:
+            if s0 >= b:
+                break
+            overlap = min(s1, b) - max(s0, a)
+            if overlap <= 0.0 or blocker is waiter:
+                continue
+            blocker_op = blocker.op if blocker is not None else "(unsignaled)"
+            key = (blocker_op, waiter.op, label)
+            edges[key] = edges.get(key, 0.0) + overlap
+    result.edges = sorted(
+        ((us, blocker, waiter, label)
+         for (blocker, waiter, label), us in edges.items()),
+        key=lambda e: (-e[0], e[1], e[2], e[3]))
+    return result
+
+
+def critical_report(cp: CriticalPath) -> str:
+    """Text rendering of a :class:`CriticalPath`."""
+    if cp.makespan_us <= 0.0:
+        return "(no finished spans)"
+    lines = [f"makespan: {cp.makespan_us:.1f} us "
+             f"(defined by client {cp.cid}, {cp.spans_on_path} spans)"]
+    for (cat, label), us in sorted(cp.attribution.items(),
+                                   key=lambda kv: (-kv[1], kv[0])):
+        pct = 100.0 * us / cp.makespan_us
+        lines.append(f"  {cat + ':' + label:<36} {us:>12.2f} us  "
+                     f"{pct:5.1f}%")
+    if cp.edges:
+        lines.append("top blocking edges (blocker -> waiter @ resource):")
+        for us, blocker, waiter, label in cp.top_edges(10):
+            lines.append(f"  {us:>12.2f} us  {blocker} -> {waiter} "
+                         f"@ {label}")
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ __all__ = ["chrome_trace", "write_chrome_trace", "jsonl_lines",
 
 _CLIENT_PID = 1
 _FABRIC_PID = 2
+_COUNTER_PID = 3
 
 
 def _batch_events(record: dict, tid_args: dict) -> List[dict]:
@@ -54,8 +55,14 @@ def _batch_events(record: dict, tid_args: dict) -> List[dict]:
     return events
 
 
-def chrome_trace(tracer: Tracer) -> dict:
-    """Build a Chrome ``trace_event`` object from recorded spans/events."""
+def chrome_trace(tracer: Tracer, metrics: Metrics = None) -> dict:
+    """Build a Chrome ``trace_event`` object from recorded spans/events.
+
+    When ``metrics`` is given, every recorded :class:`TimeSeries` (NIC
+    utilisation/backlog, MN CPU queue depth and utilisation from
+    :func:`sample_fabric`) becomes a counter track (``ph: "C"``) so
+    resource saturation lines up under the spans in the timeline UI.
+    """
     events: List[dict] = [
         {"name": "process_name", "ph": "M", "pid": _CLIENT_PID, "tid": 0,
          "args": {"name": "clients (KV-op spans)"}},
@@ -91,13 +98,22 @@ def chrome_trace(tracer: Tracer) -> dict:
     for mn in sorted(mn_tids):
         events.append({"name": "thread_name", "ph": "M", "pid": _FABRIC_PID,
                        "tid": mn, "args": {"name": f"MN {mn}"}})
+    if metrics is not None and metrics.series:
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": _COUNTER_PID, "tid": 0,
+                       "args": {"name": "resource counters"}})
+        for name in sorted(metrics.series):
+            for t, value in metrics.series[name].points:
+                events.append({"name": name, "cat": "counter", "ph": "C",
+                               "ts": t, "pid": _COUNTER_PID, "tid": 0,
+                               "args": {"value": value}})
     return {"traceEvents": events, "displayTimeUnit": "ns",
             "otherData": {"time_unit": "simulated microseconds"}}
 
 
-def write_chrome_trace(tracer: Tracer, path) -> None:
+def write_chrome_trace(tracer: Tracer, path, metrics: Metrics = None) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(tracer), fh)
+        json.dump(chrome_trace(tracer, metrics=metrics), fh)
 
 
 def jsonl_lines(tracer: Tracer) -> List[str]:

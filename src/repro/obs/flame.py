@@ -1,0 +1,100 @@
+"""Folded-stack flamegraph export for latency attribution.
+
+Each profiled span contributes frames ``op;phase;leaf`` where the leaf is
+``<resource> <kind>`` — e.g. ``insert;kv.cas;mn0.nic_rx wait`` — and the
+value is simulated microseconds.  Lines are the classic *folded stacks*
+format consumed by ``flamegraph.pl`` and speedscope::
+
+    insert;kv.cas;mn0.nic_rx wait 12.400000
+    insert;(op);client compute 3.100000
+
+Values carry six decimals (``flamegraph.pl`` accepts fractional counts);
+the sum of every line equals the sum of span durations, because each
+line's value comes from the additive per-span partition of
+:func:`repro.obs.profile.span_breakdown`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .profile import Profiler, span_breakdown
+
+__all__ = ["folded_stacks", "write_folded"]
+
+#: Leaf wording per category.
+_KIND_WORD = {
+    "cpu_service": "service",
+    "cpu_wait": "wait",
+    "nic_service": "service",
+    "nic_wait": "wait",
+    "backoff": "backoff",
+    "propagation": "propagation",
+    "client": "compute",
+}
+
+
+def _phase_lookup(span) -> List[Tuple[float, float, str]]:
+    """Phase windows of a span, from its traced batch records."""
+    windows = []
+    for record in getattr(span, "batches", ()):
+        t1 = record.get("t1")
+        if t1 is None:
+            continue
+        windows.append((record["t0"], t1, record.get("phase") or "(op)"))
+    windows.sort()
+    return windows
+
+
+def _phase_at(windows: List[Tuple[float, float, str]], t: float) -> str:
+    """Phase label covering time ``t`` (last matching window wins)."""
+    hit = "(op)"
+    for w0, w1, phase in windows:
+        if w0 > t:
+            break
+        if t < w1:
+            hit = phase
+    return hit
+
+
+def folded_stacks(profiler: Profiler, spans) -> List[str]:
+    """Folded flamegraph lines for the ended spans, sorted and summed.
+
+    The per-span partition is recomputed *per segment* so each piece of a
+    span can be filed under the phase (batch label) active at that time;
+    systems without phase tracing collapse to the ``(op)`` pseudo-phase.
+    """
+    by_span: Dict[int, List[tuple]] = {}
+    for span, cat, label, a, b in profiler.intervals:
+        if span is not None:
+            by_span.setdefault(id(span), []).append((cat, label, a, b))
+    totals: Dict[str, float] = {}
+    for span in spans:
+        if span.end_us is None:
+            continue
+        windows = _phase_lookup(span)
+        intervals = by_span.get(id(span), ())
+        # Partition phase window by phase window so segments inherit the
+        # right label; the windows never overlap the residual outside
+        # them, which files under the op-level pseudo-phase.
+        cuts = sorted({span.start_us, span.end_us}
+                      | {t for w0, w1, _ in windows
+                         for t in (w0, w1)
+                         if span.start_us < t < span.end_us})
+        for lo, hi in zip(cuts, cuts[1:]):
+            phase = _phase_at(windows, lo)
+            for (cat, label), us in span_breakdown(
+                    intervals, lo, hi).items():
+                if cat == "client":
+                    leaf = f"client {label}"   # client post / client compute
+                else:
+                    leaf = f"{label} {_KIND_WORD[cat]}"
+                stack = f"{span.op};{phase};{leaf}"
+                totals[stack] = totals.get(stack, 0.0) + us
+    return [f"{stack} {totals[stack]:.6f}" for stack in sorted(totals)]
+
+
+def write_folded(profiler: Profiler, spans, path) -> None:
+    with open(path, "w") as fh:
+        for line in folded_stacks(profiler, spans):
+            fh.write(line + "\n")

@@ -201,7 +201,8 @@ def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
 
     Per memory node and direction: NIC utilisation over the last interval
     (busy-time delta / interval), NIC backlog (microseconds of queued
-    service), and the CPU wait-queue depth.  Returns the sampler process;
+    service), CPU wait-queue depth, and CPU utilisation (granted
+    core-time delta / interval / cores).  Returns the sampler process;
     it self-terminates at ``until_us`` when given, else runs as long as
     the simulation does.
     """
@@ -225,5 +226,11 @@ def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
                     t, node.nic.backlog(t))
                 metrics.timeseries(f"mn{mn_id}.cpu.queue_depth").record(
                     t, float(node.cpu.queue_length))
+                cpu_key = (mn_id, "cpu")
+                cpu_delta = node.cpu.total_busy - last_busy.get(cpu_key, 0.0)
+                last_busy[cpu_key] = node.cpu.total_busy
+                metrics.timeseries(f"mn{mn_id}.cpu.util").record(
+                    t, min(1.0, cpu_delta
+                           / (interval_us * node.cpu.capacity)))
 
     return env.process(proc(), name="metrics-sampler")

@@ -45,6 +45,16 @@ from .verbs import (
 __all__ = ["Fabric", "FabricConfig", "FabricStats"]
 
 
+def _prop(env: Environment, duration: float, label: str) -> Event:
+    """A propagation-delay timeout, attributed when a profiler is installed."""
+    return env.attributed_timeout(duration, "propagation", label)
+
+
+def _backoff(env: Environment, duration: float, label: str) -> Event:
+    """A retransmission-timeout sleep, attributed as backoff time."""
+    return env.attributed_timeout(duration, "backoff", label)
+
+
 @dataclass(frozen=True)
 class FabricConfig:
     """Network-level timing parameters (microseconds)."""
@@ -160,6 +170,15 @@ class Fabric:
         completions: List[Completion] = []
         finish = now
         self.stats.batches += 1
+        prof = self.env.profiler
+        if prof is not None:
+            # Fire-and-forget batches (§4.6 selective signaling) are not
+            # waited on, so their intervals must not land in the active
+            # span's breakdown; span=None keeps them resource-only.
+            prof.begin_batch(None if unsignaled else prof.current_span())
+            prof.note("client", "post", now, now + cfg.post_overhead_us)
+            prof.note("propagation", "net.request",
+                      now + cfg.post_overhead_us, arrive)
         for op in ops:
             node = self.nodes[op.mn_id]
             self._count(op, node)
@@ -168,6 +187,9 @@ class Fabric:
                 self.stats.failed_verbs += 1
                 completions.append(Completion(op, FAIL))
                 finish = max(finish, now + cfg.fail_delay_us)
+                if prof is not None:
+                    prof.note("propagation", "net.fail", now,
+                              now + cfg.fail_delay_us)
                 continue
             value = node.apply(op)
             service = self._service_time(node, op)
@@ -175,6 +197,11 @@ class Fabric:
             done = port.finish_time(service, not_before=arrive)
             finish = max(finish, done + cfg.one_way_delay_us)
             completions.append(Completion(op, value))
+            if prof is not None:
+                prof.note("propagation", "net.reply", done,
+                          done + cfg.one_way_delay_us)
+        if prof is not None:
+            prof.end_batch()
         if self.tracer.enabled:
             self.tracer.on_batch(ops, completions, now, finish,
                                  unsignaled=unsignaled)
@@ -206,12 +233,23 @@ class Fabric:
         t0 = env.now
         self.stats.batches += 1
         span = self.tracer.current_span() if self.tracer.enabled else None
+        prof = env.profiler
+        pspan = None
+        if prof is not None and not unsignaled:
+            pspan = prof.current_span()
         completions: List[Completion] = [None] * len(ops)
-        procs = [env.process(
-                    self._deliver_verb(i, op, env.next_uid(), completions,
-                                       span),
-                    name=f"verb:{i}@MN{op.mn_id}")
-                 for i, op in enumerate(ops)]
+        procs = []
+        for i, op in enumerate(ops):
+            proc = env.process(
+                self._deliver_verb(i, op, env.next_uid(), completions, span),
+                name=f"verb:{i}@MN{op.mn_id}")
+            if prof is not None:
+                # Delivery runs in its own process, so interval emission
+                # inside it cannot see the posting span via the tracer's
+                # per-process stack — bind explicitly (None when
+                # unsignaled, to keep the intervals resource-only).
+                prof.bind(proc, pspan)
+            procs.append(proc)
         return env.process(self._gather_batch(ops, procs, completions, t0,
                                               unsignaled, span),
                            name="batch")
@@ -243,16 +281,25 @@ class Fabric:
             env.note_access(("crash", node.mn_id), False)
             if node.crashed:
                 self.stats.failed_verbs += 1
-                yield env.timeout(cfg.fail_delay_us)
+                yield _prop(env, cfg.fail_delay_us, "net.fail")
                 completions[i] = Completion(op, FAIL)
                 return
             fate = inj.fate(ident, op.mn_id, attempt, t_attempt)
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
-                yield env.timeout(policy.verb_timeout_us + backoff)
+                yield _backoff(env, policy.verb_timeout_us + backoff,
+                               "verb.timeout")
                 continue
             # request propagation (plus drawn jitter)
+            prof = env.profiler
+            if prof is not None:
+                t = env.now
+                t_sent = t + cfg.post_overhead_us
+                prof.note("client", "post", t, t_sent)
+                prof.note("propagation", "net.request", t_sent,
+                          t_sent + cfg.one_way_delay_us
+                          + fate.request_jitter_us)
             yield env.timeout(cfg.post_overhead_us + cfg.one_way_delay_us
                               + fate.request_jitter_us)
             env.note_access(("crash", node.mn_id), False)
@@ -279,9 +326,17 @@ class Fabric:
             if fate.drop_reply:
                 self.stats.dropped_replies += 1
                 elapsed = env.now - t_attempt
-                yield env.timeout(
-                    max(0.0, policy.verb_timeout_us - elapsed) + backoff)
+                yield _backoff(
+                    env,
+                    max(0.0, policy.verb_timeout_us - elapsed) + backoff,
+                    "verb.timeout")
                 continue
+            if prof is not None:
+                # [now, done] is NIC queue+service, already attributed by
+                # the port; only the reply's travel back is propagation.
+                prof.note("propagation", "net.reply", done,
+                          done + cfg.one_way_delay_us
+                          + fate.reply_jitter_us)
             yield env.timeout(max(0.0, done - env.now)
                               + cfg.one_way_delay_us + fate.reply_jitter_us)
             completions[i] = Completion(op, value)
@@ -305,6 +360,11 @@ class Fabric:
         else:
             gen = self._rpc_proc(mn_id, name, payload)
         proc = self.env.process(gen, name=f"rpc:{name}@MN{mn_id}")
+        prof = self.env.profiler
+        if prof is not None:
+            # The RPC runs in its own process; bind it to the caller's
+            # span so NIC/CPU intervals emitted inside attribute correctly.
+            prof.bind(proc, prof.current_span())
         if self.tracer.enabled:
             record = self.tracer.on_rpc(mn_id, name)
             env = self.env
@@ -321,13 +381,13 @@ class Fabric:
         self.stats.rpcs += 1
         self.env.note_access(("crash", mn_id), False)
         if node.crashed:
-            yield self.env.timeout(cfg.fail_delay_us)
+            yield _prop(self.env, cfg.fail_delay_us, "net.fail")
             return FAIL
         # request propagation + NIC receive
-        yield self.env.timeout(cfg.one_way_delay_us)
+        yield _prop(self.env, cfg.one_way_delay_us, "net.request")
         yield node.nic.occupy(node.nic.profile.rpc_overhead)
         if node.crashed:
-            yield self.env.timeout(cfg.one_way_delay_us)
+            yield _prop(self.env, cfg.one_way_delay_us, "net.fail")
             return FAIL
         # CPU service
         req = node.cpu.request()
@@ -344,11 +404,11 @@ class Fabric:
         finally:
             req.release()
         if node.crashed:
-            yield self.env.timeout(cfg.one_way_delay_us)
+            yield _prop(self.env, cfg.one_way_delay_us, "net.fail")
             return FAIL
         # reply NIC + propagation
         yield node.nic.occupy(node.nic.profile.rpc_overhead)
-        yield self.env.timeout(cfg.one_way_delay_us)
+        yield _prop(self.env, cfg.one_way_delay_us, "net.reply")
         return reply
 
     def _rpc_faulty_proc(self, mn_id: int, name: str, payload: dict,
@@ -374,18 +434,20 @@ class Fabric:
             t_attempt = env.now
             env.note_access(("crash", mn_id), False)
             if node.crashed:
-                yield env.timeout(cfg.fail_delay_us)
+                yield _prop(env, cfg.fail_delay_us, "net.fail")
                 return FAIL
             fate = inj.fate(ident, mn_id, attempt, t_attempt)
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
-                yield env.timeout(policy.rpc_timeout_us + backoff)
+                yield _backoff(env, policy.rpc_timeout_us + backoff,
+                               "rpc.timeout")
                 continue
-            yield env.timeout(cfg.one_way_delay_us + fate.request_jitter_us)
+            yield _prop(env, cfg.one_way_delay_us + fate.request_jitter_us,
+                        "net.request")
             yield node.nic.occupy(node.nic.profile.rpc_overhead)
             if node.crashed:
-                yield env.timeout(cfg.one_way_delay_us)
+                yield _prop(env, cfg.one_way_delay_us, "net.fail")
                 return FAIL
             cached = node.rpc_reply_cached(token)
             if cached is not None:
@@ -404,16 +466,19 @@ class Fabric:
                     req.release()
                 node.cache_rpc_reply(token, reply)
             if node.crashed:
-                yield env.timeout(cfg.one_way_delay_us)
+                yield _prop(env, cfg.one_way_delay_us, "net.fail")
                 return FAIL
             if fate.drop_reply:
                 self.stats.dropped_replies += 1
                 elapsed = env.now - t_attempt
-                yield env.timeout(
-                    max(0.0, policy.rpc_timeout_us - elapsed) + backoff)
+                yield _backoff(
+                    env,
+                    max(0.0, policy.rpc_timeout_us - elapsed) + backoff,
+                    "rpc.timeout")
                 continue
             yield node.nic.occupy(node.nic.profile.rpc_overhead)
-            yield env.timeout(cfg.one_way_delay_us + fate.reply_jitter_us)
+            yield _prop(env, cfg.one_way_delay_us + fate.reply_jitter_us,
+                        "net.reply")
             return reply
         self.stats.rpc_timeouts += 1
         return FAIL

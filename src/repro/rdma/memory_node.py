@@ -43,9 +43,11 @@ class MemoryNode:
         # Full-duplex RNIC: inbound (writes, atomics, RPC) and outbound
         # (read payloads) directions serialize independently, as on real
         # InfiniBand links.
-        self.nic = NicPort(env, profile)          # RX direction
-        self.nic_tx = NicPort(env, profile)       # TX direction
-        self.cpu = Resource(env, capacity=cpu_cores)
+        self.nic = NicPort(env, profile,
+                           label=f"mn{mn_id}.nic_rx")   # RX direction
+        self.nic_tx = NicPort(env, profile,
+                              label=f"mn{mn_id}.nic_tx")  # TX direction
+        self.cpu = Resource(env, capacity=cpu_cores, label=f"mn{mn_id}.cpu")
         self.rpc_service_us = rpc_service_us
         self.crashed = False
         self._rpc_handlers: Dict[str, RpcHandler] = {}

@@ -306,6 +306,10 @@ class Environment:
         self._scheduler = None
         self._access_hook = None
         self._uids = itertools.count()
+        # Latency-attribution hook (repro.obs.profile.Profiler): resources
+        # and the fabric emit typed wait/service intervals through it.
+        # None keeps the unprofiled path at one attribute check per site.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -356,6 +360,22 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def attributed_timeout(self, delay: float, category: str,
+                           label: str) -> Timeout:
+        """A timeout tagged for latency attribution.
+
+        When a profiler (repro.obs.profile) is installed the sleep is
+        recorded as a ``category`` interval (e.g. "backoff",
+        "propagation") against the active span; otherwise this is
+        exactly :meth:`timeout`.  Lives on the Environment so layers
+        that cannot import each other (fabric vs. faults vs. client)
+        share one implementation.
+        """
+        prof = self.profiler
+        if prof is not None and delay > 0.0:
+            prof.note(category, label, self._now, self._now + delay)
+        return Timeout(self, delay, value=None)
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:

@@ -24,13 +24,21 @@ __all__ = ["Resource", "Request", "NicPort", "NicProfile"]
 
 
 class Request(Event):
-    """Pending acquisition of a :class:`Resource`; fires when granted."""
+    """Pending acquisition of a :class:`Resource`; fires when granted.
 
-    __slots__ = ("resource",)
+    ``t_request``/``t_grant`` stamp the FIFO queueing interval so the
+    profiler (repro.obs.profile) can attribute CPU wait vs. service time
+    and :meth:`Resource.utilisation` can integrate busy time.
+    """
+
+    __slots__ = ("resource", "t_request", "t_grant", "prof_span")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        self.t_request = resource.env.now
+        self.t_grant: Optional[float] = None
+        self.prof_span = None
 
     def release(self) -> None:
         self.resource.release(self)
@@ -39,7 +47,8 @@ class Request(Event):
 class Resource:
     """A pool of ``capacity`` identical servers with a FIFO wait queue."""
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1,
+                 label: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.env = env
@@ -50,6 +59,10 @@ class Resource:
         # grant order of a contended pool is shared state, so acquisitions
         # and releases must register as conflicting accesses.
         self._uid = env.next_uid()
+        # Attribution identity for the profiler and total granted-core
+        # busy time (for utilisation sampling).
+        self.label = label or f"cpu{self._uid}"
+        self.total_busy = 0.0
 
     @property
     def in_use(self) -> int:
@@ -62,8 +75,12 @@ class Resource:
     def request(self) -> Request:
         self.env.note_access(("res", self._uid), True)
         req = Request(self)
+        prof = self.env.profiler
+        if prof is not None:
+            req.prof_span = prof.current_span()
         if self._in_use < self.capacity:
             self._in_use += 1
+            req.t_grant = self.env.now
             req.succeed()
         else:
             self._waiting.append(req)
@@ -71,13 +88,30 @@ class Resource:
 
     def release(self, request: Request) -> None:
         self.env.note_access(("res", self._uid), True)
+        now = self.env.now
+        if request.t_grant is not None:
+            self.total_busy += now - request.t_grant
+        prof = self.env.profiler
+        if prof is not None and request.t_grant is not None:
+            prof.note("cpu_service", self.label, request.t_grant, now,
+                      span=request.prof_span)
         if self._waiting:
             nxt = self._waiting.popleft()
+            nxt.t_grant = now
+            if prof is not None:
+                prof.note("cpu_wait", self.label, nxt.t_request, now,
+                          span=nxt.prof_span)
             nxt.succeed()
         else:
             self._in_use -= 1
             if self._in_use < 0:
                 raise RuntimeError("release without matching request")
+
+    def utilisation(self, elapsed: float) -> float:
+        """Mean fraction of granted core-time over ``elapsed`` (0..1)."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / (elapsed * self.capacity))
 
 
 @dataclass(frozen=True)
@@ -110,13 +144,15 @@ class NicPort:
     slot on the wire *ends*; the caller adds propagation delay itself.
     """
 
-    def __init__(self, env: Environment, profile: NicProfile):
+    def __init__(self, env: Environment, profile: NicProfile,
+                 label: str = ""):
         self.env = env
         self.profile = profile
         self._next_free = 0.0
         self.total_busy = 0.0
         self.ops = 0
         self._uid = env.next_uid()
+        self.label = label or f"nic{self._uid}"
 
     def occupy(self, service_time: float,
                not_before: Optional[float] = None) -> Event:
@@ -132,6 +168,9 @@ class NicPort:
             # With zero service time the line never queues, so occupancy is
             # not observable shared state — keep it out of footprints.
             self.env.note_access(("nic", self._uid), True)
+            prof = self.env.profiler
+            if prof is not None:
+                prof.note_nic(self.label, earliest, start, end)
         self._next_free = end
         self.total_busy += service_time
         self.ops += 1
@@ -145,6 +184,9 @@ class NicPort:
         end = start + service_time
         if service_time > 0.0:
             self.env.note_access(("nic", self._uid), True)
+            prof = self.env.profiler
+            if prof is not None:
+                prof.note_nic(self.label, earliest, start, end)
         self._next_free = end
         self.total_busy += service_time
         self.ops += 1

@@ -47,3 +47,35 @@ class TestRun:
         out = capsys.readouterr().out
         assert "Recover connection & MR" in out
         assert "Total" in out
+
+
+class TestProfile:
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_profile.json"
+        flame = tmp_path / "profile.folded"
+        assert main(["profile", "--scale", "tiny", "--clients", "4",
+                     "--out", str(out), "--flame", str(flame)]) == 0
+        text = capsys.readouterr().out
+        assert "overall:" in text and "makespan:" in text
+        payload = json.loads(out.read_text())
+        assert payload["system"] == "fusee"
+        assert payload["profile"]["overall"]["count"] > 0
+        assert payload["critical_path"]["makespan_us"] > 0
+        lines = flame.read_text().splitlines()
+        assert lines and all(len(l.split(";")) == 3 for l in lines)
+
+    def test_profile_clover_bed(self, capsys):
+        assert main(["profile", "--system", "clover", "--scale", "tiny",
+                     "--clients", "4", "--out", ""]) == 0
+        text = capsys.readouterr().out
+        assert "clover" in text
+        assert "metadata.cpu" in text
+
+    def test_ycsb_profile_flag_prints_breakdown(self, capsys):
+        assert main(["ycsb", "--keys", "100", "--clients", "2",
+                     "--duration-us", "500", "--profile"]) == 0
+        text = capsys.readouterr().out
+        assert "overall:" in text
+        assert "makespan:" in text

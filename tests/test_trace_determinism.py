@@ -13,13 +13,23 @@ import json
 from repro import Tracer
 from repro.harness.runner import run_closed_loop
 from repro.harness.systems import fusee_bed
-from repro.obs import chrome_trace, jsonl_lines
+from repro.obs import (
+    Metrics,
+    Profiler,
+    chrome_trace,
+    folded_stacks,
+    jsonl_lines,
+    sample_fabric,
+)
 from repro.workloads import YcsbConfig, YcsbWorkload
 
 
-def traced_ycsb_run(seed: int, duration_us: float = 1500.0):
+def traced_ycsb_run(seed: int, duration_us: float = 1500.0, profile=False,
+                    metrics=False):
     """Build a small FUSEE bed, run seeded YCSB-A clients, return the
-    tracer (bulk load is untraced; only the measured run is recorded)."""
+    tracer (bulk load is untraced; only the measured run is recorded).
+    With ``profile``/``metrics``, also return a profiler and a sampled
+    metrics registry (in that order)."""
     bed = fusee_bed(n_memory_nodes=2, replication_factor=2,
                     dataset_bytes=1 << 18, background_interval_us=0.0)
     config = YcsbConfig(workload="A", n_keys=200)
@@ -28,11 +38,19 @@ def traced_ycsb_run(seed: int, duration_us: float = 1500.0):
              for i, key in enumerate(seeder.load_keys()))
     tracer = Tracer()
     bed.cluster.attach_tracer(tracer)
+    out = [tracer]
+    if profile:
+        out.append(Profiler(tracer=tracer).install(bed.env))
+    if metrics:
+        registry = Metrics()
+        sample_fabric(bed.env, registry, bed.cluster.fabric,
+                      interval_us=50.0)
+        out.append(registry)
     clients = [bed.new_client() for _ in range(2)]
     run_closed_loop(bed.env, clients,
                     lambda index: YcsbWorkload(config, seed=seed + 1 + index),
                     bed.execute, duration_us=duration_us)
-    return tracer
+    return out[0] if len(out) == 1 else tuple(out)
 
 
 class TestTraceDeterminism:
@@ -62,3 +80,67 @@ class TestTraceDeterminism:
             # canonical rendering: re-dumping must reproduce the line
             assert json.dumps(record, sort_keys=True,
                               separators=(",", ":")) == line
+
+
+class TestProfileDeterminism:
+    """The profiler's outputs inherit the trace determinism contract."""
+
+    def test_same_seed_gives_identical_profile_json(self):
+        from repro.obs import RunProfile, analyze_critical_path
+
+        def payload(seed):
+            tracer, profiler = traced_ycsb_run(seed=seed, profile=True)
+            bundle = {
+                "profile": RunProfile.collect(
+                    profiler, tracer.spans).to_dict(),
+                "critical": analyze_critical_path(
+                    profiler, tracer.spans).to_dict(),
+            }
+            return json.dumps(bundle, indent=2, sort_keys=True)
+
+        first = payload(seed=7)
+        assert first == payload(seed=7)
+        assert json.loads(first)["profile"]["overall"]["count"] > 50
+
+    def test_same_seed_gives_identical_folded_stacks(self):
+        tracer1, prof1 = traced_ycsb_run(seed=7, profile=True)
+        tracer2, prof2 = traced_ycsb_run(seed=7, profile=True)
+        lines = folded_stacks(prof1, tracer1.spans)
+        assert lines == folded_stacks(prof2, tracer2.spans)
+        assert lines
+
+    def test_folded_values_sum_to_span_durations(self):
+        tracer, profiler = traced_ycsb_run(seed=7, profile=True)
+        lines = folded_stacks(profiler, tracer.spans)
+        total = sum(float(line.rpartition(" ")[2]) for line in lines)
+        expected = sum(s.duration_us for s in tracer.spans
+                       if s.end_us is not None)
+        # each line carries 6 decimals -> bounded per-line rounding error
+        assert abs(total - expected) <= 1e-5 * len(lines) + 1e-6
+
+
+class TestChromeCounterTracks:
+    def test_counter_events_are_valid_and_time_ordered(self):
+        tracer, metrics = traced_ycsb_run(seed=7, metrics=True)
+        doc = json.loads(json.dumps(chrome_trace(tracer, metrics=metrics)))
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert counters, "sample_fabric produced no counter events"
+        by_series = {}
+        for event in counters:
+            assert event["cat"] == "counter"
+            assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+            assert isinstance(event["args"]["value"], (int, float))
+            by_series.setdefault(event["name"], []).append(event["ts"])
+        for name, stamps in by_series.items():
+            assert stamps == sorted(stamps), f"{name} not time-ordered"
+        # per-MN CPU utilisation made it into the tracks (satellite b)
+        assert "mn0.cpu.util" in by_series and "mn1.cpu.util" in by_series
+
+    def test_span_events_have_monotone_nonnegative_extents(self):
+        tracer = traced_ycsb_run(seed=7)
+        doc = chrome_trace(tracer)
+        for event in doc["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
