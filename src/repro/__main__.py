@@ -151,7 +151,9 @@ def cmd_ycsb(args) -> int:
     bed = fusee_bed(n_memory_nodes=args.memory_nodes,
                     replication_factor=args.replicas,
                     dataset_bytes=args.keys * 1024,
-                    variant=args.variant)
+                    variant=args.variant,
+                    read_spread=args.read_spread,
+                    max_coalesce_width=args.coalesce_width)
     config = YcsbConfig(workload=args.workload, n_keys=args.keys)
     seeder = YcsbWorkload(config, seed=args.seed)
     loaded = bed.load((key, seeder.load_value(i))
@@ -198,7 +200,9 @@ def cmd_profile(args) -> int:
                           n_clients=args.clients,
                           n_memory_nodes=args.memory_nodes,
                           metadata_cores=args.metadata_cores,
-                          tail_pct=args.tail_pct)
+                          tail_pct=args.tail_pct,
+                          read_spread=args.read_spread,
+                          max_coalesce_width=args.coalesce_width)
     print(result.report())
     if args.out:
         with open(args.out, "w") as fh:
@@ -317,6 +321,18 @@ def cmd_faults(args) -> int:
     return 0 if report.sound else 1
 
 
+def _add_hotpath_flags(parser) -> None:
+    parser.add_argument("--read-spread", default="primary",
+                        choices=("primary", "round_robin", "least_loaded"),
+                        help="spread KV READs across alive replicas "
+                             "(default: paper-faithful primary)")
+    parser.add_argument("--coalesce-width", type=int, default=1,
+                        metavar="N",
+                        help="max verbs folded into one NIC doorbell "
+                             "serialisation slot (default 1 = "
+                             "paper-faithful, no coalescing)")
+
+
 def _add_obs_flags(parser) -> None:
     parser.add_argument("--trace", default=None, metavar="OUT.json",
                         help="write a Chrome trace_event file "
@@ -366,6 +382,7 @@ def main(argv=None) -> int:
     ycsb_parser.add_argument("--profile", action="store_true",
                              help="attribute span time (profiler) and "
                                   "print the latency breakdown")
+    _add_hotpath_flags(ycsb_parser)
     _add_obs_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=cmd_ycsb)
 
@@ -400,6 +417,7 @@ def main(argv=None) -> int:
                                 metavar="OUT.json",
                                 help="write a Chrome trace with counter "
                                      "tracks")
+    _add_hotpath_flags(profile_parser)
     profile_parser.set_defaults(func=cmd_profile)
 
     check_parser = sub.add_parser(

@@ -29,6 +29,7 @@ from .cache import AdaptiveIndexCache, CacheEntry
 from .memory import AllocResult, ClientAllocator, ClientTable
 from .oplog import clear_used_ops, commit_old_value_ops, entry_for_alloc
 from .race import IndexFullError, KeyMeta, RaceHashing, SlotRef
+from .readpolicy import READ_SPREAD_MODES, ReplicaReadPolicy
 from .snapshot import Outcome, snapshot_write, sequential_write
 from .wire import (
     FLAG_INVALID,
@@ -73,11 +74,20 @@ class ClientConfig:
     # Log-maintenance ablation: False adds the separate log-entry write
     # RTT that the embedded scheme (§4.5) eliminates.
     embedded_log: bool = True
+    # Which alive data replica serves KV-block READs: "primary" is the
+    # paper-faithful first-alive replica; "round_robin"/"least_loaded"
+    # spread reads across replicas (see repro.core.readpolicy).
+    read_spread: str = "primary"
+    # How long a replica stays deprioritised after a READ timeout.
+    read_suspect_window_us: float = 500.0
 
     def __post_init__(self):
         if self.replication_mode not in ("snapshot", "sequential"):
             raise ValueError(f"unknown replication mode "
                              f"{self.replication_mode!r}")
+        if self.read_spread not in READ_SPREAD_MODES:
+            raise ValueError(f"unknown read_spread {self.read_spread!r}; "
+                             f"pick from {READ_SPREAD_MODES}")
 
 
 @dataclass(frozen=True)
@@ -153,6 +163,9 @@ class FuseeClient:
         self.cache = AdaptiveIndexCache(capacity=self.config.cache_capacity,
                                         threshold=self.config.cache_threshold,
                                         enabled=self.config.cache_enabled)
+        self.read_policy = ReplicaReadPolicy(
+            fabric, mode=self.config.read_spread, cid=cid,
+            suspect_window_us=self.config.read_suspect_window_us)
         self.stats = ClientStats()
         self.crashed = False
         self._crash_point: Optional[CrashPoint] = None
@@ -206,11 +219,25 @@ class FuseeClient:
                          alloc.gaddr)
 
     def _kv_read_op(self, gaddr: int, nbytes: int) -> Optional[ReadOp]:
-        """READ a KV block from the first alive data replica."""
-        for mn_id, addr in self.region_map.translate(gaddr):
-            if not self.fabric.node(mn_id).crashed:
-                return ReadOp(mn_id, addr, nbytes)
-        return None
+        """READ a KV block from an alive data replica.
+
+        The replica is chosen by the ``read_spread`` policy — the
+        paper-faithful default reads the first alive (primary-most)
+        replica; spreading modes rotate or load-balance across them.
+        """
+        candidates = [(mn_id, addr)
+                      for mn_id, addr in self.region_map.translate(gaddr)
+                      if not self.fabric.node(mn_id).crashed]
+        if not candidates:
+            return None
+        mn_id, addr = self.read_policy.choose(candidates)
+        return ReadOp(mn_id, addr, nbytes)
+
+    def _note_kv_timeout(self, comp) -> None:
+        """Tell the read policy a KV READ timed out, so its retry avoids
+        that replica (gray/partitioned node) for the suspect window."""
+        if comp.value is TIMEOUT and isinstance(comp.op, ReadOp):
+            self.read_policy.note_timeout(comp.op.mn_id)
 
     def _prepare_kv(self, key: bytes, value: bytes, opcode: int,
                     meta: KeyMeta):
@@ -367,6 +394,7 @@ class FuseeClient:
         comps = yield self.fabric.post(
             [ReadOp(primary_mn, primary_addr, 8), kv_read])
         if comps[0].failed or comps[1].failed:
+            self._note_kv_timeout(comps[1])
             return None
         word_now = int.from_bytes(comps[0].value, "big")
         if word_now == entry.slot_word:
@@ -387,6 +415,7 @@ class FuseeClient:
             self.fabric.trace_phase("search.kv_refetch")
             comp = yield self.fabric.post_one(
                 self._kv_read_op(now.pointer, now.block_bytes))
+            self._note_kv_timeout(comp)
             if not comp.failed:
                 try:
                     header, kv_key, kv_value = decode_kv_payload(comp.value)
@@ -425,6 +454,7 @@ class FuseeClient:
         self.fabric.trace_phase("search.bypass_kv_read")
         comp = yield self.fabric.post_one(kv_read)
         if comp.failed:
+            self._note_kv_timeout(comp)
             return None
         try:
             header, kv_key, kv_value = decode_kv_payload(comp.value)
@@ -474,16 +504,14 @@ class FuseeClient:
         """
         placement = self.race.placement(meta.subtable)
         if not self.fabric.node(placement[0][0]).crashed:
-            ops = self.race.bucket_read_ops(meta, replica=0)
-            batch = ops + list(extra_ops or [])
-            comps = yield self.fabric.post(batch)
-            if any(c.value is TIMEOUT for c in comps[len(ops):]):
+            view, aborted = yield from self._primary_bucket_read(meta,
+                                                                 extra_ops)
+            if aborted:
                 # A KV replica write timed out: it may never have applied,
                 # so the op cannot go on to install a pointer to it.
                 return None
-            if not any(c.failed for c in comps[:len(ops)]):
-                payloads = [c.value for c in comps[:len(ops)]]
-                return self.race.parse_buckets(meta, payloads)
+            if view is not None:
+                return view
             extra_ops = None  # crashed mid-read; writes were still posted
         elif extra_ops:
             # honour the piggy-backed KV writes exactly once
@@ -494,11 +522,9 @@ class FuseeClient:
             placement = self.race.placement(meta.subtable)
             if not self.fabric.node(placement[0][0]).crashed:
                 # the master reconfigured a new primary while we waited
-                ops = self.race.bucket_read_ops(meta, replica=0)
-                comps = yield self.fabric.post(ops)
-                if not any(c.failed for c in comps):
-                    return self.race.parse_buckets(
-                        meta, [c.value for c in comps])
+                view, _aborted = yield from self._primary_bucket_read(meta)
+                if view is not None:
+                    return view
                 yield self.env.attributed_timeout(
                     self.config.retry_sleep_us, "backoff", "client.retry")
                 continue
@@ -531,6 +557,27 @@ class FuseeClient:
                 self.config.retry_sleep_us, "backoff", "client.retry")
         return None
 
+    def _primary_bucket_read(self, meta: KeyMeta,
+                             extra_ops: Optional[list] = None):
+        """One combined-bucket READ of the primary index replica, with
+        any piggy-backed KV writes in the same doorbell batch (generator).
+
+        The single place ``bucket_read_ops(meta, replica=0)`` is built for
+        the non-degraded path.  Returns ``(view, aborted)``: ``aborted``
+        is True when a piggy-backed write timed out (the caller must not
+        go on to install a pointer at possibly-unwritten memory); ``view``
+        is None when the bucket read itself failed (primary crashed
+        mid-read) and the caller should retry or degrade.
+        """
+        ops = self.race.bucket_read_ops(meta, replica=0)
+        comps = yield self.fabric.post(ops + list(extra_ops or []))
+        if any(c.value is TIMEOUT for c in comps[len(ops):]):
+            return None, True
+        if any(c.failed for c in comps[:len(ops)]):
+            return None, False
+        payloads = [c.value for c in comps[:len(ops)]]
+        return self.race.parse_buckets(meta, payloads), False
+
     def _match_candidates(self, key: bytes, matches):
         """Read fingerprint-hit KV blocks and return the true key match
         (lowest slot index wins so concurrent readers agree), as
@@ -561,6 +608,7 @@ class FuseeClient:
             if comp.failed:
                 if comp.value is TIMEOUT:
                     unreadable = True
+                    self._note_kv_timeout(comp)
                 continue
             try:
                 header, kv_key, kv_value = decode_kv_payload(comp.value)
@@ -703,6 +751,7 @@ class FuseeClient:
         self.fabric.trace_phase("insert.conflict_check")
         comp = yield self.fabric.post_one(comp_op)
         if comp.failed:
+            self._note_kv_timeout(comp)
             # TIMEOUT means "could not tell" (None), not "different key".
             return None if comp.value is TIMEOUT else False
         try:
@@ -901,6 +950,8 @@ class FuseeClient:
                 batch.append(kv_read)
                 self.fabric.trace_phase("write.locate_cached")
                 comps = yield self.fabric.post(batch)
+                for c in comps:
+                    self._note_kv_timeout(c)
                 if any(c.value is TIMEOUT for c in comps):
                     # A piggy-backed KV replica write (or the slot read)
                     # may not have applied; the op must not proceed to CAS
@@ -928,6 +979,7 @@ class FuseeClient:
                         if op is not None:
                             self.fabric.trace_phase("write.locate_refetch")
                             comp = yield self.fabric.post_one(op)
+                            self._note_kv_timeout(comp)
                             if not comp.failed:
                                 try:
                                     _h, kv_key, _v = decode_kv_payload(
@@ -996,6 +1048,7 @@ class FuseeClient:
             return None
         comp = yield self.fabric.post_one(kv_read)
         if comp.failed:
+            self._note_kv_timeout(comp)
             return _UNAVAILABLE if comp.value is TIMEOUT else None
         try:
             _h, kv_key, _v = decode_kv_payload(comp.value)
@@ -1023,6 +1076,7 @@ class FuseeClient:
             return None
         kv = yield self.fabric.post_one(op)
         if kv.failed:
+            self._note_kv_timeout(kv)
             return _UNAVAILABLE if kv.value is TIMEOUT else None
         try:
             _h, kv_key, _v = decode_kv_payload(kv.value)

@@ -96,11 +96,16 @@ def _traced_execute(bed: SystemBed, tracer: Tracer):
 
 
 def _make_bed(system: str, scale: Scale, n_memory_nodes: int,
-              metadata_cores: int, tracer: Tracer) -> SystemBed:
+              metadata_cores: int, tracer: Tracer,
+              read_spread: str = "primary",
+              max_coalesce_width: int = 1) -> SystemBed:
     dataset_bytes = scale.n_keys * scale.kv_size
     if system == "fusee":
         return fusee_bed(n_memory_nodes=n_memory_nodes,
-                         dataset_bytes=dataset_bytes, tracer=tracer)
+                         dataset_bytes=dataset_bytes,
+                         read_spread=read_spread,
+                         max_coalesce_width=max_coalesce_width,
+                         tracer=tracer)
     if system == "clover":
         return clover_bed(n_memory_nodes=n_memory_nodes,
                           metadata_cores=metadata_cores,
@@ -119,17 +124,23 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                  n_memory_nodes: int = 2,
                  metadata_cores: int = 2,
                  tail_pct: float = 99.0,
-                 sample_interval_us: float = 50.0) -> ProfiledRun:
+                 sample_interval_us: float = 50.0,
+                 read_spread: str = "primary",
+                 max_coalesce_width: int = 1) -> ProfiledRun:
     """Run a profiled closed-loop YCSB mix and attribute its time.
 
     The bulk load runs unprofiled (intervals are cleared before the
     measured window).  No warmup: every span that *ends* inside the run
     is attributed; spans cut off at the deadline are skipped and counted
-    (``RunProfile.unfinished_spans``).
+    (``RunProfile.unfinished_spans``).  ``read_spread`` and
+    ``max_coalesce_width`` (FUSEE only) select the replica read-spread
+    policy and the doorbell coalescing width of the bed.
     """
     scale = scale or Scale.bench()
     tracer = Tracer()
-    bed = _make_bed(system, scale, n_memory_nodes, metadata_cores, tracer)
+    bed = _make_bed(system, scale, n_memory_nodes, metadata_cores, tracer,
+                    read_spread=read_spread,
+                    max_coalesce_width=max_coalesce_width)
     self_traced = hasattr(bed.cluster, "attach_tracer")
     profiler = Profiler(tracer=tracer).install(bed.env)
     bed.load(_dataset(scale))

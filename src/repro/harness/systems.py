@@ -24,6 +24,7 @@ from ..core.addressing import RegionConfig
 from ..core.client import ClientConfig
 from ..core.kvstore import ClusterConfig, FuseeCluster
 from ..core.race import RaceConfig
+from ..rdma.fabric import FabricConfig
 from .loader import clover_load, fusee_load, pdpm_load
 
 __all__ = ["SystemBed", "fusee_bed", "clover_bed", "pdpm_bed"]
@@ -66,12 +67,19 @@ def fusee_bed(n_memory_nodes: int = 2,
               race: Optional[RaceConfig] = None,
               max_clients: int = 256,
               mn_cpu_cores: int = 2,
+              read_spread: str = "primary",
+              max_coalesce_width: int = 1,
+              coalesce_adaptive: bool = True,
               tracer=None) -> SystemBed:
     """A FUSEE deployment sized for a given dataset.
 
     ``variant``: "fusee" (default), "fusee-cr" (sequential replication),
     or "fusee-nc" (no client cache).  The paper's §6.2/6.3 comparisons use
     one index replica and two data replicas, hence the defaults.
+    ``read_spread`` ("primary" | "round_robin" | "least_loaded") spreads
+    KV READs across alive replicas; ``max_coalesce_width`` > 1 enables
+    doorbell verb coalescing on the fabric (``coalesce_adaptive`` limits
+    it to backlogged ports) — both default to the paper-faithful model.
     ``tracer`` (a :class:`repro.obs.Tracer`) observes every verb batch and
     client operation of the bed.
     """
@@ -84,7 +92,8 @@ def fusee_bed(n_memory_nodes: int = 2,
     client_cfg = ClientConfig(
         replication_mode="sequential" if variant == "fusee-cr" else "snapshot",
         cache_enabled=variant != "fusee-nc",
-        cache_threshold=cache_threshold)
+        cache_threshold=cache_threshold,
+        read_spread=read_spread)
     config = ClusterConfig(
         n_memory_nodes=n_memory_nodes,
         replication_factor=replication_factor,
@@ -94,6 +103,8 @@ def fusee_bed(n_memory_nodes: int = 2,
         region=region,
         race=race or RaceConfig(n_subtables=32, n_groups=256,
                                 slots_per_bucket=7),
+        fabric=FabricConfig(max_coalesce_width=max_coalesce_width,
+                            coalesce_adaptive=coalesce_adaptive),
         client=client_cfg,
         mn_cpu_cores=mn_cpu_cores,
     )

@@ -202,9 +202,13 @@ def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
     Per memory node and direction: NIC utilisation over the last interval
     (busy-time delta / interval), NIC backlog (microseconds of queued
     service), CPU wait-queue depth, and CPU utilisation (granted
-    core-time delta / interval / cores).  Returns the sampler process;
-    it self-terminates at ``until_us`` when given, else runs as long as
-    the simulation does.
+    core-time delta / interval / cores).  When the client read-spread
+    policy is counting KV-block READs per replica
+    (``fabric.stats.kv_replica_reads``), per-MN ``kv_reads`` series and a
+    cluster-wide ``kv_read_skew`` series (hottest replica's share of
+    reads divided by the even share, 1.0 = perfectly balanced) are
+    sampled too.  Returns the sampler process; it self-terminates at
+    ``until_us`` when given, else runs as long as the simulation does.
     """
 
     def proc():
@@ -232,5 +236,14 @@ def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
                 metrics.timeseries(f"mn{mn_id}.cpu.util").record(
                     t, min(1.0, cpu_delta
                            / (interval_us * node.cpu.capacity)))
+            replica_reads = fabric.stats.kv_replica_reads
+            total_reads = sum(replica_reads.values())
+            if total_reads:
+                for mn_id in sorted(replica_reads):
+                    metrics.timeseries(f"mn{mn_id}.kv_reads").record(
+                        t, float(replica_reads[mn_id]))
+                even_share = total_reads / len(replica_reads)
+                metrics.timeseries("kv_read_skew").record(
+                    t, max(replica_reads.values()) / even_share)
 
     return env.process(proc(), name="metrics-sampler")

@@ -160,3 +160,58 @@ class TestReuseAfterChurn:
         visited, _terminator = run(cluster, proc())
         assert visited  # non-empty and terminated
         assert visited[-1].is_tail
+
+
+class TestPrimaryBucketRead:
+    """The deduplicated primary combined-bucket read: one
+    ``bucket_read_ops(meta, replica=0)`` build per attempt, and a
+    piggy-backed KV-write timeout aborts the caller (the op must not go
+    on to install a pointer at possibly-unwritten memory)."""
+
+    def test_bucket_read_ops_built_once_per_bucket_read(self, cluster,
+                                                        monkeypatch):
+        client = cluster.new_client(cache_enabled=False)
+        assert run(cluster, client.insert(b"k", b"v")).ok
+        calls = []
+        real = client.race.bucket_read_ops
+        monkeypatch.setattr(
+            client.race, "bucket_read_ops",
+            lambda meta, replica=0: (calls.append(replica)
+                                     or real(meta, replica=replica)))
+        assert run(cluster, client.search(b"k")).ok
+        assert calls == [0]
+
+    def test_piggybacked_write_timeout_aborts_the_read(self, cluster,
+                                                       client):
+        from repro.rdma import Completion, TIMEOUT, WriteOp
+
+        assert run(cluster, client.insert(b"k", b"v")).ok
+        meta = client.race.key_meta(b"k")
+        extra = WriteOp(0, 0, b"x" * 8)
+        gen = client._read_buckets(meta, extra_ops=[extra])
+        next(gen)  # posts the combined bucket read + piggy-backed write
+        n_reads = len(client.race.bucket_read_ops(meta, replica=0))
+        comps = [Completion(op, b"")  # bucket payloads are never parsed
+                 for op in client.race.bucket_read_ops(meta, replica=0)]
+        comps.append(Completion(extra, TIMEOUT))
+        with pytest.raises(StopIteration) as stop:
+            gen.send(comps)
+        assert stop.value.value is None
+        assert len(comps) == n_reads + 1
+
+    def test_bucket_read_timeout_is_not_an_abort(self, cluster, client):
+        """A timed-out *bucket* read retries (view None, not aborted);
+        only a piggy-backed write timeout may abort."""
+        from repro.rdma import Completion, TIMEOUT, WriteOp
+
+        assert run(cluster, client.insert(b"k", b"v")).ok
+        meta = client.race.key_meta(b"k")
+        extra = WriteOp(0, 0, b"x" * 8)
+        gen = client._primary_bucket_read(meta, [extra])
+        next(gen)
+        comps = [Completion(op, TIMEOUT)
+                 for op in client.race.bucket_read_ops(meta, replica=0)]
+        comps.append(Completion(extra, None))  # the write landed
+        with pytest.raises(StopIteration) as stop:
+            gen.send(comps)
+        assert stop.value.value == (None, False)

@@ -1,6 +1,8 @@
 """Tests for the simulated RDMA fabric and memory nodes."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.rdma import (
     FAIL,
@@ -328,3 +330,168 @@ class TestFabricStatsSnapshot:
         run_batch(env, fabric, [ReadOp(0, 0, 8), ReadOp(1, 0, 8)])
         assert fabric.stats.failed_verbs == 1
         assert fabric.stats.snapshot().failed_verbs == 1
+
+
+def _coalescing_fabric(width, adaptive=False, capacity=1 << 20):
+    env = Environment()
+    fab = Fabric(env, FabricConfig(max_coalesce_width=width,
+                                   coalesce_adaptive=adaptive))
+    for mn_id in range(2):
+        fab.add_node(MemoryNode(env, mn_id, capacity=capacity))
+    return env, fab
+
+
+class TestDoorbellCoalescing:
+    """Adaptive verb coalescing: adjacent same-QP READs/WRITEs of one
+    doorbell batch may share a NIC serialisation slot (one op_overhead
+    for the group), bounded by ``max_coalesce_width``."""
+
+    def test_width_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(max_coalesce_width=0)
+
+    def test_default_width_never_coalesces(self, env, fabric):
+        run_batch(env, fabric, [WriteOp(0, 0, b"a" * 8),
+                                WriteOp(0, 8, b"b" * 8)])
+        assert fabric.stats.coalesced_slots == 0
+        assert fabric.stats.coalesced_verbs == 0
+
+    def test_adjacent_same_node_writes_share_one_slot(self):
+        env, fab = _coalescing_fabric(width=8)
+        run_batch(env, fab, [WriteOp(0, 0, b"a" * 8),
+                             WriteOp(0, 8, b"b" * 8),
+                             WriteOp(1, 0, b"c" * 8)])
+        assert fab.stats.coalesced_slots == 1
+        assert fab.stats.coalesced_verbs == 1
+
+    def test_group_size_caps_at_width(self):
+        env, fab = _coalescing_fabric(width=2)
+        run_batch(env, fab,
+                  [WriteOp(0, i * 8, b"x" * 8) for i in range(5)])
+        # groups of 2, 2, 1 -> two shared slots, two rider verbs
+        assert fab.stats.coalesced_slots == 2
+        assert fab.stats.coalesced_verbs == 2
+
+    def test_atomics_never_coalesce(self):
+        env, fab = _coalescing_fabric(width=8)
+        run_batch(env, fab, [CasOp(0, 0, 0, 1), CasOp(0, 8, 0, 1),
+                             FaaOp(0, 16, 1)])
+        assert fab.stats.coalesced_slots == 0
+
+    def test_reads_and_writes_do_not_merge(self):
+        """READs (tx) and WRITEs (rx) serialise on different ports."""
+        env, fab = _coalescing_fabric(width=8)
+        run_batch(env, fab, [WriteOp(0, 0, b"a" * 8), ReadOp(0, 0, 8),
+                             WriteOp(0, 8, b"b" * 8)])
+        assert fab.stats.coalesced_slots == 0
+
+    def test_coalesced_batch_finishes_sooner(self):
+        ops = [WriteOp(0, i * 64, b"z" * 64) for i in range(8)]
+        env1, fab1 = _coalescing_fabric(width=1)
+        run_batch(env1, fab1, list(ops))
+        env8, fab8 = _coalescing_fabric(width=8)
+        run_batch(env8, fab8, list(ops))
+        assert env8.now < env1.now
+
+    def test_batch_count_is_unchanged(self):
+        """Coalescing shares NIC slots, it never changes RTT accounting."""
+        env, fab = _coalescing_fabric(width=8)
+        run_batch(env, fab, [WriteOp(0, 0, b"a" * 8),
+                             WriteOp(0, 8, b"b" * 8)])
+        assert fab.stats.batches == 1
+
+    def test_adaptive_idle_port_does_not_coalesce(self):
+        env, fab = _coalescing_fabric(width=8, adaptive=True)
+        run_batch(env, fab, [WriteOp(0, 0, b"a" * 8),
+                             WriteOp(0, 8, b"b" * 8)])
+        assert fab.stats.coalesced_slots == 0
+
+    def test_adaptive_backlogged_port_coalesces(self):
+        env, fab = _coalescing_fabric(width=8, adaptive=True)
+
+        def load():
+            yield fab.post([WriteOp(0, 0, bytes(64 << 10))])
+
+        def probe():
+            yield env.timeout(0.5)
+            yield fab.post([WriteOp(0, 0, b"a" * 8),
+                            WriteOp(0, 8, b"b" * 8)])
+
+        env.process(load())
+        env.run(until=env.process(probe()))
+        assert fab.stats.coalesced_slots == 1
+
+    def test_crashed_node_still_fails_per_verb(self):
+        env, fab = _coalescing_fabric(width=8)
+        fab.node(0).crash()
+        comps = run_batch(env, fab, [WriteOp(0, 0, b"x" * 8),
+                                     WriteOp(0, 8, b"y" * 8),
+                                     WriteOp(1, 0, b"z" * 8)])
+        assert [c.failed for c in comps] == [True, True, False]
+        assert fab.stats.coalesced_slots == 0
+
+
+class TestCoalescingOrdering:
+    """§4.6 doorbell semantics: coalescing must never reorder same-QP
+    WRITEs — the body-before-entry ordering crash consistency rests on
+    — for any batch width, adaptive or not."""
+
+    @given(writes=st.lists(
+               st.tuples(st.integers(0, 1),          # memory node
+                         st.integers(0, 48),         # address
+                         st.binary(min_size=1, max_size=16)),
+               min_size=1, max_size=12),
+           width=st.integers(1, 12),
+           adaptive=st.booleans(),
+           preload=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_memory_matches_sequential_application(self, writes, width,
+                                                   adaptive, preload):
+        env = Environment()
+        fab = Fabric(env, FabricConfig(max_coalesce_width=width,
+                                       coalesce_adaptive=adaptive))
+        for mn_id in range(2):
+            fab.add_node(MemoryNode(env, mn_id, capacity=128))
+        if preload:
+            # queue service on both rx ports so adaptive mode widens
+            def busy():
+                yield fab.post([WriteOp(0, 64, bytes(64)),
+                                WriteOp(1, 64, bytes(64))])
+            env.process(busy())
+        reference = {0: bytearray(128), 1: bytearray(128)}
+        ops = []
+        for mn, addr, data in writes:
+            ops.append(WriteOp(mn, addr, data))
+            reference[mn][addr:addr + len(data)] = data
+        run_batch(env, fab, ops)
+        for mn_id in (0, 1):
+            assert bytes(fab.node(mn_id).memory) == bytes(reference[mn_id])
+
+    @given(batch=st.lists(
+               st.tuples(st.integers(0, 1), st.integers(0, 48),
+                         st.one_of(st.none(),
+                                   st.binary(min_size=1, max_size=16))),
+               min_size=1, max_size=12),
+           width=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_reads_observe_every_earlier_write(self, batch, width):
+        """Within a batch each READ sees exactly the WRITEs before it."""
+        env = Environment()
+        fab = Fabric(env, FabricConfig(max_coalesce_width=width,
+                                       coalesce_adaptive=False))
+        for mn_id in range(2):
+            fab.add_node(MemoryNode(env, mn_id, capacity=128))
+        reference = {0: bytearray(128), 1: bytearray(128)}
+        ops, expect = [], []
+        for mn, addr, data in batch:
+            if data is None:
+                ops.append(ReadOp(mn, addr, 8))
+                expect.append(bytes(reference[mn][addr:addr + 8]))
+            else:
+                ops.append(WriteOp(mn, addr, data))
+                reference[mn][addr:addr + len(data)] = data
+                expect.append(None)
+        comps = run_batch(env, fab, ops)
+        for comp, want in zip(comps, expect):
+            if want is not None:
+                assert comp.value == want

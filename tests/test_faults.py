@@ -229,6 +229,97 @@ def test_every_named_campaign_is_sound(name):
 
 
 # --------------------------------------------------------------------------
+# Read-spreading under faults: the selected replica goes dark mid-read
+# --------------------------------------------------------------------------
+_SHORT_RETRY = RetryPolicy(max_attempts=2, verb_timeout_us=8.0,
+                           rpc_timeout_us=40.0, backoff_base_us=2.0,
+                           backoff_cap_us=8.0, jitter_frac=0.0)
+
+
+def _spread_cluster(read_spread):
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    cluster = FuseeCluster(small_config(), tracer=tracer)
+    client = cluster.new_client(read_spread=read_spread)
+    return cluster, client, tracer
+
+
+def _key_with_offnode_kv_primary(cluster, client):
+    """A warmed key whose KV primary replica is NOT its index-bucket MN,
+    plus that replica's id — partitioning the data replica then leaves
+    the fallback bucket path reachable."""
+    race, stats = cluster.race, cluster.fabric.stats
+    for i in range(24):
+        key = f"spread{i}".encode()
+        assert cluster.run_op(client.insert(key, b"v0")).ok
+        index_mn = race.bucket_read_ops(race.key_meta(key),
+                                        replica=0)[0].mn_id
+        assert cluster.run_op(client.search(key)).ok  # warm the cache
+        before = dict(stats.kv_replica_reads)
+        assert cluster.run_op(client.search(key)).ok
+        after = stats.kv_replica_reads
+        served = [mn for mn in after if after[mn] != before.get(mn, 0)]
+        if served == [mn for mn in served if mn != index_mn] \
+                and len(served) == 1:
+            return key, served[0]
+    raise AssertionError("no key with off-node KV primary found")
+
+
+def test_partitioned_read_replica_retry_lands_on_another_replica():
+    """The replica serving a key's READs gets partitioned; the retry must
+    land on a different replica, the op must succeed, and the recorded
+    history must stay linearizable."""
+    from repro.check.history import kv_ops_from_spans
+    from repro.core.linearizability import check_kv_linearizable
+
+    cluster, client, tracer = _spread_cluster("least_loaded")
+    stats = cluster.fabric.stats
+    key, kv_mn = _key_with_offnode_kv_primary(cluster, client)
+
+    start = cluster.env.now
+    cluster.install_faults(FaultPlan(partitions=[
+        Partition(a=CN, b=kv_mn, start_us=start, end_us=start + 2000.0,
+                  drop_requests=True, drop_replies=True)], seed=0),
+        retry=_SHORT_RETRY)
+    before = dict(stats.kv_replica_reads)
+    assert cluster.run_op(client.search(key)).ok
+    after = stats.kv_replica_reads
+    # the dark replica was tried first (idle least_loaded == primary) ...
+    assert after.get(kv_mn, 0) - before.get(kv_mn, 0) >= 1
+    # ... and the retry read a *different* replica
+    assert sum(after.get(mn, 0) - before.get(mn, 0)
+               for mn in after if mn != kv_mn) >= 1
+
+    cluster.install_faults(None)  # heal, then keep operating
+    assert cluster.run_op(client.update(key, b"v1")).ok
+    assert cluster.run_op(client.search(key)).ok
+    violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+    assert violation is None, violation
+
+
+def test_round_robin_survives_partitioned_replica():
+    """Rotation keeps hitting the dark replica's turn; the suspect window
+    must steer follow-up reads away and every search must stay ok."""
+    from repro.check.history import kv_ops_from_spans
+    from repro.core.linearizability import check_kv_linearizable
+
+    cluster, client, tracer = _spread_cluster("round_robin")
+    key, kv_mn = _key_with_offnode_kv_primary(cluster, client)
+
+    start = cluster.env.now
+    cluster.install_faults(FaultPlan(partitions=[
+        Partition(a=CN, b=kv_mn, start_us=start, end_us=start + 2000.0,
+                  drop_requests=True, drop_replies=True)], seed=0),
+        retry=_SHORT_RETRY)
+    for _ in range(6):
+        assert cluster.run_op(client.search(key)).ok
+    cluster.install_faults(None)
+    violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+    assert violation is None, violation
+
+
+# --------------------------------------------------------------------------
 # Property: random small fault plans over random op programs
 # --------------------------------------------------------------------------
 _DURATION = 3000.0

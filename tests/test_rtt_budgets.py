@@ -34,7 +34,8 @@ from repro.core.race import RaceConfig
 
 
 def traced_cluster(n_memory_nodes=3, replication_factor=2,
-                   index_replication=1, **client_overrides):
+                   index_replication=1, fabric_overrides=None,
+                   **client_overrides):
     config = ClusterConfig(
         n_memory_nodes=n_memory_nodes,
         replication_factor=replication_factor,
@@ -44,6 +45,9 @@ def traced_cluster(n_memory_nodes=3, replication_factor=2,
         region=RegionConfig(region_size=1 << 18, block_size=1 << 13,
                             min_object_size=64),
         race=RaceConfig(n_subtables=4, n_groups=16, slots_per_bucket=7))
+    if fabric_overrides:
+        config = replace(config,
+                         fabric=replace(config.fabric, **fabric_overrides))
     if client_overrides:
         config = replace(config,
                          client=replace(config.client, **client_overrides))
@@ -173,6 +177,67 @@ class TestInsertDeleteBudget:
         assert span.unsignaled >= 1
         unsignaled = [b for b in span.batches if b.get("unsignaled")]
         assert all(b["phase"].startswith("cleanup.") for b in unsignaled)
+
+
+class TestBudgetsUnderHotPathKnobs:
+    """Read-spreading and doorbell coalescing reshape NIC serialisation
+    waits only — the protocol's RTT-per-op budgets must be untouched at
+    any knob setting (the tentpole's 'only waits moved' guarantee)."""
+
+    KNOBS = [
+        {"read_spread": "round_robin"},
+        {"read_spread": "least_loaded"},
+        {"fabric_overrides": {"max_coalesce_width": 8}},
+        {"fabric_overrides": {"max_coalesce_width": 8,
+                              "coalesce_adaptive": False}},
+        {"read_spread": "least_loaded",
+         "fabric_overrides": {"max_coalesce_width": 8,
+                              "coalesce_adaptive": False}},
+    ]
+
+    @pytest.mark.parametrize("knobs", KNOBS)
+    def test_search_budgets_unchanged(self, knobs):
+        cluster, client, tracer = traced_cluster(**knobs)
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        span = tracer.last_span("search")
+        assert span.rtts == 1
+        assert span.phases() == ["search.cached_read"]
+
+    @pytest.mark.parametrize("knobs", KNOBS)
+    def test_uncached_search_budget_unchanged(self, knobs):
+        cluster, client, tracer = traced_cluster(cache_enabled=False,
+                                                 **knobs)
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        span = tracer.last_span("search")
+        assert span.rtts == 2
+        assert span.phases() == ["search.bucket_read", "kv.match_read"]
+
+    @pytest.mark.parametrize("knobs", KNOBS)
+    def test_update_insert_delete_budgets_unchanged(self, knobs):
+        cluster, client, tracer = traced_cluster(index_replication=2,
+                                                 **knobs)
+        update = warm_update_span(cluster, client, tracer)
+        assert update.rtts == 4
+        assert update.phases() == ["write.locate_cached",
+                                   "repl.backup_cas", "log.commit",
+                                   "repl.primary_cas"]
+        insert = tracer.last_span("insert")
+        assert insert.rtts == update.rtts + 1
+        assert cluster.run_op(client.delete(b"key")).ok
+        assert tracer.last_span("delete").rtts == update.rtts
+
+    def test_spread_reads_still_one_rtt_each(self):
+        """Reading a backup replica costs the same single READ RTT."""
+        cluster, client, tracer = traced_cluster(read_spread="round_robin")
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        for _ in range(4):  # rotation visits both replicas
+            assert cluster.run_op(client.search(b"key")).ok
+        searches = tracer.spans_of("search")[-3:]
+        assert all(s.rtts == 1 for s in searches)
+        assert len(cluster.fabric.stats.kv_replica_reads) == 2
 
 
 class TestBudgetsUnderLoad:
