@@ -28,6 +28,26 @@ _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 _CLOVER_SCALE = Scale(n_keys=800, n_clients=24, duration_us=1_000.0)
 _FUSEE_LOADED = Scale(n_keys=800, n_clients=64, duration_us=1_000.0)
 _FUSEE_IDLE = Scale(n_keys=800, n_clients=4, duration_us=1_000.0)
+# The scale-test bed: hundreds of clients against many MNs, where the
+# single tx NIC per MN used to wall off throughput entirely.
+_FUSEE_SCALED = Scale(n_keys=800, n_clients=256, duration_us=600.0)
+
+
+def _write_bench_section(section: str, payload: dict) -> None:
+    """Merge one gate's evidence bundle into ``BENCH_profile.json``.
+
+    The file holds one key per gate so the hotpath and multiqueue gates
+    (and future ones) can each rewrite their own section without
+    clobbering the others."""
+    path = _REPO_ROOT / "BENCH_profile.json"
+    try:
+        doc = json.loads(path.read_text())
+        if not isinstance(doc, dict) or "bed" in doc:
+            doc = {}  # pre-section format: start fresh
+    except (OSError, ValueError):
+        doc = {}
+    doc[section] = payload
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def test_fig02_clover_tail_is_metadata_cpu_wait():
@@ -97,8 +117,86 @@ def test_hotpath_knobs_lift_the_fig13_plateau():
         "seed": seed.to_dict(),
         "optimized": tuned.to_dict(),
     }
-    (_REPO_ROOT / "BENCH_profile.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _write_bench_section("hotpath", payload)
+
+
+def test_multiqueue_nics_break_the_tx_wall():
+    """Tentpole gate (before/after): 4 NIC ports per MN with per-QP
+    affinity plus a 2-way sharded MN RPC service must cut the saturated
+    bed's nic_wait share from ~0.39+ to <=0.25 and lift throughput
+    >=15%, with both bundles written to ``BENCH_profile.json``."""
+    seed = profile_ycsb(system="fusee", workload="A",
+                        scale=_FUSEE_LOADED, n_memory_nodes=2)
+    mq = profile_ycsb(system="fusee", workload="A",
+                      scale=_FUSEE_LOADED, n_memory_nodes=2,
+                      nic_ports=4, rpc_shards=2)
+    # the seed really is NIC-serialisation walled at this bed
+    # (calibrated ~0.46; the issue's floor is 0.39-ish)
+    assert seed.profile.share("nic_wait") > 0.35
+    # ... and multi-queue dissolves the wall (calibrated ~0.02)
+    assert mq.profile.share("nic_wait") <= 0.25
+    # ... buying real throughput (calibrated ~+93% at this bed)
+    assert mq.run.mops >= 1.15 * seed.run.mops
+    # the ports actually spread: several tx ports carried real load
+    # (the per-port counter tracks the profiler's edge ranking names)
+    busy_tx = [name for name, series in mq.metrics.series.items()
+               if ".nic_tx.p" in name and name.endswith(".util")
+               and max(v for _, v in series.points) > 0.05]
+    assert len(busy_tx) >= 2, busy_tx
+    payload = {
+        "bed": {"workload": "A", "n_clients": _FUSEE_LOADED.n_clients,
+                "n_memory_nodes": 2},
+        "knobs": {"nic_ports": 4, "rpc_shards": 2,
+                  "port_affinity": "qp"},
+        "gate": {
+            "mops_seed": round(seed.run.mops, 6),
+            "mops_optimized": round(mq.run.mops, 6),
+            "speedup": round(mq.run.mops / seed.run.mops, 4),
+            "nic_wait_seed": round(seed.profile.share("nic_wait"), 4),
+            "nic_wait_optimized": round(mq.profile.share("nic_wait"), 4),
+        },
+        "seed": seed.to_dict(),
+        "optimized": mq.to_dict(),
+    }
+    _write_bench_section("multiqueue", payload)
+
+
+def test_scaled_bed_plateau_is_multiqueue_high():
+    """The scale-test gate: at 256 clients / 8 MNs the single-queue
+    model is hopelessly tx-walled (~0.60 nic_wait); the multi-queue +
+    sharded bed must lift throughput >=2x and hand the bottleneck back
+    to wire propagation.  The bundle lands in ``BENCH_profile.json``."""
+    single = profile_ycsb(system="fusee", workload="A",
+                          scale=_FUSEE_SCALED, n_memory_nodes=8)
+    mq = profile_ycsb(system="fusee", workload="A",
+                      scale=_FUSEE_SCALED, n_memory_nodes=8,
+                      nic_ports=4, rpc_shards=2, port_affinity="rss")
+    assert single.profile.share("nic_wait") > 0.5
+    assert mq.run.ops > 10_000
+    # calibrated: 13.8 -> 43.4 Mops, nic_wait 0.60 -> 0.04
+    assert mq.run.mops >= 2.0 * single.run.mops
+    assert mq.profile.share("nic_wait") <= 0.10
+    # the new plateau is wire-bound, not queue-bound
+    assert mq.profile.share("propagation") > \
+        mq.profile.share("nic_wait") + mq.profile.share("nic_service")
+    payload = {
+        "bed": {"workload": "A", "n_clients": _FUSEE_SCALED.n_clients,
+                "n_memory_nodes": 8},
+        "knobs": {"nic_ports": 4, "rpc_shards": 2,
+                  "port_affinity": "rss"},
+        "gate": {
+            "mops_single_queue": round(single.run.mops, 6),
+            "mops_multiqueue": round(mq.run.mops, 6),
+            "speedup": round(mq.run.mops / single.run.mops, 4),
+            "nic_wait_single_queue":
+                round(single.profile.share("nic_wait"), 4),
+            "nic_wait_multiqueue":
+                round(mq.profile.share("nic_wait"), 4),
+        },
+        "single_queue": single.to_dict(),
+        "multiqueue": mq.to_dict(),
+    }
+    _write_bench_section("multiqueue_scaled", payload)
 
 
 def test_fusee_unloaded_is_propagation_dominated():

@@ -53,7 +53,8 @@ from .harness.report import render
 
 
 def _scale_from(name: str) -> Scale:
-    presets = {"tiny": Scale.tiny, "bench": Scale.bench, "full": Scale.full}
+    presets = {"tiny": Scale.tiny, "bench": Scale.bench, "full": Scale.full,
+               "production": Scale.production}
     if name not in presets:
         raise SystemExit(f"unknown scale {name!r}; pick from "
                          f"{sorted(presets)}")
@@ -153,7 +154,11 @@ def cmd_ycsb(args) -> int:
                     dataset_bytes=args.keys * 1024,
                     variant=args.variant,
                     read_spread=args.read_spread,
-                    max_coalesce_width=args.coalesce_width)
+                    max_coalesce_width=args.coalesce_width,
+                    nic_ports=args.nic_ports,
+                    rpc_shards=args.rpc_shards,
+                    port_affinity=args.port_affinity,
+                    max_clients=max(256, args.clients + 8))
     config = YcsbConfig(workload=args.workload, n_keys=args.keys)
     seeder = YcsbWorkload(config, seed=args.seed)
     loaded = bed.load((key, seeder.load_value(i))
@@ -202,7 +207,10 @@ def cmd_profile(args) -> int:
                           metadata_cores=args.metadata_cores,
                           tail_pct=args.tail_pct,
                           read_spread=args.read_spread,
-                          max_coalesce_width=args.coalesce_width)
+                          max_coalesce_width=args.coalesce_width,
+                          nic_ports=args.nic_ports,
+                          rpc_shards=args.rpc_shards,
+                          port_affinity=args.port_affinity)
     print(result.report())
     if args.out:
         with open(args.out, "w") as fh:
@@ -331,6 +339,16 @@ def _add_hotpath_flags(parser) -> None:
                         help="max verbs folded into one NIC doorbell "
                              "serialisation slot (default 1 = "
                              "paper-faithful, no coalescing)")
+    parser.add_argument("--nic-ports", type=int, default=1, metavar="N",
+                        help="rx/tx NIC port pairs per memory node "
+                             "(default 1 = paper-faithful single queue)")
+    parser.add_argument("--rpc-shards", type=int, default=1, metavar="N",
+                        help="independent RPC CPU shards per memory "
+                             "node (default 1 = one pooled server loop)")
+    parser.add_argument("--port-affinity", default="qp",
+                        choices=("qp", "rss"),
+                        help="how client QPs hash onto NIC ports "
+                             "(default qp = per-QP affinity)")
 
 
 def _add_obs_flags(parser) -> None:
@@ -356,7 +374,7 @@ def main(argv=None) -> int:
     run_parser.add_argument("names", nargs="+",
                             help="experiment names (or 'all')")
     run_parser.add_argument("--scale", default="bench",
-                            choices=("tiny", "bench", "full"))
+                            choices=("tiny", "bench", "full", "production"))
     run_parser.add_argument("--out", default=None,
                             help="directory to write tables into")
     run_parser.add_argument("--format", default="table",
@@ -395,7 +413,8 @@ def main(argv=None) -> int:
     profile_parser.add_argument("--workload", default="A",
                                 choices=sorted("ABCD"))
     profile_parser.add_argument("--scale", default="bench",
-                                choices=("tiny", "bench", "full"))
+                                choices=("tiny", "bench", "full",
+                                         "production"))
     profile_parser.add_argument("--clients", type=int, default=None,
                                 help="override the scale's client count")
     profile_parser.add_argument("--memory-nodes", type=int, default=2)

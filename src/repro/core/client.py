@@ -155,6 +155,9 @@ class FuseeClient:
         self.region_map = region_map
         self.race = race
         self.cid = cid
+        # the queue pair this client posts through (multi-queue port
+        # affinity hashes on it); a raw Fabric means the shared QP 0
+        self.qp = getattr(fabric, "qp", 0)
         self.config = config or ClientConfig()
         self.master = master
         self.allocator = ClientAllocator(

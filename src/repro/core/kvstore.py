@@ -46,6 +46,11 @@ class ClusterConfig:
     master: MasterConfig = field(default_factory=MasterConfig)
     client: ClientConfig = field(default_factory=ClientConfig)
     mn_cpu_cores: int = 2
+    # Multi-queue memory nodes: rx/tx NIC port pairs per MN and
+    # independent RPC-serving CPU shards.  1/1 (the default) is the
+    # paper-faithful single-queue node, byte-identical to older traces.
+    nic_ports: int = 1
+    rpc_shards: int = 1
     largest_object: Optional[int] = None
     virtual_nodes: int = 64
     # carve headroom per node for pool growth: backup replicas of regions
@@ -62,6 +67,10 @@ class ClusterConfig:
         if idx_r is not None and not 1 <= idx_r <= self.n_memory_nodes:
             raise ValueError("index replication must be in "
                              "[1, n_memory_nodes]")
+        if self.nic_ports < 1:
+            raise ValueError("nic_ports must be >= 1")
+        if self.rpc_shards < 1:
+            raise ValueError("rpc_shards must be >= 1")
 
     @property
     def index_replicas(self) -> int:
@@ -118,7 +127,9 @@ class FuseeCluster:
                         + slack)
             node = MemoryNode(self.env, mn_id, capacity,
                               nic_profile=cfg.nic,
-                              cpu_cores=cfg.mn_cpu_cores)
+                              cpu_cores=cfg.mn_cpu_cores,
+                              num_ports=cfg.nic_ports,
+                              rpc_shards=cfg.rpc_shards)
             self.fabric.add_node(node)
         self.region_map = RegionMap(cfg.region, self.ring,
                                     cfg.replication_factor)
@@ -172,7 +183,9 @@ class FuseeCluster:
                     * cfg.replication_factor
                     + 2 * index_bytes + table_bytes + (1 << 16))
         node = MemoryNode(self.env, mn_id, capacity,
-                          nic_profile=cfg.nic, cpu_cores=cfg.mn_cpu_cores)
+                          nic_profile=cfg.nic, cpu_cores=cfg.mn_cpu_cores,
+                          num_ports=cfg.nic_ports,
+                          rpc_shards=cfg.rpc_shards)
         self.fabric.add_node(node)
         self.ring.add_node(mn_id)
         # replicate the client table (copy current contents from an alive MN)
@@ -233,9 +246,14 @@ class FuseeCluster:
         base = config or self.config.client
         if overrides:
             base = replace(base, **overrides)
-        client = FuseeClient(self.env, self.fabric, self.region_map,
+        cid = next(self._cids)
+        # Each client posts through its own queue pair: the QP-bound
+        # fabric view stamps the client's identity on every verb/RPC so
+        # multi-queue port affinity can hash it onto a NIC port.
+        client = FuseeClient(self.env, self.fabric.bind_qp(cid),
+                             self.region_map,
                              self.race, self.client_table,
-                             cid=next(self._cids),
+                             cid=cid,
                              size_classes=self.size_classes,
                              master=self.master, config=base)
         self.clients.append(client)

@@ -81,7 +81,9 @@ class ReplicaReadPolicy:
                 choice = None
                 best = None
                 for index, cand in enumerate(usable):
-                    backlog = self.fabric.node(cand[0]).nic_tx.backlog(now)
+                    # total queued tx work across the node's ports —
+                    # identical to nic_tx.backlog on single-queue MNs
+                    backlog = self.fabric.node(cand[0]).tx_backlog(now)
                     rank = (backlog, index)
                     if best is None or rank < best:
                         choice, best = cand, rank

@@ -187,13 +187,16 @@ class CampaignReport:
 # --------------------------------------------------------------------------
 # The campaign driver
 # --------------------------------------------------------------------------
-def _small_cluster(n_mns: int, tracer=None) -> FuseeCluster:
+def _small_cluster(n_mns: int, tracer=None, nic_ports: int = 1,
+                   rpc_shards: int = 1) -> FuseeCluster:
     config = ClusterConfig(
         n_memory_nodes=n_mns,
         replication_factor=min(2, n_mns),
         index_replication=1,
         region=RegionConfig(region_size=1 << 18, block_size=1 << 13),
         race=RaceConfig(n_subtables=4, n_groups=32, slots_per_bucket=7),
+        nic_ports=nic_ports,
+        rpc_shards=rpc_shards,
     )
     return FuseeCluster(config, tracer=tracer)
 
@@ -203,19 +206,23 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
                  preload: int = 32, value_size: int = 48,
                  retry: Optional[RetryPolicy] = None,
                  plan: Optional[FaultPlan] = None,
-                 n_mns: int = 3) -> CampaignReport:
+                 n_mns: int = 3, nic_ports: int = 1,
+                 rpc_shards: int = 1) -> CampaignReport:
     """Run one fault campaign and verify its end state.
 
     ``retries=False`` swaps in :data:`~repro.faults.retry.NO_RETRY` —
     the negative control showing the resilience layer is load-bearing.
     An explicit ``plan`` overrides the named one (used by the Hypothesis
-    property tests).
+    property tests).  ``nic_ports``/``rpc_shards`` size each MN's
+    multi-queue NIC and sharded RPC service, so campaigns can target
+    port-scoped faults (``Partition(port=...)`` etc.).
     """
     if plan is None:
         plan = campaign_plan(name, n_mns, seed)
     if retry is None:
         retry = RetryPolicy() if retries else NO_RETRY
-    cluster = _small_cluster(n_mns)
+    cluster = _small_cluster(n_mns, nic_ports=nic_ports,
+                             rpc_shards=rpc_shards)
     env = cluster.env
 
     # ---- preload on a clean fabric (not part of the checked history)

@@ -52,7 +52,11 @@ _INF = math.inf
 
 @dataclass(frozen=True)
 class LinkFault:
-    """Loss / duplication / jitter on a compute-side↔MN link."""
+    """Loss / duplication / jitter on a compute-side↔MN link.
+
+    ``port`` scopes the fault to one NIC port of a multi-port MN
+    (``None``, the default, hits every port — the whole link).
+    """
 
     mn_id: Optional[int] = None    # None: every compute↔MN link
     drop_p: float = 0.0            # per message, per direction
@@ -60,6 +64,7 @@ class LinkFault:
     jitter_us: float = 0.0         # extra one-way delay, uniform [0, jitter)
     start_us: float = 0.0
     end_us: float = _INF
+    port: Optional[int] = None     # None: every NIC port of the MN
 
     def active(self, now: float) -> bool:
         return self.start_us <= now < self.end_us
@@ -71,7 +76,10 @@ class Partition:
 
     ``a``/``b`` are :data:`CN` or MN ids.  ``drop_requests`` kills a→b
     traffic, ``drop_replies`` kills b→a traffic; set only one for an
-    asymmetric partition.
+    asymmetric partition.  ``port`` restricts the partition to a single
+    NIC port on the MN side (a failed cable on one queue of a multi-port
+    RNIC); deliveries hashed onto other ports are unaffected, so clients
+    escape by re-hashing their retries.
     """
 
     a: object
@@ -80,6 +88,7 @@ class Partition:
     end_us: float = _INF
     drop_requests: bool = True
     drop_replies: bool = True
+    port: Optional[int] = None
 
     def active(self, now: float) -> bool:
         return self.start_us <= now < self.end_us
@@ -87,12 +96,18 @@ class Partition:
 
 @dataclass(frozen=True)
 class GrayNode:
-    """A slow-but-alive MN: service times multiplied by ``factor``."""
+    """A slow-but-alive MN: service times multiplied by ``factor``.
+
+    With ``port`` set, only traffic hashed onto that NIC port of a
+    multi-port MN is slowed (a single degraded queue/lane), so retries
+    that re-hash onto a healthy port run at full speed.
+    """
 
     mn_id: int
     factor: float = 8.0
     start_us: float = 0.0
     end_us: float = _INF
+    port: Optional[int] = None
 
     def active(self, now: float) -> bool:
         return self.start_us <= now < self.end_us
@@ -200,11 +215,24 @@ class FaultInjector:
         return int.from_bytes(h.digest(), "big") / 2.0 ** 64
 
     # ------------------------------------------------------------ topology
-    def cn_partition(self, mn_id: int, now: float) -> Tuple[bool, bool]:
-        """Active compute↔MN partition state → (drop_request, drop_reply)."""
+    @staticmethod
+    def _port_match(fault_port: Optional[int],
+                    port: Optional[int]) -> bool:
+        """Does a fault scoped to ``fault_port`` hit a delivery on
+        ``port``?  ``fault_port=None`` hits every port; a port-scoped
+        fault never hits a path that has no port (MN↔MN mirrors)."""
+        return fault_port is None or fault_port == port
+
+    def cn_partition(self, mn_id: int, now: float,
+                     port: Optional[int] = None) -> Tuple[bool, bool]:
+        """Active compute↔MN partition state → (drop_request, drop_reply).
+
+        ``port`` is the NIC port the delivery hashed onto; port-scoped
+        partitions only bite deliveries on their port.
+        """
         drop_req = drop_rep = False
         for p in self.plan.partitions:
-            if not p.active(now):
+            if not p.active(now) or not self._port_match(p.port, port):
                 continue
             if p.a == CN and p.b == mn_id:
                 drop_req |= p.drop_requests
@@ -217,7 +245,7 @@ class FaultInjector:
     def mn_reachable(self, src: int, dst: int, now: float) -> bool:
         """Can MN ``src`` currently push traffic to MN ``dst``?"""
         for p in self.plan.partitions:
-            if not p.active(now):
+            if not p.active(now) or p.port is not None:
                 continue
             if p.a == src and p.b == dst and p.drop_requests:
                 return False
@@ -225,28 +253,38 @@ class FaultInjector:
                 return False
         return True
 
-    def service_factor(self, mn_id: int, now: float) -> float:
+    def service_factor(self, mn_id: int, now: float,
+                       port: Optional[int] = None) -> float:
         factor = 1.0
         for g in self.plan.gray_nodes:
-            if g.mn_id == mn_id and g.active(now):
+            if g.mn_id == mn_id and g.active(now) \
+                    and self._port_match(g.port, port):
                 factor *= g.factor
         return factor
 
     # ------------------------------------------------------------ fates
-    def _active_link_faults(self, mn_id: int,
-                            now: float) -> Iterable[Tuple[int, LinkFault]]:
+    def _active_link_faults(self, mn_id: int, now: float,
+                            port: Optional[int] = None
+                            ) -> Iterable[Tuple[int, LinkFault]]:
         for i, lf in enumerate(self.plan.link_faults):
-            if (lf.mn_id is None or lf.mn_id == mn_id) and lf.active(now):
+            if (lf.mn_id is None or lf.mn_id == mn_id) and lf.active(now) \
+                    and self._port_match(lf.port, port):
                 yield i, lf
 
     def fate(self, ident: tuple, mn_id: int, attempt: int,
-             now: float) -> Fate:
+             now: float, port: Optional[int] = None) -> Fate:
         """Draw the fate of delivery attempt ``attempt`` of message
-        ``ident`` to/from ``mn_id`` starting at sim time ``now``."""
-        drop_req, drop_rep = self.cn_partition(mn_id, now)
+        ``ident`` to/from ``mn_id`` starting at sim time ``now``, on
+        NIC port ``port`` of the target (None on single-queue paths).
+
+        ``port`` only *scopes* which faults apply — it is never mixed
+        into the hash keys, so single-port campaigns draw byte-identical
+        fates with or without the multi-queue machinery.
+        """
+        drop_req, drop_rep = self.cn_partition(mn_id, now, port)
         dup = False
         jit_req = jit_rep = 0.0
-        for i, lf in self._active_link_faults(mn_id, now):
+        for i, lf in self._active_link_faults(mn_id, now, port):
             if lf.drop_p > 0.0:
                 drop_req = drop_req or (
                     self._u("dq", i, mn_id, ident, attempt, now) < lf.drop_p)

@@ -62,6 +62,7 @@ class Scale:
     kv_size: int = 1024
     n_clients: int = 32
     clients_sweep: Tuple[int, ...] = (4, 8, 16, 32)
+    mns_sweep: Tuple[int, ...] = (2, 3, 4, 5)
     duration_us: float = 2_000.0
     warmup_us: float = 400.0
     latency_ops: int = 300
@@ -81,6 +82,21 @@ class Scale:
         return cls(n_keys=10_000, n_clients=128,
                    clients_sweep=(8, 16, 32, 64, 128),
                    duration_us=4_000.0, warmup_us=800.0, latency_ops=2_000)
+
+    @classmethod
+    def production(cls) -> "Scale":
+        """Hundreds of clients and 8-16 MNs: the multi-queue scaling bed.
+
+        Sized to show where the plateau moves once ``nic_ports`` /
+        ``rpc_shards`` lift the single-queue tx-NIC wall (ISSUE 6); pair
+        it with ``fig13_ycsb_scalability(..., nic_ports=4,
+        rpc_shards=2)`` or the ``--nic-ports`` CLI flags.  Minutes of
+        wall-clock.
+        """
+        return cls(n_keys=10_000, n_clients=256,
+                   clients_sweep=(32, 64, 128, 256, 384),
+                   mns_sweep=(2, 4, 8, 12, 16),
+                   duration_us=3_000.0, warmup_us=600.0, latency_ops=2_000)
 
 
 @dataclass
@@ -355,16 +371,29 @@ def fig12_kv_sizes(scale: Optional[Scale] = None,
 def fig13_ycsb_scalability(scale: Optional[Scale] = None,
                            workloads: Sequence[str] = ("A", "B", "C", "D"),
                            systems: Sequence[str] = ("fusee", "clover",
-                                                     "pdpm-direct")
-                           ) -> ExperimentResult:
-    """Fig. 13: throughput vs number of clients, per workload."""
+                                                     "pdpm-direct"),
+                           n_memory_nodes: int = 2,
+                           nic_ports: int = 1,
+                           rpc_shards: int = 1) -> ExperimentResult:
+    """Fig. 13: throughput vs number of clients, per workload.
+
+    ``nic_ports`` / ``rpc_shards`` (FUSEE only) run the sweep on
+    multi-queue memory nodes — with ``Scale.production()`` this is the
+    scaled bed that shows where the plateau lands once the single-queue
+    tx-NIC wall is lifted.
+    """
     scale = scale or Scale.bench()
+    fusee_kw = {"nic_ports": nic_ports, "rpc_shards": rpc_shards,
+                "max_clients": max(256, max(scale.clients_sweep) + 8)}
     rows = []
     for workload in workloads:
         for n_clients in scale.clients_sweep:
             row = [workload, n_clients]
             for system in systems:
-                bed = _make_system(system, scale)
+                bed = _make_system(system, scale,
+                                   n_memory_nodes=n_memory_nodes,
+                                   **(fusee_kw if system == "fusee"
+                                      else {}))
                 result = _run_ycsb(bed, scale, workload,
                                    n_clients=n_clients)
                 row.append(result.mops)
@@ -397,16 +426,27 @@ def _make_system(system: str, scale: Scale, n_memory_nodes: int = 2,
 
 
 def fig14_memory_nodes(scale: Optional[Scale] = None,
-                       mns_sweep: Sequence[int] = (2, 3, 4, 5)
-                       ) -> ExperimentResult:
-    """Fig. 14: throughput vs number of memory nodes (fixed clients)."""
+                       mns_sweep: Optional[Sequence[int]] = None,
+                       nic_ports: int = 1,
+                       rpc_shards: int = 1) -> ExperimentResult:
+    """Fig. 14: throughput vs number of memory nodes (fixed clients).
+
+    The MN sweep comes from ``scale.mns_sweep`` unless overridden —
+    ``Scale.production()`` sweeps 2-16 MNs; ``nic_ports`` /
+    ``rpc_shards`` (FUSEE only) put multi-queue nodes under the sweep.
+    """
     scale = scale or Scale.bench()
+    mns_sweep = mns_sweep or scale.mns_sweep
+    fusee_kw = {"nic_ports": nic_ports, "rpc_shards": rpc_shards,
+                "max_clients": max(256, scale.n_clients + 8)}
     rows = []
     for workload in ("A", "C"):
         for n_mns in mns_sweep:
             row = [workload, n_mns]
             for system in ("fusee", "clover", "pdpm-direct"):
-                bed = _make_system(system, scale, n_memory_nodes=n_mns)
+                bed = _make_system(system, scale, n_memory_nodes=n_mns,
+                                   **(fusee_kw if system == "fusee"
+                                      else {}))
                 result = _run_ycsb(bed, scale, workload)
                 row.append(result.mops)
             rows.append(row)

@@ -98,13 +98,21 @@ def _traced_execute(bed: SystemBed, tracer: Tracer):
 def _make_bed(system: str, scale: Scale, n_memory_nodes: int,
               metadata_cores: int, tracer: Tracer,
               read_spread: str = "primary",
-              max_coalesce_width: int = 1) -> SystemBed:
+              max_coalesce_width: int = 1,
+              nic_ports: int = 1,
+              rpc_shards: int = 1,
+              port_affinity: str = "qp",
+              max_clients: int = 256) -> SystemBed:
     dataset_bytes = scale.n_keys * scale.kv_size
     if system == "fusee":
         return fusee_bed(n_memory_nodes=n_memory_nodes,
                          dataset_bytes=dataset_bytes,
                          read_spread=read_spread,
                          max_coalesce_width=max_coalesce_width,
+                         nic_ports=nic_ports,
+                         rpc_shards=rpc_shards,
+                         port_affinity=port_affinity,
+                         max_clients=max_clients,
                          tracer=tracer)
     if system == "clover":
         return clover_bed(n_memory_nodes=n_memory_nodes,
@@ -126,21 +134,33 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                  tail_pct: float = 99.0,
                  sample_interval_us: float = 50.0,
                  read_spread: str = "primary",
-                 max_coalesce_width: int = 1) -> ProfiledRun:
+                 max_coalesce_width: int = 1,
+                 nic_ports: int = 1,
+                 rpc_shards: int = 1,
+                 port_affinity: str = "qp") -> ProfiledRun:
     """Run a profiled closed-loop YCSB mix and attribute its time.
 
     The bulk load runs unprofiled (intervals are cleared before the
     measured window).  No warmup: every span that *ends* inside the run
     is attributed; spans cut off at the deadline are skipped and counted
-    (``RunProfile.unfinished_spans``).  ``read_spread`` and
-    ``max_coalesce_width`` (FUSEE only) select the replica read-spread
-    policy and the doorbell coalescing width of the bed.
+    (``RunProfile.unfinished_spans``).  ``read_spread``,
+    ``max_coalesce_width``, ``nic_ports``, ``rpc_shards`` and
+    ``port_affinity`` (FUSEE only) select the replica read-spread
+    policy, the doorbell coalescing width, and the multi-queue NIC /
+    sharded-RPC configuration of the bed.
     """
     scale = scale or Scale.bench()
     tracer = Tracer()
+    want_clients = n_clients or scale.n_clients
     bed = _make_bed(system, scale, n_memory_nodes, metadata_cores, tracer,
                     read_spread=read_spread,
-                    max_coalesce_width=max_coalesce_width)
+                    max_coalesce_width=max_coalesce_width,
+                    nic_ports=nic_ports,
+                    rpc_shards=rpc_shards,
+                    port_affinity=port_affinity,
+                    # scaled beds run hundreds of clients; keep headroom
+                    # for the loader client and background churn
+                    max_clients=max(256, want_clients + 8))
     self_traced = hasattr(bed.cluster, "attach_tracer")
     profiler = Profiler(tracer=tracer).install(bed.env)
     bed.load(_dataset(scale))
@@ -152,8 +172,7 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
     if hasattr(bed.cluster, "fabric"):
         sample_fabric(bed.env, metrics, bed.cluster.fabric,
                       interval_us=sample_interval_us)
-    clients = [bed.new_client() for _ in range(n_clients
-                                               or scale.n_clients)]
+    clients = [bed.new_client() for _ in range(want_clients)]
     run = run_closed_loop(bed.env, clients,
                           _ycsb_factory(scale, workload),
                           execute, duration_us=scale.duration_us,

@@ -70,6 +70,9 @@ def fusee_bed(n_memory_nodes: int = 2,
               read_spread: str = "primary",
               max_coalesce_width: int = 1,
               coalesce_adaptive: bool = True,
+              nic_ports: int = 1,
+              rpc_shards: int = 1,
+              port_affinity: str = "qp",
               tracer=None) -> SystemBed:
     """A FUSEE deployment sized for a given dataset.
 
@@ -80,6 +83,10 @@ def fusee_bed(n_memory_nodes: int = 2,
     KV READs across alive replicas; ``max_coalesce_width`` > 1 enables
     doorbell verb coalescing on the fabric (``coalesce_adaptive`` limits
     it to backlogged ports) — both default to the paper-faithful model.
+    ``nic_ports`` > 1 gives every MN that many rx/tx NIC port pairs with
+    per-QP ``port_affinity`` ("qp" | "rss"), and ``rpc_shards`` > 1
+    splits each MN's RPC CPU into independent shards — the multi-queue
+    scaling knobs (defaults model the paper's single-queue node).
     ``tracer`` (a :class:`repro.obs.Tracer`) observes every verb batch and
     client operation of the bed.
     """
@@ -104,9 +111,12 @@ def fusee_bed(n_memory_nodes: int = 2,
         race=race or RaceConfig(n_subtables=32, n_groups=256,
                                 slots_per_bucket=7),
         fabric=FabricConfig(max_coalesce_width=max_coalesce_width,
-                            coalesce_adaptive=coalesce_adaptive),
+                            coalesce_adaptive=coalesce_adaptive,
+                            port_affinity=port_affinity),
         client=client_cfg,
         mn_cpu_cores=mn_cpu_cores,
+        nic_ports=nic_ports,
+        rpc_shards=rpc_shards,
     )
     cluster = FuseeCluster(config, tracer=tracer)
     loader_client = cluster.new_client()

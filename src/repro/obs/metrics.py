@@ -200,42 +200,66 @@ def sample_fabric(env, metrics: Metrics, fabric, interval_us: float = 50.0,
     """Spawn a process sampling NIC/CPU state into ``metrics`` series.
 
     Per memory node and direction: NIC utilisation over the last interval
-    (busy-time delta / interval), NIC backlog (microseconds of queued
-    service), CPU wait-queue depth, and CPU utilisation (granted
-    core-time delta / interval / cores).  When the client read-spread
-    policy is counting KV-block READs per replica
-    (``fabric.stats.kv_replica_reads``), per-MN ``kv_reads`` series and a
-    cluster-wide ``kv_read_skew`` series (hottest replica's share of
-    reads divided by the even share, 1.0 = perfectly balanced) are
-    sampled too.  Returns the sampler process; it self-terminates at
+    (busy-time delta / interval, averaged over the direction's ports),
+    NIC backlog (microseconds of queued service, summed over rx ports),
+    CPU wait-queue depth (summed over RPC shards), and CPU utilisation
+    (granted core-time delta / interval / total cores).  On multi-queue
+    nodes (``num_ports > 1``) each port additionally gets its own
+    ``mn{i}.nic_{dir}.p{j}.util`` and ``.backlog_us`` series, and each
+    RPC shard its own ``mn{i}.cpu.s{j}.queue_depth`` — the per-port
+    tracks the profiler's blocking-edge ranking is read against.  On
+    single-queue nodes the aggregates equal the classic series exactly
+    and no per-port series appear, so existing outputs are unchanged.
+    When the client read-spread policy is counting KV-block READs per
+    replica (``fabric.stats.kv_replica_reads``), per-MN ``kv_reads``
+    series and a cluster-wide ``kv_read_skew`` series (hottest replica's
+    share of reads divided by the even share, 1.0 = perfectly balanced)
+    are sampled too.  Returns the sampler process; it self-terminates at
     ``until_us`` when given, else runs as long as the simulation does.
     """
 
     def proc():
-        last_busy: Dict[Tuple[int, str], float] = {}
+        last_busy: Dict[Tuple, float] = {}
         while until_us is None or env.now < until_us:
             yield env.timeout(interval_us)
             t = env.now
             for mn_id in sorted(fabric.nodes):
                 node = fabric.nodes[mn_id]
-                for direction, port in (("rx", node.nic),
-                                        ("tx", node.nic_tx)):
-                    key = (mn_id, direction)
-                    delta = port.total_busy - last_busy.get(key, 0.0)
-                    last_busy[key] = port.total_busy
+                multi = node.num_ports > 1
+                for direction, ports in (("rx", node.rx_ports),
+                                         ("tx", node.tx_ports)):
+                    busy_total = 0.0
+                    for j, port in enumerate(ports):
+                        key = (mn_id, direction, j)
+                        delta = port.total_busy - last_busy.get(key, 0.0)
+                        last_busy[key] = port.total_busy
+                        busy_total += delta
+                        if multi:
+                            stem = f"mn{mn_id}.nic_{direction}.p{j}"
+                            metrics.timeseries(f"{stem}.util").record(
+                                t, min(1.0, delta / interval_us))
+                            metrics.timeseries(f"{stem}.backlog_us").record(
+                                t, port.backlog(t))
                     metrics.timeseries(
                         f"mn{mn_id}.nic_{direction}.util").record(
-                        t, min(1.0, delta / interval_us))
+                        t, min(1.0, busy_total / (interval_us * len(ports))))
                 metrics.timeseries(f"mn{mn_id}.nic.backlog_us").record(
-                    t, node.nic.backlog(t))
+                    t, node.rx_backlog(t))
                 metrics.timeseries(f"mn{mn_id}.cpu.queue_depth").record(
-                    t, float(node.cpu.queue_length))
-                cpu_key = (mn_id, "cpu")
-                cpu_delta = node.cpu.total_busy - last_busy.get(cpu_key, 0.0)
-                last_busy[cpu_key] = node.cpu.total_busy
+                    t, float(sum(s.queue_length for s in node.cpus)))
+                cpu_delta = 0.0
+                for j, shard in enumerate(node.cpus):
+                    cpu_key = (mn_id, "cpu", j)
+                    cpu_delta += shard.total_busy - last_busy.get(cpu_key,
+                                                                  0.0)
+                    last_busy[cpu_key] = shard.total_busy
+                    if node.rpc_shards > 1:
+                        metrics.timeseries(
+                            f"mn{mn_id}.cpu.s{j}.queue_depth").record(
+                            t, float(shard.queue_length))
                 metrics.timeseries(f"mn{mn_id}.cpu.util").record(
                     t, min(1.0, cpu_delta
-                           / (interval_us * node.cpu.capacity)))
+                           / (interval_us * node.cpu_capacity)))
             replica_reads = fabric.stats.kv_replica_reads
             total_reads = sum(replica_reads.values())
             if total_reads:

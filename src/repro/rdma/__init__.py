@@ -1,6 +1,12 @@
 """Simulated one-sided RDMA substrate (verbs, memory nodes, fabric)."""
 
-from .fabric import Fabric, FabricConfig, FabricStats
+from .fabric import (
+    Fabric,
+    FabricConfig,
+    FabricStats,
+    PORT_AFFINITY_MODES,
+    QpFabric,
+)
 from .memory_node import MemoryNode
 from .verbs import (
     FAIL,
@@ -19,6 +25,8 @@ __all__ = [
     "Fabric",
     "FabricConfig",
     "FabricStats",
+    "PORT_AFFINITY_MODES",
+    "QpFabric",
     "MemoryNode",
     "FAIL",
     "TIMEOUT",

@@ -42,7 +42,26 @@ from .verbs import (
     verb_ident,
 )
 
-__all__ = ["Fabric", "FabricConfig", "FabricStats"]
+__all__ = ["Fabric", "FabricConfig", "FabricStats", "QpFabric",
+           "PORT_AFFINITY_MODES"]
+
+#: Multi-queue port-affinity policies (``FabricConfig.port_affinity``).
+PORT_AFFINITY_MODES = ("qp", "rss")
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finaliser: a stable, platform-independent integer hash.
+
+    Port affinity must never depend on Python's randomised ``hash()`` —
+    trace determinism requires the same QP to land on the same port in
+    every run.
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
 
 
 def _prop(env: Environment, duration: float, label: str) -> Event:
@@ -80,10 +99,23 @@ class FabricConfig:
     # uncoalesced fabric and the win appears exactly where the NIC
     # serialisation line is the bottleneck (Fig. 13's plateau).
     coalesce_adaptive: bool = True
+    # Multi-queue port affinity (only meaningful when memory nodes have
+    # num_ports > 1).  "qp": a stable hash of the posting queue pair
+    # picks the same-numbered rx and tx port for all of that QP's
+    # traffic — per-QP affinity, like an RNIC steering each QP onto one
+    # hardware queue.  "rss": receive-side-scaling style flow hash over
+    # (qp, mn, direction), decorrelating a QP's rx/tx lanes across MNs.
+    # Both are per-QP-stable, so same-QP verbs still serialise through
+    # one port and posted order is preserved.
+    port_affinity: str = "qp"
 
     def __post_init__(self):
         if self.max_coalesce_width < 1:
             raise ValueError("max_coalesce_width must be >= 1")
+        if self.port_affinity not in PORT_AFFINITY_MODES:
+            raise ValueError(
+                f"unknown port_affinity {self.port_affinity!r}; "
+                f"pick from {PORT_AFFINITY_MODES}")
 
     @property
     def rtt_us(self) -> float:
@@ -115,6 +147,10 @@ class FabricStats:
     coalesced_slots: int = 0    # NIC slots that served more than one verb
     coalesced_verbs: int = 0    # verbs that rode along in a shared slot
     per_mn_ops: Dict[int, int] = field(default_factory=dict)
+    # NIC dispatches per port label (verbs and RPC messages) — shows how
+    # the affinity hash spread QPs over a multi-queue MN.  Keys are the
+    # port labels the profiler ranks (e.g. ``mn0.nic_tx.p2``).
+    per_port_ops: Dict[str, int] = field(default_factory=dict)
     # KV-block READs per replica MN, filled by the client's read-spread
     # policy — the per-replica read-skew counter behind the
     # ``kv_read_skew`` metrics series.
@@ -175,19 +211,61 @@ class Fabric:
     def alive_nodes(self) -> List[int]:
         return [mn_id for mn_id, n in self.nodes.items() if not n.crashed]
 
+    # -- multi-queue port selection -------------------------------------------
+    def bind_qp(self, qp: int) -> "QpFabric":
+        """A client-side view of this fabric bound to queue pair ``qp``."""
+        return QpFabric(self, qp)
+
+    def _port_for(self, node: MemoryNode, tx: bool, qp: int,
+                  salt: int = 0):
+        """Pick ``(index, NicPort)`` for a delivery.
+
+        A stable hash of the QP (policy "qp"), or of the (qp, mn,
+        direction) flow (policy "rss"), spreads queue pairs over the
+        node's ports.  ``salt`` rotates the choice deterministically —
+        the transport bumps it per retry attempt so a retransmission
+        escapes a port-level partition within ``num_ports`` attempts.
+        """
+        ports = node.tx_ports if tx else node.rx_ports
+        n = len(ports)
+        if n == 1:
+            return 0, ports[0]
+        if self.config.port_affinity == "rss":
+            key = _mix64(_mix64(2 * qp + 1)
+                         ^ (node.mn_id * 0x9E3779B97F4A7C15 + (2 if tx else 1)))
+        else:  # "qp"
+            key = _mix64(2 * qp + 1)
+        index = (key + salt) % n
+        return index, ports[index]
+
+    def _cpu_for(self, node: MemoryNode, qp: int):
+        """Pick the RPC CPU shard serving queue pair ``qp``."""
+        shards = node.cpus
+        if len(shards) == 1:
+            return shards[0]
+        return shards[_mix64(2 * qp + 1) % len(shards)]
+
+    def _note_port(self, port, n: int = 1) -> None:
+        per_port = self.stats.per_port_ops
+        per_port[port.label] = per_port.get(port.label, 0) + n
+
     # -- one-sided verbs ------------------------------------------------------
-    def post(self, ops: Sequence[Verb], unsignaled: bool = False) -> Event:
+    def post(self, ops: Sequence[Verb], unsignaled: bool = False,
+             qp: int = 0) -> Event:
         """Post a doorbell batch.
 
         Returns an event that fires with ``List[Completion]`` in the order
         the verbs were posted.  ``unsignaled`` marks fire-and-forget
         batches (§4.6 selective signaling): the caller does not wait for
         them, so the tracer excludes them from per-operation RTT counts.
+        ``qp`` is the posting queue pair's identity — on multi-port
+        memory nodes it selects the NIC port via the configured affinity
+        policy (irrelevant at ``num_ports=1``).
         """
         if not ops:
             raise ValueError("empty doorbell batch")
         if self.injector is not None:
-            return self._post_faulty(ops, unsignaled)
+            return self._post_faulty(ops, unsignaled, qp)
         cfg = self.config
         now = self.env.now
         arrive = now + cfg.post_overhead_us + cfg.one_way_delay_us
@@ -203,7 +281,7 @@ class Fabric:
             prof.note("client", "post", now, now + cfg.post_overhead_us)
             prof.note("propagation", "net.request",
                       now + cfg.post_overhead_us, arrive)
-        for group in self._coalesce(ops, arrive):
+        for group in self._coalesce(ops, arrive, qp):
             node = self.nodes[group[0].mn_id]
             if node.crashed:
                 # Crashed-node verbs are always singleton groups.
@@ -231,8 +309,8 @@ class Fabric:
                     profile.byte_time(op_bytes(op)) for op in group)
                 self.stats.coalesced_slots += 1
                 self.stats.coalesced_verbs += len(group) - 1
-            port = (node.nic_tx if isinstance(group[0], ReadOp)
-                    else node.nic)
+            _, port = self._port_for(node, isinstance(group[0], ReadOp), qp)
+            self._note_port(port, len(group))
             done = port.finish_time(service, not_before=arrive)
             finish = max(finish, done + cfg.one_way_delay_us)
             if prof is not None:
@@ -245,16 +323,17 @@ class Fabric:
                                  unsignaled=unsignaled)
         return self.env.timeout(finish - now, value=completions)
 
-    def post_one(self, op: Verb) -> Event:
+    def post_one(self, op: Verb, qp: int = 0) -> Event:
         """Post a single verb; the event fires with one :class:`Completion`."""
-        batch = self.post([op])
+        batch = self.post([op], qp=qp)
         proxy = self.env.event()
         batch.callbacks.append(
             lambda ev: proxy.succeed(ev.value[0]) if ev.ok else proxy.fail(ev.value))
         return proxy
 
     # -- fault-injected verb path (repro.faults) ------------------------------
-    def _post_faulty(self, ops: Sequence[Verb], unsignaled: bool) -> Event:
+    def _post_faulty(self, ops: Sequence[Verb], unsignaled: bool,
+                     qp: int = 0) -> Event:
         """Doorbell batch under an installed fault injector.
 
         Each verb runs in its own delivery process: per attempt the
@@ -266,6 +345,11 @@ class Fabric:
         Verbs are applied at their simulated arrival time, so effects
         still land inside the invocation-completion window and executions
         remain linearizable.
+
+        On a multi-port node each retry attempt rotates the affinity
+        hash by one, so a QP stuck behind a partitioned or gray *port*
+        deterministically reaches a healthy one within ``num_ports``
+        attempts.
         """
         env = self.env
         t0 = env.now
@@ -279,7 +363,8 @@ class Fabric:
         procs = []
         for i, op in enumerate(ops):
             proc = env.process(
-                self._deliver_verb(i, op, env.next_uid(), completions, span),
+                self._deliver_verb(i, op, env.next_uid(), completions, span,
+                                   qp),
                 name=f"verb:{i}@MN{op.mn_id}")
             if prof is not None:
                 # Delivery runs in its own process, so interval emission
@@ -302,7 +387,7 @@ class Fabric:
                                  unsignaled=unsignaled, span=span)
         return completions
 
-    def _deliver_verb(self, i, op, token, completions, span):
+    def _deliver_verb(self, i, op, token, completions, span, qp=0):
         env = self.env
         cfg = self.config
         inj = self.injector
@@ -310,6 +395,7 @@ class Fabric:
         node = self.nodes[op.mn_id]
         self._count(op, node)
         ident = verb_ident(op)
+        is_read = isinstance(op, ReadOp)
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self.stats.transport_retries += 1
@@ -322,7 +408,11 @@ class Fabric:
                 yield _prop(env, cfg.fail_delay_us, "net.fail")
                 completions[i] = Completion(op, FAIL)
                 return
-            fate = inj.fate(ident, op.mn_id, attempt, t_attempt)
+            # per-attempt salt: a retry re-hashes onto the next port, so
+            # port-level faults are escaped instead of hammered
+            pidx, port = self._port_for(node, is_read, qp,
+                                        salt=attempt - 1)
+            fate = inj.fate(ident, op.mn_id, attempt, t_attempt, port=pidx)
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
@@ -349,8 +439,8 @@ class Fabric:
             if deduped:
                 self.stats.dedup_hits += 1
             service = (self._service_time(node, op)
-                       * inj.service_factor(op.mn_id, env.now))
-            port = node.nic_tx if isinstance(op, ReadOp) else node.nic
+                       * inj.service_factor(op.mn_id, env.now, port=pidx))
+            self._note_port(port)
             done = port.finish_time(service, not_before=env.now)
             if fate.duplicate:
                 # The fabric delivered the request twice.  The second copy
@@ -360,6 +450,7 @@ class Fabric:
                 _, dup_hit = node.apply_once(token, op)
                 if dup_hit:
                     self.stats.dedup_hits += 1
+                self._note_port(port)
                 port.finish_time(service, not_before=env.now)
             if fate.drop_reply:
                 self.stats.dropped_replies += 1
@@ -383,20 +474,22 @@ class Fabric:
         completions[i] = Completion(op, TIMEOUT)
 
     # -- RPCs -------------------------------------------------------------------
-    def rpc(self, mn_id: int, name: str, payload: dict) -> Event:
+    def rpc(self, mn_id: int, name: str, payload: dict,
+            qp: int = 0) -> Event:
         """Call an RPC handler registered on a memory node.
 
         The request traverses the node's NIC, waits for a CPU core, runs the
         handler (which reports its own CPU service time), and the reply
         travels back.  Fires with the reply dict, or :data:`FAIL` if the
-        node has crashed.
+        node has crashed.  ``qp`` selects the NIC port and the RPC CPU
+        shard on multi-queue nodes.
         """
         span = self.tracer.current_span() if self.tracer.enabled else None
         if self.injector is not None:
             gen = self._rpc_faulty_proc(mn_id, name, payload,
-                                        self.env.next_uid(), span)
+                                        self.env.next_uid(), span, qp)
         else:
-            gen = self._rpc_proc(mn_id, name, payload)
+            gen = self._rpc_proc(mn_id, name, payload, qp)
         proc = self.env.process(gen, name=f"rpc:{name}@MN{mn_id}")
         prof = self.env.profiler
         if prof is not None:
@@ -413,7 +506,7 @@ class Fabric:
             proc.callbacks.append(_finish)
         return proc
 
-    def _rpc_proc(self, mn_id: int, name: str, payload: dict):
+    def _rpc_proc(self, mn_id: int, name: str, payload: dict, qp: int = 0):
         cfg = self.config
         node = self.nodes[mn_id]
         self.stats.rpcs += 1
@@ -421,14 +514,17 @@ class Fabric:
         if node.crashed:
             yield _prop(self.env, cfg.fail_delay_us, "net.fail")
             return FAIL
+        _, port = self._port_for(node, False, qp)
+        cpu = self._cpu_for(node, qp)
         # request propagation + NIC receive
         yield _prop(self.env, cfg.one_way_delay_us, "net.request")
-        yield node.nic.occupy(node.nic.profile.rpc_overhead)
+        self._note_port(port)
+        yield port.occupy(port.profile.rpc_overhead)
         if node.crashed:
             yield _prop(self.env, cfg.one_way_delay_us, "net.fail")
             return FAIL
         # CPU service
-        req = node.cpu.request()
+        req = cpu.request()
         yield req
         try:
             # RPC handlers mutate MN-side Python state (allocator maps,
@@ -445,12 +541,12 @@ class Fabric:
             yield _prop(self.env, cfg.one_way_delay_us, "net.fail")
             return FAIL
         # reply NIC + propagation
-        yield node.nic.occupy(node.nic.profile.rpc_overhead)
+        yield port.occupy(port.profile.rpc_overhead)
         yield _prop(self.env, cfg.one_way_delay_us, "net.reply")
         return reply
 
     def _rpc_faulty_proc(self, mn_id: int, name: str, payload: dict,
-                         token: int, span):
+                         token: int, span, qp: int = 0):
         """RPC path under fault injection: per-attempt timeout, capped
         backoff, and reply caching keyed by idempotency token on the
         memory node — a retransmission after a lost reply is answered
@@ -474,7 +570,8 @@ class Fabric:
             if node.crashed:
                 yield _prop(env, cfg.fail_delay_us, "net.fail")
                 return FAIL
-            fate = inj.fate(ident, mn_id, attempt, t_attempt)
+            pidx, port = self._port_for(node, False, qp, salt=attempt - 1)
+            fate = inj.fate(ident, mn_id, attempt, t_attempt, port=pidx)
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
@@ -483,7 +580,8 @@ class Fabric:
                 continue
             yield _prop(env, cfg.one_way_delay_us + fate.request_jitter_us,
                         "net.request")
-            yield node.nic.occupy(node.nic.profile.rpc_overhead)
+            self._note_port(port)
+            yield port.occupy(port.profile.rpc_overhead)
             if node.crashed:
                 yield _prop(env, cfg.one_way_delay_us, "net.fail")
                 return FAIL
@@ -492,14 +590,15 @@ class Fabric:
                 self.stats.rpc_dedup_hits += 1
                 reply = cached[0]
             else:
-                req = node.cpu.request()
+                req = self._cpu_for(node, qp).request()
                 yield req
                 try:
                     self.env.note_access(("rpc", mn_id, name), True)
                     handler = node.rpc_handler(name)
                     reply, cpu_time = handler(payload)
                     yield env.timeout(
-                        cpu_time * inj.service_factor(mn_id, env.now))
+                        cpu_time * inj.service_factor(mn_id, env.now,
+                                                      port=pidx))
                 finally:
                     req.release()
                 node.cache_rpc_reply(token, reply)
@@ -514,7 +613,7 @@ class Fabric:
                     max(0.0, policy.rpc_timeout_us - elapsed) + backoff,
                     "rpc.timeout")
                 continue
-            yield node.nic.occupy(node.nic.profile.rpc_overhead)
+            yield port.occupy(port.profile.rpc_overhead)
             yield _prop(env, cfg.one_way_delay_us + fate.reply_jitter_us,
                         "net.reply")
             return reply
@@ -522,7 +621,7 @@ class Fabric:
         return FAIL
 
     # -- internals -----------------------------------------------------------
-    def _coalesce(self, ops: Sequence[Verb], arrive: float):
+    def _coalesce(self, ops: Sequence[Verb], arrive: float, qp: int = 0):
         """Split a doorbell batch into NIC serialisation groups (lazily).
 
         Consecutive same-node READs (or same-node WRITEs) form one group
@@ -563,7 +662,10 @@ class Fabric:
             if op_key is None:
                 limit = 1
             else:
-                port = node.nic_tx if kind == "r" else node.nic
+                # the backlog probe must look at the port this batch
+                # will actually ride (same qp, same mn, same direction
+                # => same port for every verb in the group)
+                _, port = self._port_for(node, kind == "r", qp)
                 limit = (width if not cfg.coalesce_adaptive
                          or port.backlog(arrive) > 0.0 else 1)
         if group:
@@ -587,3 +689,37 @@ class Fabric:
             stats.atomics += 1
         stats.bytes_moved += op_bytes(op)
         stats.per_mn_ops[node.mn_id] = stats.per_mn_ops.get(node.mn_id, 0) + 1
+
+
+class QpFabric:
+    """A queue-pair view of a :class:`Fabric` (the client's QP setup).
+
+    Clients receive one of these instead of the raw fabric: it exposes
+    the same API but stamps this QP's identity on every ``post`` /
+    ``post_one`` / ``rpc``, which is what multi-queue port affinity
+    hashes on.  Everything else (stats, topology, tracer, injector)
+    delegates to the underlying fabric, so helper code that only reads
+    fabric state works unchanged.  At ``num_ports=1`` the identity is
+    inert and behaviour is byte-identical to the raw fabric.
+    """
+
+    __slots__ = ("_fabric", "qp")
+
+    def __init__(self, fabric: Fabric, qp: int):
+        self._fabric = fabric
+        self.qp = qp
+
+    def post(self, ops: Sequence[Verb], unsignaled: bool = False) -> Event:
+        return self._fabric.post(ops, unsignaled=unsignaled, qp=self.qp)
+
+    def post_one(self, op: Verb) -> Event:
+        return self._fabric.post_one(op, qp=self.qp)
+
+    def rpc(self, mn_id: int, name: str, payload: dict) -> Event:
+        return self._fabric.rpc(mn_id, name, payload, qp=self.qp)
+
+    def __getattr__(self, name):
+        return getattr(self._fabric, name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<QpFabric qp={self.qp} of {self._fabric!r}>"

@@ -1,9 +1,19 @@
 """A memory node (MN): byte-addressable memory plus a weak CPU.
 
-Each MN owns one ``bytearray`` of registered memory, one RNIC port (a
-serialisation line — see :class:`repro.sim.NicPort`), and a small CPU pool
-(1-2 cores per §2.1) that serves memory-management RPCs (ALLOC/FREE) only.
-All data-path accesses are one-sided: the CPU is never involved.
+Each MN owns one ``bytearray`` of registered memory, ``num_ports``
+rx/tx RNIC port pairs (each a serialisation line — see
+:class:`repro.sim.NicPort`), and a small CPU pool (1-2 cores per §2.1)
+that serves memory-management RPCs (ALLOC/FREE) only.  All data-path
+accesses are one-sided: the CPU is never involved.
+
+Real RNICs serve RoCE traffic over many hardware queues; ``num_ports``
+models that multi-queue capacity, with the fabric hashing each client
+QP onto a port (``FabricConfig.port_affinity``).  ``rpc_shards``
+likewise splits the CPU pool into independent per-shard
+:class:`~repro.sim.Resource`\\ s so ALLOC/metadata RPCs from different
+clients stop serialising behind one server loop.  Both default to 1,
+which reproduces the single-queue node byte-for-byte (same labels,
+same timing).
 
 Crash-stop failures (§5.1): after :meth:`crash`, every verb and RPC
 completes with :data:`~repro.rdma.verbs.FAIL`.
@@ -34,7 +44,13 @@ class MemoryNode:
     def __init__(self, env: Environment, mn_id: int, capacity: int,
                  nic_profile: NicProfile | None = None,
                  cpu_cores: int = 2,
-                 rpc_service_us: float = 2.0):
+                 rpc_service_us: float = 2.0,
+                 num_ports: int = 1,
+                 rpc_shards: int = 1):
+        if num_ports < 1:
+            raise ValueError("num_ports must be >= 1")
+        if rpc_shards < 1:
+            raise ValueError("rpc_shards must be >= 1")
         self.env = env
         self.mn_id = mn_id
         self.capacity = capacity
@@ -42,12 +58,36 @@ class MemoryNode:
         profile = nic_profile or NicProfile()
         # Full-duplex RNIC: inbound (writes, atomics, RPC) and outbound
         # (read payloads) directions serialize independently, as on real
-        # InfiniBand links.
-        self.nic = NicPort(env, profile,
-                           label=f"mn{mn_id}.nic_rx")   # RX direction
-        self.nic_tx = NicPort(env, profile,
-                              label=f"mn{mn_id}.nic_tx")  # TX direction
-        self.cpu = Resource(env, capacity=cpu_cores, label=f"mn{mn_id}.cpu")
+        # InfiniBand links.  With num_ports > 1 each direction has that
+        # many independent serialisation lines (hardware queues); the
+        # single-port labels keep their historical names so profiles and
+        # metrics stay byte-identical at the default.
+        def _label(stem: str, index: int) -> str:
+            return stem if num_ports == 1 else f"{stem}.p{index}"
+
+        self.num_ports = num_ports
+        self.rx_ports = [NicPort(env, profile,
+                                 label=_label(f"mn{mn_id}.nic_rx", i))
+                         for i in range(num_ports)]
+        self.tx_ports = [NicPort(env, profile,
+                                 label=_label(f"mn{mn_id}.nic_tx", i))
+                         for i in range(num_ports)]
+        self.nic = self.rx_ports[0]      # port-0 aliases: single-queue view
+        self.nic_tx = self.tx_ports[0]
+        # RPC CPU shards: one pooled Resource at the default, else
+        # rpc_shards independent serving loops splitting the cores (each
+        # shard keeps at least one core, mirroring a thread-per-shard
+        # server on a 1-2 core MN).
+        self.rpc_shards = rpc_shards
+        if rpc_shards == 1:
+            self.cpus = [Resource(env, capacity=cpu_cores,
+                                  label=f"mn{mn_id}.cpu")]
+        else:
+            per_shard = max(1, cpu_cores // rpc_shards)
+            self.cpus = [Resource(env, capacity=per_shard,
+                                  label=f"mn{mn_id}.cpu.s{i}")
+                         for i in range(rpc_shards)]
+        self.cpu = self.cpus[0]
         self.rpc_service_us = rpc_service_us
         self.crashed = False
         self._rpc_handlers: Dict[str, RpcHandler] = {}
@@ -76,6 +116,28 @@ class MemoryNode:
                 f"({start + nbytes} > {self.capacity})")
         self._carve_cursor = start + nbytes
         return start
+
+    # -- multi-queue helpers ------------------------------------------------
+    def tx_backlog(self, now: float) -> float:
+        """Queued tx service summed over all ports (µs of work).
+
+        The quantity read-spreading ranks replicas by; identical to
+        ``nic_tx.backlog(now)`` on a single-port node.
+        """
+        if self.num_ports == 1:
+            return self.nic_tx.backlog(now)
+        return sum(port.backlog(now) for port in self.tx_ports)
+
+    def rx_backlog(self, now: float) -> float:
+        """Queued rx service summed over all ports (µs of work)."""
+        if self.num_ports == 1:
+            return self.nic.backlog(now)
+        return sum(port.backlog(now) for port in self.rx_ports)
+
+    @property
+    def cpu_capacity(self) -> int:
+        """Total RPC-serving cores across all shards."""
+        return sum(shard.capacity for shard in self.cpus)
 
     # -- failure injection --------------------------------------------------
     def crash(self) -> None:

@@ -6,11 +6,13 @@ from hypothesis import strategies as st
 
 from repro.rdma import (
     FAIL,
+    PORT_AFFINITY_MODES,
     CasOp,
     Fabric,
     FabricConfig,
     FaaOp,
     MemoryNode,
+    QpFabric,
     ReadOp,
     WriteOp,
 )
@@ -30,10 +32,10 @@ def fabric(env):
     return fab
 
 
-def run_batch(env, fabric, ops):
+def run_batch(env, fabric, ops, qp=0):
     """Post a batch and run the simulation until it completes."""
     def proc():
-        return (yield fabric.post(ops))
+        return (yield fabric.post(ops, qp=qp))
     return env.run(until=env.process(proc()))
 
 
@@ -431,10 +433,167 @@ class TestDoorbellCoalescing:
         assert fab.stats.coalesced_slots == 0
 
 
+def _multiqueue_fabric(num_ports, affinity="qp", rpc_shards=1,
+                       capacity=1 << 20, n_nodes=2):
+    env = Environment()
+    fab = Fabric(env, FabricConfig(port_affinity=affinity))
+    for mn_id in range(n_nodes):
+        fab.add_node(MemoryNode(env, mn_id, capacity=capacity,
+                                num_ports=num_ports,
+                                rpc_shards=rpc_shards))
+    return env, fab
+
+
+class TestMultiQueue:
+    """Multi-queue NICs: per-QP port affinity, sharded RPC CPUs, and the
+    per-port observability the profiler's blocking-edge ranking uses."""
+
+    def test_bad_affinity_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(port_affinity="bogus")
+
+    def test_affinity_modes_exported(self):
+        assert set(PORT_AFFINITY_MODES) == {"qp", "rss"}
+
+    def test_bad_port_and_shard_counts_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            MemoryNode(env, 0, capacity=64, num_ports=0)
+        with pytest.raises(ValueError):
+            MemoryNode(env, 0, capacity=64, rpc_shards=0)
+
+    def test_single_port_keeps_legacy_labels(self):
+        env, fab = _multiqueue_fabric(num_ports=1)
+        node = fab.node(0)
+        assert node.nic.label == "mn0.nic_rx"
+        assert node.nic_tx.label == "mn0.nic_tx"
+        assert node.cpu.label == "mn0.cpu"
+
+    def test_multi_port_labels_name_each_port(self):
+        env, fab = _multiqueue_fabric(num_ports=3, rpc_shards=2)
+        node = fab.node(1)
+        assert [p.label for p in node.rx_ports] == \
+            ["mn1.nic_rx.p0", "mn1.nic_rx.p1", "mn1.nic_rx.p2"]
+        assert [p.label for p in node.tx_ports] == \
+            ["mn1.nic_tx.p0", "mn1.nic_tx.p1", "mn1.nic_tx.p2"]
+        assert [c.label for c in node.cpus] == \
+            ["mn1.cpu.s0", "mn1.cpu.s1"]
+
+    def test_port_choice_is_deterministic(self):
+        env, fab = _multiqueue_fabric(num_ports=4)
+        node = fab.node(0)
+        for qp in range(16):
+            first = fab._port_for(node, True, qp)
+            assert fab._port_for(node, True, qp) == first
+
+    def test_same_qp_same_direction_single_port(self):
+        """All same-QP traffic of one direction serialises on one port."""
+        env, fab = _multiqueue_fabric(num_ports=4)
+        run_batch(env, fab, [WriteOp(0, i * 8, b"x" * 8)
+                             for i in range(6)], qp=5)
+        used = [label for label, n in fab.stats.per_port_ops.items()
+                if n and "nic_rx" in label]
+        assert len(used) == 1
+
+    def test_distinct_qps_spread_across_ports(self):
+        env, fab = _multiqueue_fabric(num_ports=4)
+        node = fab.node(0)
+        ports = {fab._port_for(node, True, qp)[0] for qp in range(64)}
+        assert len(ports) == 4
+
+    def test_rss_mixes_mn_and_direction(self):
+        """Under "rss" a QP's rx and tx lanes land independently, and
+        different MNs see different placements for the same QP set."""
+        env, fab = _multiqueue_fabric(num_ports=4, affinity="rss")
+        qps = range(32)
+        rx0 = tuple(fab._port_for(fab.node(0), False, q)[0] for q in qps)
+        tx0 = tuple(fab._port_for(fab.node(0), True, q)[0] for q in qps)
+        rx1 = tuple(fab._port_for(fab.node(1), False, q)[0] for q in qps)
+        assert rx0 != tx0
+        assert rx0 != rx1
+
+    def test_retry_salt_visits_every_port(self):
+        env, fab = _multiqueue_fabric(num_ports=4)
+        node = fab.node(0)
+        seen = {fab._port_for(node, True, 3, salt=s)[0] for s in range(4)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_per_port_ops_counted_by_label(self):
+        env, fab = _multiqueue_fabric(num_ports=2)
+        run_batch(env, fab, [WriteOp(0, 0, b"a" * 8)], qp=0)
+        run_batch(env, fab, [ReadOp(0, 0, 8)], qp=0)
+        labels = set(fab.stats.per_port_ops)
+        assert any("nic_rx.p" in label for label in labels)
+        assert any("nic_tx.p" in label for label in labels)
+        assert sum(fab.stats.per_port_ops.values()) == 2
+
+    def test_single_port_counters_use_legacy_labels(self, env, fabric):
+        run_batch(env, fabric, [WriteOp(0, 0, b"a" * 8)])
+        assert fabric.stats.per_port_ops == {"mn0.nic_rx": 1}
+
+    def test_rpc_shards_split_cpu_capacity(self):
+        env = Environment()
+        node = MemoryNode(env, 0, capacity=64, cpu_cores=4, rpc_shards=2)
+        assert [c.capacity for c in node.cpus] == [2, 2]
+        assert node.cpu_capacity == 4
+
+    def test_rpc_shard_choice_follows_qp(self):
+        env, fab = _multiqueue_fabric(num_ports=1, rpc_shards=4)
+        node = fab.node(0)
+        shards = {fab._cpu_for(node, qp).label for qp in range(64)}
+        assert len(shards) == 4
+        assert fab._cpu_for(node, 9) is fab._cpu_for(node, 9)
+
+    def test_rpc_shards_run_concurrently(self):
+        """QPs mapping to different shards are not serialised on one
+        core — the sharded service finishes sooner than one shard."""
+        def run(rpc_shards):
+            env, fab = _multiqueue_fabric(num_ports=1,
+                                          rpc_shards=rpc_shards)
+            node = fab.node(0)
+            node.register_rpc("work", lambda payload: ({}, 10.0))
+
+            def client(qp):
+                yield fab.rpc(0, "work", {}, qp=qp)
+
+            # qps chosen to land on distinct shards when sharded
+            for qp in range(8):
+                env.process(client(qp))
+            env.run()
+            return env.now
+
+        assert run(rpc_shards=4) < run(rpc_shards=1)
+
+    def test_bind_qp_returns_stamping_proxy(self):
+        env, fab = _multiqueue_fabric(num_ports=4)
+        bound = fab.bind_qp(7)
+        assert isinstance(bound, QpFabric)
+        assert bound.qp == 7
+        assert bound.node(0) is fab.node(0)      # delegation
+
+        def proc():
+            yield bound.post([WriteOp(0, 0, b"q" * 8)])
+
+        env.run(until=env.process(proc()))
+        expect = fab.node(0).rx_ports[
+            fab._port_for(fab.node(0), False, 7)[0]].label
+        assert fab.stats.per_port_ops == {expect: 1}
+
+    def test_backlog_helpers_aggregate_ports(self):
+        env, fab = _multiqueue_fabric(num_ports=2)
+        node = fab.node(0)
+        node.rx_ports[0].occupy(5.0, env.now)
+        node.rx_ports[1].occupy(3.0, env.now)
+        node.tx_ports[1].occupy(2.0, env.now)
+        assert node.rx_backlog(env.now) == pytest.approx(8.0)
+        assert node.tx_backlog(env.now) == pytest.approx(2.0)
+
+
 class TestCoalescingOrdering:
     """§4.6 doorbell semantics: coalescing must never reorder same-QP
     WRITEs — the body-before-entry ordering crash consistency rests on
-    — for any batch width, adaptive or not."""
+    — for any batch width, port count, or affinity policy, adaptive or
+    not."""
 
     @given(writes=st.lists(
                st.tuples(st.integers(0, 1),          # memory node
@@ -443,27 +602,34 @@ class TestCoalescingOrdering:
                min_size=1, max_size=12),
            width=st.integers(1, 12),
            adaptive=st.booleans(),
-           preload=st.booleans())
+           preload=st.booleans(),
+           num_ports=st.integers(1, 4),
+           affinity=st.sampled_from(PORT_AFFINITY_MODES),
+           qp=st.integers(0, 7))
     @settings(max_examples=60, deadline=None)
     def test_memory_matches_sequential_application(self, writes, width,
-                                                   adaptive, preload):
+                                                   adaptive, preload,
+                                                   num_ports, affinity,
+                                                   qp):
         env = Environment()
         fab = Fabric(env, FabricConfig(max_coalesce_width=width,
-                                       coalesce_adaptive=adaptive))
+                                       coalesce_adaptive=adaptive,
+                                       port_affinity=affinity))
         for mn_id in range(2):
-            fab.add_node(MemoryNode(env, mn_id, capacity=128))
+            fab.add_node(MemoryNode(env, mn_id, capacity=128,
+                                    num_ports=num_ports))
         if preload:
             # queue service on both rx ports so adaptive mode widens
             def busy():
                 yield fab.post([WriteOp(0, 64, bytes(64)),
-                                WriteOp(1, 64, bytes(64))])
+                                WriteOp(1, 64, bytes(64))], qp=qp)
             env.process(busy())
         reference = {0: bytearray(128), 1: bytearray(128)}
         ops = []
         for mn, addr, data in writes:
             ops.append(WriteOp(mn, addr, data))
             reference[mn][addr:addr + len(data)] = data
-        run_batch(env, fab, ops)
+        run_batch(env, fab, ops, qp=qp)
         for mn_id in (0, 1):
             assert bytes(fab.node(mn_id).memory) == bytes(reference[mn_id])
 
@@ -472,15 +638,22 @@ class TestCoalescingOrdering:
                          st.one_of(st.none(),
                                    st.binary(min_size=1, max_size=16))),
                min_size=1, max_size=12),
-           width=st.integers(1, 12))
+           width=st.integers(1, 12),
+           num_ports=st.integers(1, 4),
+           affinity=st.sampled_from(PORT_AFFINITY_MODES),
+           qp=st.integers(0, 7))
     @settings(max_examples=60, deadline=None)
-    def test_reads_observe_every_earlier_write(self, batch, width):
-        """Within a batch each READ sees exactly the WRITEs before it."""
+    def test_reads_observe_every_earlier_write(self, batch, width,
+                                               num_ports, affinity, qp):
+        """Within a batch each READ sees exactly the WRITEs before it,
+        whatever port its QP hashes to."""
         env = Environment()
         fab = Fabric(env, FabricConfig(max_coalesce_width=width,
-                                       coalesce_adaptive=False))
+                                       coalesce_adaptive=False,
+                                       port_affinity=affinity))
         for mn_id in range(2):
-            fab.add_node(MemoryNode(env, mn_id, capacity=128))
+            fab.add_node(MemoryNode(env, mn_id, capacity=128,
+                                    num_ports=num_ports))
         reference = {0: bytearray(128), 1: bytearray(128)}
         ops, expect = [], []
         for mn, addr, data in batch:
@@ -491,7 +664,7 @@ class TestCoalescingOrdering:
                 ops.append(WriteOp(mn, addr, data))
                 reference[mn][addr:addr + len(data)] = data
                 expect.append(None)
-        comps = run_batch(env, fab, ops)
+        comps = run_batch(env, fab, ops, qp=qp)
         for comp, want in zip(comps, expect):
             if want is not None:
                 assert comp.value == want

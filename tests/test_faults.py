@@ -194,6 +194,148 @@ def test_gray_node_service_factor():
 
 
 # --------------------------------------------------------------------------
+# Port-scoped faults on multi-queue MNs
+# --------------------------------------------------------------------------
+class TestPortScopedFaults:
+    """A fault pinned to one NIC port of a multi-port MN must hit only
+    deliveries hashed onto that port, and retries must escape it by
+    re-hashing onto a live port."""
+
+    def test_partition_scoped_to_port_misses_other_ports(self):
+        plan = FaultPlan(partitions=[
+            Partition(a=CN, b=1, start_us=0.0, end_us=50.0, port=2)],
+            seed=0)
+        inj = FaultInjector(plan)
+        assert inj.cn_partition(1, 10.0, port=2) == (True, True)
+        assert inj.cn_partition(1, 10.0, port=0) == (False, False)
+        # a port-scoped fault never hits a port-less (single-queue) path
+        assert inj.cn_partition(1, 10.0) == (False, False)
+        # an unscoped partition hits every port
+        whole = FaultInjector(FaultPlan(partitions=[
+            Partition(a=CN, b=1, start_us=0.0, end_us=50.0)], seed=0))
+        assert whole.cn_partition(1, 10.0, port=3) == (True, True)
+
+    def test_gray_scoped_to_port_slows_only_that_port(self):
+        plan = FaultPlan(gray_nodes=[
+            GrayNode(mn_id=0, factor=5.0, start_us=0.0, end_us=100.0,
+                     port=1)], seed=0)
+        inj = FaultInjector(plan)
+        assert inj.service_factor(0, 50.0, port=1) == 5.0
+        assert inj.service_factor(0, 50.0, port=0) == 1.0
+        assert inj.service_factor(0, 50.0) == 1.0
+
+    def test_link_fault_scoped_to_port_draws_only_there(self):
+        plan = FaultPlan(link_faults=[
+            LinkFault(drop_p=1.0, start_us=0.0, end_us=100.0, port=0)],
+            seed=7)
+        inj = FaultInjector(plan)
+        hit = inj.fate(("w", 1), 0, 1, 10.0, port=0)
+        assert hit.drop_request and hit.drop_reply
+        miss = inj.fate(("w", 1), 0, 1, 10.0, port=1)
+        assert not (miss.drop_request or miss.drop_reply)
+
+    def test_port_never_enters_fate_hash_keys(self):
+        """Port only *scopes* faults: on an unscoped plan the drawn fate
+        is identical whatever port carried the delivery, so single-port
+        campaigns replay byte-identically under the multi-queue model."""
+        plan = FaultPlan(link_faults=[
+            LinkFault(drop_p=0.5, dup_p=0.3, jitter_us=1.0,
+                      start_us=0.0, end_us=100.0)], seed=11)
+        inj = FaultInjector(plan)
+        for attempt in (1, 2, 3):
+            fates = {inj.fate(("x", 4), 0, attempt, 20.0, port=p)
+                     for p in (None, 0, 1, 2, 3)}
+            assert len(fates) == 1
+
+    def test_mn_mirror_traffic_ignores_port_scoped_partitions(self):
+        plan = FaultPlan(partitions=[
+            Partition(a=0, b=1, start_us=0.0, end_us=50.0, port=1)],
+            seed=0)
+        inj = FaultInjector(plan)
+        assert inj.mn_reachable(0, 1, 10.0)
+
+    def test_verb_retry_rehashes_to_live_port(self):
+        """Substrate: the QP's home tx port is partitioned; the retry
+        must land on a different port and succeed without exhausting
+        the budget (transport retries, zero verb timeouts)."""
+        from repro.rdma import Fabric, FabricConfig
+        from repro.rdma.verbs import ReadOp
+
+        env = Environment()
+        fab = Fabric(env, FabricConfig())
+        node = MemoryNode(env, 0, capacity=4096, num_ports=4)
+        fab.add_node(node)
+        qp = 5
+        home = fab._port_for(node, True, qp)[0]
+        fab.injector = FaultInjector(
+            FaultPlan(partitions=[
+                Partition(a=CN, b=0, start_us=0.0, end_us=100_000.0,
+                          port=home)], seed=0),
+            retry=_SHORT_RETRY)
+
+        def proc():
+            return (yield fab.post([ReadOp(0, 0, 8)], qp=qp))
+
+        comps = env.run(until=env.process(proc()))
+        assert not comps[0].failed
+        assert fab.stats.transport_retries >= 1
+        assert fab.stats.verb_timeouts == 0
+        # the retry's port differs from the partitioned home port
+        assert fab._port_for(node, True, qp, salt=1)[0] != home
+
+    def test_rpc_retry_rehashes_to_live_port(self):
+        from repro.rdma import Fabric, FabricConfig
+
+        env = Environment()
+        fab = Fabric(env, FabricConfig())
+        node = MemoryNode(env, 0, capacity=4096, num_ports=4,
+                          rpc_shards=2)
+        node.register_rpc("ping", lambda payload: ({"pong": True}, 0.5))
+        fab.add_node(node)
+        qp = 9
+        home = fab._port_for(node, False, qp)[0]
+        fab.injector = FaultInjector(
+            FaultPlan(partitions=[
+                Partition(a=CN, b=0, start_us=0.0, end_us=100_000.0,
+                          port=home)], seed=0),
+            retry=_SHORT_RETRY)
+
+        def proc():
+            return (yield fab.rpc(0, "ping", {}, qp=qp))
+
+        reply = env.run(until=env.process(proc()))
+        assert reply == {"pong": True}
+        assert fab.stats.rpc_retries >= 1
+        assert fab.stats.rpc_timeouts == 0
+
+    def test_single_port_partition_campaign_stays_clean(self):
+        """Acceptance: partition one NIC port of a multi-port MN
+        mid-campaign — every op must finish, blocks balance, and the
+        history linearizes (retries escape via re-hash)."""
+        start = 400.0
+        plan = FaultPlan(partitions=[
+            Partition(a=CN, b=1, start_us=start, end_us=start + 3000.0,
+                      port=0)], seed=0)
+        report = run_campaign(seed=2, plan=plan, clients=3,
+                              ops_per_client=50, nic_ports=4,
+                              rpc_shards=2)
+        assert report.hung_ops == 0
+        assert not report.exceptions
+        assert report.balance_ok, report.render()
+        assert report.linearizable, report.violation
+        assert report.clean, report.render()
+
+    def test_gray_port_campaign_stays_clean(self):
+        plan = FaultPlan(gray_nodes=[
+            GrayNode(mn_id=0, factor=6.0, start_us=300.0, end_us=2500.0,
+                     port=1)], seed=0)
+        report = run_campaign(seed=4, plan=plan, clients=3,
+                              ops_per_client=50, nic_ports=4,
+                              rpc_shards=2)
+        assert report.clean, report.render()
+
+
+# --------------------------------------------------------------------------
 # Campaign acceptance: mixed faults, with and without the resilience layer
 # --------------------------------------------------------------------------
 def test_mixed_campaign_with_retries_is_clean():

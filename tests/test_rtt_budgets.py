@@ -35,7 +35,7 @@ from repro.core.race import RaceConfig
 
 def traced_cluster(n_memory_nodes=3, replication_factor=2,
                    index_replication=1, fabric_overrides=None,
-                   **client_overrides):
+                   cluster_overrides=None, **client_overrides):
     config = ClusterConfig(
         n_memory_nodes=n_memory_nodes,
         replication_factor=replication_factor,
@@ -45,6 +45,8 @@ def traced_cluster(n_memory_nodes=3, replication_factor=2,
         region=RegionConfig(region_size=1 << 18, block_size=1 << 13,
                             min_object_size=64),
         race=RaceConfig(n_subtables=4, n_groups=16, slots_per_bucket=7))
+    if cluster_overrides:
+        config = replace(config, **cluster_overrides)
     if fabric_overrides:
         config = replace(config,
                          fabric=replace(config.fabric, **fabric_overrides))
@@ -238,6 +240,79 @@ class TestBudgetsUnderHotPathKnobs:
         searches = tracer.spans_of("search")[-3:]
         assert all(s.rtts == 1 for s in searches)
         assert len(cluster.fabric.stats.kv_replica_reads) == 2
+
+
+class TestBudgetsUnderMultiQueue:
+    """Multi-queue NICs and RPC sharding move *which* port a verb
+    serialises on, never how many round trips an operation takes.  The
+    budgets must be unchanged in count under every multi-queue knob and
+    byte-identical to the seed model at ``nic_ports=1``."""
+
+    MQ_KNOBS = [
+        {"cluster_overrides": {"nic_ports": 2}},
+        {"cluster_overrides": {"nic_ports": 4}},
+        {"cluster_overrides": {"nic_ports": 4, "rpc_shards": 2}},
+        {"cluster_overrides": {"nic_ports": 4},
+         "fabric_overrides": {"port_affinity": "rss"}},
+        {"cluster_overrides": {"nic_ports": 8, "rpc_shards": 4},
+         "fabric_overrides": {"port_affinity": "rss",
+                              "max_coalesce_width": 8}},
+    ]
+
+    @pytest.mark.parametrize("knobs", MQ_KNOBS)
+    def test_search_budgets_unchanged(self, knobs):
+        cluster, client, tracer = traced_cluster(**knobs)
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        span = tracer.last_span("search")
+        assert span.rtts == 1
+        assert span.phases() == ["search.cached_read"]
+
+    @pytest.mark.parametrize("knobs", MQ_KNOBS)
+    def test_update_insert_delete_budgets_unchanged(self, knobs):
+        cluster, client, tracer = traced_cluster(index_replication=2,
+                                                 **knobs)
+        update = warm_update_span(cluster, client, tracer)
+        assert update.rtts == 4
+        assert update.phases() == ["write.locate_cached",
+                                   "repl.backup_cas", "log.commit",
+                                   "repl.primary_cas"]
+        insert = tracer.last_span("insert")
+        assert insert.rtts == update.rtts + 1
+        assert cluster.run_op(client.delete(b"key")).ok
+        assert tracer.last_span("delete").rtts == update.rtts
+
+    def test_single_port_trace_is_byte_identical(self):
+        """``nic_ports=1`` (the default) is not just equivalent — the
+        whole trace, timings included, matches the pre-multi-queue
+        model byte for byte."""
+        from repro.obs import jsonl_lines
+
+        def run(overrides):
+            cluster, client, tracer = traced_cluster(
+                index_replication=2, cluster_overrides=overrides)
+            warm_update_span(cluster, client, tracer)
+            assert cluster.run_op(client.search(b"key")).ok
+            assert cluster.run_op(client.delete(b"key")).ok
+            return jsonl_lines(tracer)
+
+        assert run(None) == run({"nic_ports": 1, "rpc_shards": 1})
+
+    def test_multiqueue_timings_match_at_one_client(self):
+        """A single unloaded client never queues, so even wall-clock
+        timings are identical at any port count (only contention
+        changes, and there is none)."""
+        from repro.obs import jsonl_lines
+
+        def run(overrides):
+            cluster, client, tracer = traced_cluster(
+                cluster_overrides=overrides)
+            warm_update_span(cluster, client, tracer)
+            assert cluster.run_op(client.search(b"key")).ok
+            return jsonl_lines(tracer)
+
+        assert run(None) == run({"nic_ports": 4, "rpc_shards": 2})
 
 
 class TestBudgetsUnderLoad:

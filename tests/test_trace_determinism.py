@@ -82,6 +82,47 @@ class TestTraceDeterminism:
                               separators=(",", ":")) == line
 
 
+def scaled_ycsb_trace(seed: int, n_clients: int = 256,
+                      n_memory_nodes: int = 8, nic_ports: int = 4,
+                      rpc_shards: int = 2, duration_us: float = 250.0):
+    """A multi-queue bed at scale-test size (hundreds of clients, many
+    MNs), short measured window to keep the wall clock bounded."""
+    bed = fusee_bed(n_memory_nodes=n_memory_nodes, replication_factor=2,
+                    dataset_bytes=1 << 18, background_interval_us=0.0,
+                    nic_ports=nic_ports, rpc_shards=rpc_shards,
+                    port_affinity="rss",
+                    max_clients=n_clients + 8)
+    config = YcsbConfig(workload="A", n_keys=200)
+    seeder = YcsbWorkload(config, seed=seed)
+    bed.load((key, seeder.load_value(i))
+             for i, key in enumerate(seeder.load_keys()))
+    tracer = Tracer()
+    bed.cluster.attach_tracer(tracer)
+    clients = [bed.new_client() for _ in range(n_clients)]
+    run_closed_loop(bed.env, clients,
+                    lambda index: YcsbWorkload(config, seed=seed + 1 + index),
+                    bed.execute, duration_us=duration_us)
+    return jsonl_lines(tracer)
+
+
+class TestScaledBedDeterminism:
+    """The scale-test beds inherit the determinism contract: a fixed
+    seed on a 256-client / 8-MN multi-queue bed renders byte-identical
+    JSONL traces across independent runs."""
+
+    def test_256_client_8_mn_multiqueue_trace_is_reproducible(self):
+        first = scaled_ycsb_trace(seed=13)
+        second = scaled_ycsb_trace(seed=13)
+        assert len(first) > 500  # hundreds of clients really ran
+        assert first == second
+
+    def test_scaled_bed_seed_still_matters(self):
+        assert scaled_ycsb_trace(seed=13, n_clients=64, n_memory_nodes=4,
+                                 duration_us=150.0) != \
+            scaled_ycsb_trace(seed=14, n_clients=64, n_memory_nodes=4,
+                              duration_us=150.0)
+
+
 class TestProfileDeterminism:
     """The profiler's outputs inherit the trace determinism contract."""
 
