@@ -3,10 +3,26 @@
 These time how fast the reproduction executes on the host machine —
 useful for catching performance regressions in the DES kernel and the
 client code paths.
+
+The ``TestKernelSpeedupGates`` class is the enforcement half of the
+kernel fast-path work (ISSUE 7): it times the trimmed 128c/4MN bed and
+the core-ops microbench against the *pre-refactor* numbers recorded in
+``benchmarks/baselines/kernel_wallclock.json``, rescaled by a
+calibration workload so the gate is portable across hosts.
 """
 
 import itertools
 
+import pytest
+
+from benchmarks.kernel_beds import (
+    BIG_BED,
+    MICRO_OPS,
+    big_bed_run,
+    load_baseline,
+    measure_calibration,
+    micro_ops_run,
+)
 from repro.core import ClusterConfig, FuseeCluster
 from repro.core.addressing import RegionConfig
 from repro.core.race import RaceConfig
@@ -59,3 +75,78 @@ def test_update_wallclock(benchmark):
         return ok
 
     benchmark(one_update)
+
+
+# ------------------------------------------------- kernel speedup gates
+class TestKernelSpeedupGates:
+    """Gate the kernel fast path against the recorded pre-refactor tree.
+
+    Methodology (all of it matters for a non-flaky gate):
+
+    - The baseline JSON stores the *seed-commit* wall times, measured
+      interleaved with the refactored tree in fresh subprocesses, plus
+      the runtime of a fixed pure-Python calibration workload on the
+      recording host.
+    - At gate time the baseline seconds are rescaled by
+      ``calibration_now / calibration_recorded`` so a slower (or faster)
+      CI host moves both sides of the ratio together.
+    - Each bed is timed min-of-N: the minimum is the least noisy
+      location statistic for wall clock (noise is one-sided).
+    - Thresholds carry a safety margin below the honestly measured
+      speedups — interleaved measurement gives big-bed 1.85–2.0x and
+      micro-ops 1.5–1.9x on this workload, with +-8-15% ambient host
+      noise — so the gates assert >=1.6x (big bed) and >=1.25x (micro)
+      rather than a flaky raw 2.0.
+    """
+
+    REPEATS = 3
+    BIG_BED_MIN_SPEEDUP = 1.6
+    MICRO_MIN_SPEEDUP = 1.25
+
+    @pytest.fixture(scope="class")
+    def rescale(self):
+        baseline = load_baseline()
+        cal_now = measure_calibration()
+        return baseline, cal_now / baseline["calibration_seconds"]
+
+    def test_baseline_geometry_matches_timed_beds(self, rescale):
+        """If the bed constants drift from the recorded geometry, the
+        speedup ratio silently compares different work — fail loudly."""
+        baseline, _ = rescale
+        for key, value in BIG_BED.items():
+            assert baseline["big_bed"][key] == value, key
+        for key, value in MICRO_OPS.items():
+            assert baseline["micro_ops"][key] == value, key
+
+    def test_big_bed_beats_recorded_baseline(self, rescale):
+        baseline, scale = rescale
+        budget = baseline["big_bed"]["seconds"] * scale
+        seconds = min(big_bed_run(**BIG_BED)[0]
+                      for _ in range(self.REPEATS))
+        speedup = budget / seconds
+        assert speedup >= self.BIG_BED_MIN_SPEEDUP, (
+            f"128c/4MN bed ran in {seconds:.3f}s vs rescaled baseline "
+            f"{budget:.3f}s -> {speedup:.2f}x, below the "
+            f"{self.BIG_BED_MIN_SPEEDUP}x gate")
+
+    def test_micro_ops_beat_recorded_baseline(self, rescale):
+        baseline, scale = rescale
+        budget = baseline["micro_ops"]["seconds"] * scale
+        seconds = min(micro_ops_run(**MICRO_OPS)[0]
+                      for _ in range(self.REPEATS))
+        speedup = budget / seconds
+        assert speedup >= self.MICRO_MIN_SPEEDUP, (
+            f"core-ops microbench ran in {seconds:.3f}s vs rescaled "
+            f"baseline {budget:.3f}s -> {speedup:.2f}x, below the "
+            f"{self.MICRO_MIN_SPEEDUP}x gate")
+
+    def test_big_bed_absolute_wall_budget(self, rescale):
+        """Backstop: even if someone re-records the baseline, the
+        trimmed big bed must finish within its calibrated wall budget
+        (1.2x the recorded *pre-refactor* time — generous enough for
+        any host, tight enough to catch a kernel that fell off the
+        fast path entirely)."""
+        baseline, scale = rescale
+        seconds, ops = big_bed_run(**BIG_BED)
+        assert ops > 1000, "bed too small to be a meaningful timing"
+        assert seconds <= 1.2 * baseline["big_bed"]["seconds"] * scale

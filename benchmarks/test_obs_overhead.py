@@ -37,14 +37,15 @@ def _make_workload(tracer, profile=False):
         tracer=tracer)
     profiler = (Profiler(tracer=tracer).install(cluster.env)
                 if profile else None)
+    fast = profiler is None   # profiled rounds run hook-aware by design
     client = cluster.new_client()
-    cluster.run_op(client.insert(b"bench-key", b"v" * 64))
+    cluster.run_op(client.insert(b"bench-key", b"v" * 64), fast=fast)
 
     def round_fn():
         for i in range(OPS_PER_ROUND):
-            cluster.run_op(client.update(b"bench-key", b"w" * 64))
-            cluster.run_op(client.search(b"bench-key"))
-        cluster.run_op(client.maintenance())
+            cluster.run_op(client.update(b"bench-key", b"w" * 64), fast=fast)
+            cluster.run_op(client.search(b"bench-key"), fast=fast)
+        cluster.run_op(client.maintenance(), fast=fast)
         if tracer is not None:
             tracer.clear()  # keep memory flat across rounds
         if profiler is not None:

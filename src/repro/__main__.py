@@ -179,7 +179,8 @@ def cmd_ycsb(args) -> int:
     result = run_closed_loop(
         bed.env, clients,
         lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
-        bed.execute, duration_us=args.duration_us, metrics=metrics)
+        bed.execute, duration_us=args.duration_us, metrics=metrics,
+        fast=profiler is None)
     print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
           f"-> {result.mops:.3f} Mops ({result.errors} errors)")
     if profiler is not None:

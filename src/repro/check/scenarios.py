@@ -319,9 +319,10 @@ def make_cluster_insert_race() -> Scenario:
                     f"won ({[s.outcome for s in won]})")
 
         # Epilogue: a delete followed by a search would resurrect the key
-        # from a duplicate slot; the history checker flags that.
-        cluster.run_op(c1.delete(key))
-        cluster.run_op(c2.search(key))
+        # from a duplicate slot; the history checker flags that.  The
+        # scheduler is still installed, so these run hook-aware.
+        cluster.run_op(c1.delete(key), fast=False)
+        cluster.run_op(c2.search(key), fast=False)
         violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
         return str(violation) if violation is not None else None
 
@@ -415,8 +416,8 @@ def make_cluster_partition_heal() -> Scenario:
             return "an operation hung across the partition"
         cluster.clear_faults()
         # Epilogue on the healed fabric: the final value must be one the
-        # history can explain.
-        cluster.run_op(c2.search(key))
+        # history can explain (scheduler still installed: hook-aware).
+        cluster.run_op(c2.search(key), fast=False)
         violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
         return str(violation) if violation is not None else None
 

@@ -169,9 +169,9 @@ class ControlledScheduler:
         # valid because replaying the same prefix rebuilds the same group).
         for ci, fp in self._arm.pop(branch_idx, []):
             if ci < len(group):
-                self._sleeping[group[ci][3]] = fp
+                self._sleeping[group[ci][2]] = fp
         sleeping_idx = frozenset(
-            i for i, entry in enumerate(group) if entry[3] in self._sleeping)
+            i for i, entry in enumerate(group) if entry[2] in self._sleeping)
         allowed = [i for i in range(len(group)) if i not in sleeping_idx]
         if not allowed:
             raise RedundantSchedule(
@@ -180,7 +180,7 @@ class ControlledScheduler:
         chosen = self._choose(len(group), allowed)
         self.branches.append(BranchPoint(
             index=branch_idx, position=self.steps,
-            events=[entry[3] for entry in group], chosen=chosen,
+            events=[entry[2] for entry in group], chosen=chosen,
             sleeping=sleeping_idx))
         entry = group.pop(chosen)
         for other in group:

@@ -138,6 +138,11 @@ class RegionMap:
         self.layout = RegionLayout(config)
         self.ring = ring
         self.replication_factor = replication_factor
+        # Hot-path copies of the config constants: translate()/split()
+        # run several times per KV op, and the attribute chain through
+        # the (immutable) config is measurable at scale.
+        self._shift = config.region_shift
+        self._mask = config.offset_mask
         # region id -> ordered [(mn_id, base offset on that MN)], primary first
         self._placement: Dict[int, List[Tuple[int, int]]] = {}
         self._primaries_per_mn: Dict[int, List[int]] = {}
@@ -182,13 +187,13 @@ class RegionMap:
         return (region_id << self.config.region_shift) | region_offset
 
     def split(self, gaddr: int) -> Tuple[int, int]:
-        return gaddr >> self.config.region_shift, gaddr & self.config.offset_mask
+        return gaddr >> self._shift, gaddr & self._mask
 
     def translate(self, gaddr: int) -> List[Tuple[int, int]]:
         """All replica locations of a global address, primary first."""
-        region_id, offset = self.split(gaddr)
+        offset = gaddr & self._mask
         return [(mn_id, base + offset)
-                for mn_id, base in self._placement[region_id]]
+                for mn_id, base in self._placement[gaddr >> self._shift]]
 
     def translate_alive(self, gaddr: int, alive) -> List[Tuple[int, int]]:
         """Replica locations restricted to MNs in ``alive``."""

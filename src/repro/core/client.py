@@ -33,11 +33,13 @@ from .readpolicy import READ_SPREAD_MODES, ReplicaReadPolicy
 from .snapshot import Outcome, snapshot_write, sequential_write
 from .wire import (
     FLAG_INVALID,
+    LOG_ENTRY_SIZE,
     OP_DELETE,
     OP_INSERT,
     OP_UPDATE,
     decode_kv_payload,
-    encode_kv_block,
+    encode_kv_body,
+    encode_log_entry,
     kv_block_size,
     kv_len_units,
     pack_slot,
@@ -246,18 +248,19 @@ class FuseeClient:
                     meta: KeyMeta):
         """Allocate an object and build its replica WRITE ops (generator)."""
         self.fabric.trace_phase("alloc")
-        class_idx = self.allocator.class_for(kv_block_size(len(key),
-                                                           len(value)))
+        need = kv_block_size(len(key), len(value))
+        class_idx = self.allocator.class_for(need)
         alloc = yield from self.allocator.alloc(class_idx)
         entry = entry_for_alloc(alloc, opcode)
-        block = encode_kv_block(key, value, alloc.size, entry)
+        if alloc.size < need:
+            raise ValueError(
+                f"block of {alloc.size}B cannot hold {need}B KV pair")
         # The padding between the KV body and the trailing log entry is
         # never transmitted: one doorbell batch carries two WRITEs per
         # replica (body, then entry — order-preserving, so the used bit
-        # still lands last).
-        from .wire import LOG_ENTRY_SIZE
-        body = block[:kv_block_size(len(key), len(value)) - LOG_ENTRY_SIZE]
-        entry_bytes = block[alloc.size - LOG_ENTRY_SIZE:]
+        # still lands last), so only the two wire images are built.
+        body = encode_kv_body(key, value)
+        entry_bytes = encode_log_entry(entry)
         if self._crash_point is CrashPoint.C0:
             body = body[:len(body) // 2]  # torn write: no used bit
             entry_bytes = b""
@@ -352,6 +355,11 @@ class FuseeClient:
     # ------------------------------------------------------------- SEARCH
     def search(self, key: bytes):
         """SEARCH (generator): returns OpResult with the value or ok=False."""
+        if not self.fabric.tracer.enabled:
+            # Skip the tracing wrapper frame entirely: a delegating
+            # generator costs every event resume of the operation, not
+            # just its start (same for the other op entry points).
+            return self._search_impl(key)
         return self._traced("search", self._search_impl(key), key=key)
 
     def _search_impl(self, key: bytes):
@@ -629,6 +637,8 @@ class FuseeClient:
     # ------------------------------------------------------------- INSERT
     def insert(self, key: bytes, value: bytes):
         """INSERT (generator): ok=False with existed=True if already present."""
+        if not self.fabric.tracer.enabled:
+            return self._insert_impl(key, value)
         return self._traced("insert", self._insert_impl(key, value),
                             key=key, wrote=value)
 
@@ -766,6 +776,8 @@ class FuseeClient:
     # ------------------------------------------------------------- UPDATE
     def update(self, key: bytes, value: bytes):
         """UPDATE (generator): ok=False if the key does not exist."""
+        if not self.fabric.tracer.enabled:
+            return self._update_impl(key, value)
         return self._traced("update", self._update_impl(key, value),
                             key=key, wrote=value)
 
@@ -802,6 +814,8 @@ class FuseeClient:
         A temporary object carries the operation's log entry and target
         key; it is freed once the request completes (§4.5).
         """
+        if not self.fabric.tracer.enabled:
+            return self._delete_impl(key)
         return self._traced("delete", self._delete_impl(key), key=key)
 
     def _delete_impl(self, key: bytes):

@@ -315,8 +315,18 @@ class FuseeCluster:
     def run(self, until=None):
         return self.env.run(until=until)
 
-    def run_op(self, generator):
-        """Drive one client operation to completion; returns its result."""
+    def run_op(self, generator, fast: bool = True):
+        """Drive one client operation to completion; returns its result.
+
+        ``fast=True`` (the default) asserts the kernel's fast drain loop
+        is eligible — no controlled scheduler, profiler, or access hook
+        installed — so a bed that accidentally left a hook active fails
+        loudly instead of silently running an order of magnitude slower.
+        Pass ``fast=False`` for checked/profiled runs where the hook is
+        the point.
+        """
+        if fast:
+            self.env.require_fast()
         return self.env.run(until=self.env.process(generator))
 
 

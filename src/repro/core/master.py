@@ -467,15 +467,23 @@ class Master:
         report.connect_mr_us = self.env.now - t0
 
         # Step 2: fetch the client's metadata (per-size-class list heads).
+        # The Table-1 phases get nested tracer spans so ``repro profile``
+        # (and folded stacks) break the recovery budget down per phase.
         t1 = self.env.now
+        scan_span = (tracer.begin_span("recover.metadata_scan", cid)
+                     if tracer.enabled else None)
         self.fabric.trace_phase("recover.read_heads")
         heads = yield from self._read_heads(cid)
+        if scan_span is not None:
+            tracer.end_span(scan_span, ok=True)
         report.get_metadata_us = self.env.now - t1
 
         # Step 3: traverse the per-size-class embedded logs (the paper's
         # per-object walk: the chains give the allocation order needed for
         # batched-free recovery and account for the Table-1 traversal cost).
         t2 = self.env.now
+        replay_span = (tracer.begin_span("recover.log_replay", cid)
+                       if tracer.enabled else None)
         self.fabric.trace_phase("recover.walk_log")
         walker = LogWalker(self.fabric, self.region_map, self.size_classes)
         chains: Dict[int, List[WalkedObject]] = {}
@@ -488,6 +496,8 @@ class Master:
             if terminator is not None:
                 terminators[class_idx] = terminator
             report.objects_visited += len(chain)
+        if replay_span is not None:
+            tracer.end_span(replay_span, ok=True)
         report.traverse_log_us = self.env.now - t2
 
         # Step 4: repair the index.  Object usage is taken from an

@@ -30,6 +30,7 @@ A subtable whose candidate buckets are all full raises
 from __future__ import annotations
 
 import hashlib
+import struct as _struct
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -128,25 +129,59 @@ class SlotRef:
         return (self.subtable, self.slot_index)
 
 
-@dataclass(frozen=True)
+# SlotSnapshot and BucketView are built on every bucket parse (several
+# per KV op); hand-written __slots__ classes keep construction to plain
+# attribute stores while eq/repr mirror the frozen dataclasses they
+# replaced.
 class SlotSnapshot:
     """A slot reference plus the value observed in the primary replica."""
 
-    ref: SlotRef
-    word: int
+    __slots__ = ("ref", "word")
+
+    def __init__(self, ref: SlotRef, word: int):
+        self.ref = ref
+        self.word = word
+
+    def __repr__(self) -> str:
+        return f"SlotSnapshot(ref={self.ref!r}, word={self.word!r})"
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not SlotSnapshot:
+            return NotImplemented
+        return self.ref == other.ref and self.word == other.word
+
+    def __hash__(self) -> int:
+        return hash((self.ref, self.word))
 
     @property
     def slot(self) -> Slot:
         return unpack_slot(self.word)
 
 
-@dataclass(frozen=True)
 class BucketView:
     """Parsed candidate slots for one key, from one bucket read."""
 
-    matches: Tuple[SlotSnapshot, ...]   # fingerprint hits, ordered by slot index
-    empties: Tuple[SlotRef, ...]        # free slots, preferred insert order
-    occupied: int                       # non-empty slots seen (load metric)
+    __slots__ = ("matches", "empties", "occupied")
+
+    def __init__(self, matches: Tuple[SlotSnapshot, ...],
+                 empties: Tuple[SlotRef, ...], occupied: int):
+        self.matches = matches   # fingerprint hits, ordered by slot index
+        self.empties = empties   # free slots, preferred insert order
+        self.occupied = occupied  # non-empty slots seen (load metric)
+
+    def __repr__(self) -> str:
+        return (f"BucketView(matches={self.matches!r}, "
+                f"empties={self.empties!r}, occupied={self.occupied!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not BucketView:
+            return NotImplemented
+        return (self.matches == other.matches
+                and self.empties == other.empties
+                and self.occupied == other.occupied)
+
+    def __hash__(self) -> int:
+        return hash((self.matches, self.empties, self.occupied))
 
 
 class RaceHashing:
@@ -172,6 +207,32 @@ class RaceHashing:
         self._directory: List[int] = list(range(config.n_subtables))
         self._local_depth: Dict[int, int] = {
             st: depth for st in range(config.n_subtables)}
+        # SlotRef objects are immutable and hot (every bucket parse builds
+        # dozens); memoise them per (subtable, index).  Any placement
+        # change invalidates the cache — refs embed the placement tuple.
+        self._slot_ref_cache: Dict[Tuple[int, int], SlotRef] = {}
+        self._n_slots = config.slots_per_subtable
+        # parse_buckets-local view of the same memo: one list per
+        # subtable indexed by slot (a list index beats a tuple-keyed
+        # dict hit on the per-slot path).  Invalidated together with
+        # _slot_ref_cache.
+        self._subtable_refs: Dict[int, list] = {}
+        # (meta, payload bytes) -> BucketView.  parse_buckets is a pure
+        # function of its arguments given fixed bucket geometry, and hot
+        # zipfian keys re-read identical bucket states constantly, so a
+        # content-keyed memo is exact.  Invalidated with _slot_ref_cache
+        # because the cached views embed SlotRefs.
+        self._parse_cache: Dict[tuple, "BucketView"] = {}
+        # (group1, group2) -> combined-bucket ranges; geometry-only, so
+        # it never needs invalidation.
+        self._range_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # key -> KeyMeta; dropped on directory changes (see key_meta).
+        self._meta_cache: Dict[bytes, KeyMeta] = {}
+        # One combined bucket = 2 adjacent buckets; unpack all its slot
+        # words with a single struct call (big-endian u64s, identical to
+        # per-slot int.from_bytes(..., "big")).
+        self._cb_struct = _struct.Struct(
+            ">%dQ" % (2 * config.slots_per_bucket))
 
     # -- placement management (master reconfiguration, §5.2) -------------------
     def placement(self, subtable: int) -> Tuple[Tuple[int, int], ...]:
@@ -182,6 +243,9 @@ class RaceHashing:
         if not placement:
             raise ValueError("placement cannot be empty")
         self._placements[subtable] = tuple(placement)
+        self._slot_ref_cache.clear()
+        self._subtable_refs.clear()
+        self._parse_cache.clear()
 
     def subtables_on(self, mn_id: int) -> List[int]:
         return [st for st, pl in self._placements.items()
@@ -237,6 +301,10 @@ class RaceHashing:
         self._local_depth[old] += 1
         self._local_depth[new_id] = self._local_depth[old]
         self._placements[new_id] = tuple(placement)
+        self._slot_ref_cache.clear()
+        self._subtable_refs.clear()
+        self._parse_cache.clear()
+        self._meta_cache.clear()
 
     def check_directory_invariants(self) -> None:
         """Every physical table owns exactly 2^(G-L) directory entries,
@@ -252,8 +320,18 @@ class RaceHashing:
 
     # -- key hashing -------------------------------------------------------------
     def key_meta(self, key: bytes) -> KeyMeta:
-        digest = hash_key(key)
-        return self.key_meta_for_digest(digest)
+        """Hash a key; memoised (the blake2b digest plus two modular
+        reductions run for every client operation).  The memo is dropped
+        whenever the extendible directory changes — a key's subtable
+        routing may move on a split — and capped so insert-heavy runs
+        with endless fresh keys cannot grow it without bound."""
+        meta = self._meta_cache.get(key)
+        if meta is None:
+            if len(self._meta_cache) > 131072:
+                self._meta_cache.clear()
+            meta = self.key_meta_for_digest(hash_key(key))
+            self._meta_cache[key] = meta
+        return meta
 
     def key_meta_for_digest(self, digest: int) -> KeyMeta:
         cfg = self.config
@@ -267,17 +345,32 @@ class RaceHashing:
 
     # -- slot addressing -----------------------------------------------------------
     def slot_ref(self, subtable: int, slot_index: int) -> SlotRef:
-        if not 0 <= slot_index < self.config.slots_per_subtable:
+        ref = self._slot_ref_cache.get((subtable, slot_index))
+        if ref is not None:
+            return ref
+        if not 0 <= slot_index < self._n_slots:
             raise IndexError(f"slot index {slot_index} out of range")
-        return SlotRef(subtable=subtable, slot_index=slot_index,
-                       placement=self._placements[subtable])
+        ref = SlotRef(subtable=subtable, slot_index=slot_index,
+                      placement=self._placements[subtable])
+        self._slot_ref_cache[(subtable, slot_index)] = ref
+        return ref
 
     def _combined_ranges(self, meta: KeyMeta) -> List[Tuple[int, int]]:
-        """Two (first slot index, slot count) ranges: the combined buckets."""
-        spb = self.config.slots_per_bucket
-        cb1_start = (meta.group1 * BUCKETS_PER_GROUP) * spb        # main0+ovfl
-        cb2_start = (meta.group2 * BUCKETS_PER_GROUP + 1) * spb    # ovfl+main1
-        return [(cb1_start, 2 * spb), (cb2_start, 2 * spb)]
+        """Two (first slot index, slot count) ranges: the combined buckets.
+
+        Memoised per (group1, group2): a pure function of the groups and
+        the (fixed) bucket geometry, recomputed on every bucket read and
+        parse otherwise.
+        """
+        key = (meta.group1, meta.group2)
+        ranges = self._range_cache.get(key)
+        if ranges is None:
+            spb = self.config.slots_per_bucket
+            cb1 = (meta.group1 * BUCKETS_PER_GROUP) * spb       # main0+ovfl
+            cb2 = (meta.group2 * BUCKETS_PER_GROUP + 1) * spb   # ovfl+main1
+            ranges = [(cb1, 2 * spb), (cb2, 2 * spb)]
+            self._range_cache[key] = ranges
+        return ranges
 
     def bucket_read_ops(self, meta: KeyMeta,
                         replica: int = 0) -> List[ReadOp]:
@@ -295,32 +388,57 @@ class RaceHashing:
         are ordered to fill the *less loaded* combined bucket first, which
         is RACE's load-balancing rule.
         """
+        ckey = (meta, *payloads)
+        cached = self._parse_cache.get(ckey)
+        if cached is not None:
+            return cached
         ranges = self._combined_ranges(meta)
         if len(payloads) != len(ranges):
             raise ValueError("expected one payload per combined bucket")
         matches: List[SlotSnapshot] = []
         per_cb_empties: List[List[SlotRef]] = []
         per_cb_load: List[int] = []
-        seen: set = set()
+        subtable = meta.subtable
+        fingerprint = meta.fingerprint
+        unpack = self._cb_struct.unpack
+        cb_bytes = self._cb_struct.size
+        refs = self._subtable_refs.get(subtable)
+        if refs is None:
+            refs = [None] * self._n_slots
+            self._subtable_refs[subtable] = refs
+        slot_ref = self.slot_ref
+        # The two combined buckets can share the overflow bucket; count a
+        # shared slot once.  Their ranges are contiguous, so "already seen
+        # by an earlier range" is a bounds check, not a membership set.
+        seen_end = -1
+        seen_start = 0
         for (start, count), payload in zip(ranges, payloads):
-            if len(payload) != count * SLOT_SIZE:
+            if len(payload) != cb_bytes:
                 raise ValueError("payload length mismatch")
             empties: List[SlotRef] = []
             load = 0
-            for i in range(count):
+            for i, word in enumerate(unpack(payload)):
                 index = start + i
-                if index in seen:
+                if seen_start <= index <= seen_end:
                     continue  # shared overflow bucket counted once
-                seen.add(index)
-                word = int.from_bytes(
-                    payload[i * SLOT_SIZE:(i + 1) * SLOT_SIZE], "big")
-                ref = self.slot_ref(meta.subtable, index)
+                # Resolve the SlotRef lazily: occupied slots with a
+                # foreign fingerprint never need one.
                 if word == 0:
+                    ref = refs[index]
+                    if ref is None:
+                        ref = slot_ref(subtable, index)
+                        refs[index] = ref
                     empties.append(ref)
                 else:
                     load += 1
-                    if (word >> 56) & 0xFF == meta.fingerprint:
+                    if (word >> 56) & 0xFF == fingerprint:
+                        ref = refs[index]
+                        if ref is None:
+                            ref = slot_ref(subtable, index)
+                            refs[index] = ref
                         matches.append(SlotSnapshot(ref=ref, word=word))
+            seen_start = min(seen_start, start) if seen_end >= 0 else start
+            seen_end = max(seen_end, start + count - 1)
             per_cb_empties.append(empties)
             per_cb_load.append(load)
         matches.sort(key=lambda snap: snap.ref.slot_index)
@@ -328,8 +446,12 @@ class RaceHashing:
         empties_flat: List[SlotRef] = []
         for i in order:
             empties_flat.extend(per_cb_empties[i])
-        return BucketView(matches=tuple(matches), empties=tuple(empties_flat),
+        view = BucketView(matches=tuple(matches), empties=tuple(empties_flat),
                           occupied=sum(per_cb_load))
+        if len(self._parse_cache) > 65536:
+            self._parse_cache.clear()
+        self._parse_cache[ckey] = view
+        return view
 
     # -- bulk helpers for the master ------------------------------------------------
     def subtable_read_op(self, subtable: int, replica_mn: int,

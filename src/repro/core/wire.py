@@ -63,6 +63,7 @@ __all__ = [
     "kv_block_size",
     "kv_len_units",
     "encode_kv_block",
+    "encode_kv_body",
     "decode_kv_block",
     "decode_kv_payload",
     "encode_log_entry",
@@ -121,13 +122,34 @@ def crc8(data: bytes, init: int = 0x9E) -> int:
 # ---------------------------------------------------------------------------
 # Index slots
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+# Decoded on every index READ (several per KV operation), so a
+# hand-written __slots__ class instead of a frozen dataclass: plain
+# attribute assignment beats object.__setattr__ several times over,
+# while eq/hash/repr mirror the dataclass exactly.
 class Slot:
     """Decoded 8-byte index slot."""
 
-    fingerprint: int
-    length_units: int  # KV block size in SLOT_LEN_UNIT-byte units
-    pointer: int  # 48-bit global address
+    __slots__ = ("fingerprint", "length_units", "pointer")
+
+    def __init__(self, fingerprint: int, length_units: int, pointer: int):
+        self.fingerprint = fingerprint
+        self.length_units = length_units  # KV block size in SLOT_LEN_UNIT units
+        self.pointer = pointer  # 48-bit global address
+
+    def __repr__(self) -> str:
+        return (f"Slot(fingerprint={self.fingerprint!r}, "
+                f"length_units={self.length_units!r}, "
+                f"pointer={self.pointer!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not Slot:
+            return NotImplemented
+        return (self.fingerprint == other.fingerprint
+                and self.length_units == other.length_units
+                and self.pointer == other.pointer)
+
+    def __hash__(self) -> int:
+        return hash((self.fingerprint, self.length_units, self.pointer))
 
     @property
     def empty(self) -> bool:
@@ -168,12 +190,34 @@ def make_fingerprint(key_hash: int) -> int:
 # ---------------------------------------------------------------------------
 # KV blocks
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
 class KvHeader:
-    invalid: bool
-    key_len: int
-    value_len: int
-    crc32: int
+    """Decoded KV-block header (one per SEARCH-path READ — see Slot)."""
+
+    __slots__ = ("invalid", "key_len", "value_len", "crc32")
+
+    def __init__(self, invalid: bool, key_len: int, value_len: int,
+                 crc32: int):
+        self.invalid = invalid
+        self.key_len = key_len
+        self.value_len = value_len
+        self.crc32 = crc32
+
+    def __repr__(self) -> str:
+        return (f"KvHeader(invalid={self.invalid!r}, "
+                f"key_len={self.key_len!r}, value_len={self.value_len!r}, "
+                f"crc32={self.crc32!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not KvHeader:
+            return NotImplemented
+        return (self.invalid == other.invalid
+                and self.key_len == other.key_len
+                and self.value_len == other.value_len
+                and self.crc32 == other.crc32)
+
+    def __hash__(self) -> int:
+        return hash((self.invalid, self.key_len, self.value_len,
+                     self.crc32))
 
 
 def kv_block_size(key_len: int, value_len: int) -> int:
@@ -200,11 +244,22 @@ def encode_kv_block(key: bytes, value: bytes, block_size: int,
     need = kv_block_size(len(key), len(value))
     if block_size < need:
         raise ValueError(f"block of {block_size}B cannot hold {need}B KV pair")
-    header = _KV_HEADER.pack(0, len(key), len(value),
-                             zlib.crc32(key + value) & 0xFFFFFFFF)
-    body = header + key + value
+    body = encode_kv_body(key, value)
     padding = bytes(block_size - len(body) - LOG_ENTRY_SIZE)
     return body + padding + encode_log_entry(log_entry)
+
+
+def encode_kv_body(key: bytes, value: bytes) -> bytes:
+    """Serialise just the KV payload (header + key + value).
+
+    This is the first WRITE of the two-WRITE doorbell batch a client
+    posts per replica (body, then log entry); the padding between them
+    is never transmitted, so callers that only need the wire images can
+    skip materialising the whole block.
+    """
+    header = _KV_HEADER.pack(0, len(key), len(value),
+                             zlib.crc32(key + value) & 0xFFFFFFFF)
+    return header + key + value
 
 
 def decode_kv_payload(data: bytes):
@@ -221,10 +276,11 @@ def decode_kv_payload(data: bytes):
     end = KV_HEADER_SIZE + key_len + value_len
     if end > len(data):
         raise ValueError("header lengths exceed payload")
-    key = bytes(data[KV_HEADER_SIZE:KV_HEADER_SIZE + key_len])
-    value = bytes(data[KV_HEADER_SIZE + key_len:end])
-    if zlib.crc32(key + value) & 0xFFFFFFFF != crc:
+    body = bytes(data[KV_HEADER_SIZE:end])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
         raise ValueError("KV body CRC mismatch")
+    key = body[:key_len]
+    value = body[key_len:]
     header = KvHeader(invalid=bool(flags & FLAG_INVALID),
                       key_len=key_len, value_len=value_len, crc32=crc)
     return header, key, value

@@ -85,16 +85,18 @@ class Scale:
 
     @classmethod
     def production(cls) -> "Scale":
-        """Hundreds of clients and 8-16 MNs: the multi-queue scaling bed.
+        """Hundreds-to-a-thousand clients and 8-16 MNs: the scaling bed.
 
         Sized to show where the plateau moves once ``nic_ports`` /
         ``rpc_shards`` lift the single-queue tx-NIC wall (ISSUE 6); pair
         it with ``fig13_ycsb_scalability(..., nic_ports=4,
-        rpc_shards=2)`` or the ``--nic-ports`` CLI flags.  Minutes of
-        wall-clock.
+        rpc_shards=2)`` or the ``--nic-ports`` CLI flags.  The sweep
+        reaches 1024 clients, which the kernel fast path (ISSUE 7)
+        makes affordable — the beds assert the fast drain loop via
+        ``run_closed_loop(fast=True)``.  Minutes of wall-clock.
         """
         return cls(n_keys=10_000, n_clients=256,
-                   clients_sweep=(32, 64, 128, 256, 384),
+                   clients_sweep=(32, 64, 128, 256, 384, 512, 768, 1024),
                    mns_sweep=(2, 4, 8, 12, 16),
                    duration_us=3_000.0, warmup_us=600.0, latency_ops=2_000)
 

@@ -53,8 +53,13 @@ def run_closed_loop(env: Environment,
                     collect_latency: bool = False,
                     timeline_bucket_us: Optional[float] = None,
                     events: Sequence[Tuple[float, Callable]] = (),
-                    metrics=None) -> RunResult:
+                    metrics=None,
+                    fast: bool = True) -> RunResult:
     """Drive ``clients`` against per-client workloads for ``duration_us``.
+
+    ``fast=True`` (the default) asserts the kernel's fast drain loop is
+    eligible (no scheduler/profiler/access hook), so sweep beds never
+    silently run hook-aware; profiled runs pass ``fast=False``.
 
     ``execute(client, op, key, value)`` is a generator performing one
     operation and returning truthy on success.  ``events`` is a list of
@@ -66,6 +71,8 @@ def run_closed_loop(env: Environment,
     ``ops.<op>`` / ``ops.errors`` counters and ``latency_us.<op>``
     histograms over the measurement window.
     """
+    if fast:
+        env.require_fast()
     start = env.now
     measure_from = start + warmup_us
     deadline = start + duration_us

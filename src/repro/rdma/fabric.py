@@ -193,6 +193,25 @@ class Fabric:
         # Optional fault injection (repro.faults).  None keeps the clean
         # fast path at one attribute check per post/rpc.
         self.injector = None
+        # Hot-path memo tables.  Port/CPU affinity is a pure function of
+        # (mn, direction, qp) at salt 0 (ports never change after build),
+        # and per-verb service time is a pure function of (NIC profile,
+        # verb kind, payload bytes) — cache both so the per-verb cost is
+        # a dict hit instead of SplitMix64 hashing / float arithmetic.
+        self._port_cache: Dict[tuple, tuple] = {}
+        self._cpu_cache: Dict[tuple, object] = {}
+        self._service_cache: Dict[tuple, float] = {}
+        # Service-time memo for the hooks-off post() loop, keyed
+        # (mn, verb class, payload bytes) — low-cardinality (a handful
+        # of distinct sizes per verb kind), unlike any key that folds
+        # in the posting qp, which would never converge at scale.
+        self._verb_cache: Dict[tuple, float] = {}
+        # Hot-path copies of the (frozen) config delays.
+        cfg = self.config
+        self._post_overhead = cfg.post_overhead_us
+        self._one_way = cfg.one_way_delay_us
+        self._fail_delay = cfg.fail_delay_us
+        self._coalesce_off = cfg.max_coalesce_width <= 1
 
     def trace_phase(self, name: str) -> None:
         """Label the current operation's next batches (no-op untraced)."""
@@ -226,24 +245,40 @@ class Fabric:
         the transport bumps it per retry attempt so a retransmission
         escapes a port-level partition within ``num_ports`` attempts.
         """
+        if salt == 0:
+            cached = self._port_cache.get((node.mn_id, tx, qp))
+            if cached is not None:
+                return cached
         ports = node.tx_ports if tx else node.rx_ports
         n = len(ports)
         if n == 1:
-            return 0, ports[0]
+            choice = 0, ports[0]
+            if salt == 0:
+                self._port_cache[(node.mn_id, tx, qp)] = choice
+            return choice
         if self.config.port_affinity == "rss":
             key = _mix64(_mix64(2 * qp + 1)
                          ^ (node.mn_id * 0x9E3779B97F4A7C15 + (2 if tx else 1)))
         else:  # "qp"
             key = _mix64(2 * qp + 1)
         index = (key + salt) % n
-        return index, ports[index]
+        choice = index, ports[index]
+        if salt == 0:
+            self._port_cache[(node.mn_id, tx, qp)] = choice
+        return choice
 
     def _cpu_for(self, node: MemoryNode, qp: int):
         """Pick the RPC CPU shard serving queue pair ``qp``."""
+        cached = self._cpu_cache.get((node.mn_id, qp))
+        if cached is not None:
+            return cached
         shards = node.cpus
         if len(shards) == 1:
-            return shards[0]
-        return shards[_mix64(2 * qp + 1) % len(shards)]
+            shard = shards[0]
+        else:
+            shard = shards[_mix64(2 * qp + 1) % len(shards)]
+        self._cpu_cache[(node.mn_id, qp)] = shard
+        return shard
 
     def _note_port(self, port, n: int = 1) -> None:
         per_port = self.stats.per_port_ops
@@ -266,13 +301,91 @@ class Fabric:
             raise ValueError("empty doorbell batch")
         if self.injector is not None:
             return self._post_faulty(ops, unsignaled, qp)
+        env = self.env
+        now = env._now
+        one_way = self._one_way
+        arrive = now + self._post_overhead + one_way
+        stats = self.stats
+        stats.batches += 1
+        prof = env._profiler
+        if prof is None and env._access_hook is None and self._coalesce_off:
+            # Hot path: no hooks, no coalescing — singleton groups with
+            # inlined counting/affinity/service lookups.  Timing and stat
+            # totals are identical to the general loop below.
+            completions = []
+            append = completions.append
+            finish = now
+            nodes = self.nodes
+            per_mn = stats.per_mn_ops
+            per_port = stats.per_port_ops
+            pcache = self._port_cache
+            vcache = self._verb_cache
+            reads = writes = atomics = moved = 0
+            for op in ops:
+                mn = op.mn_id
+                node = nodes[mn]
+                cls = op.__class__
+                if cls is ReadOp:
+                    reads += 1
+                    nbytes = op.length
+                elif cls is WriteOp:
+                    writes += 1
+                    nbytes = len(op.data)
+                else:
+                    atomics += 1
+                    nbytes = 8
+                moved += nbytes
+                per_mn[mn] = per_mn.get(mn, 0) + 1
+                if node.crashed:
+                    stats.failed_verbs += 1
+                    append(Completion(op, FAIL))
+                    done = now + self._fail_delay
+                    if done > finish:
+                        finish = done
+                    continue
+                is_read = cls is ReadOp
+                # Inlined MemoryNode.apply for READ/WRITE (the access
+                # hook is known off here, so the noting branch is dead);
+                # atomics keep the full dispatch.
+                if is_read:
+                    addr = op.addr
+                    if addr < 0 or addr + nbytes > node.capacity:
+                        node._check_range(addr, nbytes)
+                    append(Completion(
+                        op, bytes(node._view[addr:addr + nbytes])))
+                elif cls is WriteOp:
+                    addr = op.addr
+                    if addr < 0 or addr + nbytes > node.capacity:
+                        node._check_range(addr, nbytes)
+                    node.memory[addr:addr + nbytes] = op.data
+                    append(Completion(op, None))
+                else:
+                    append(Completion(op, node.apply(op)))
+                choice = pcache.get((mn, is_read, qp))
+                if choice is None:
+                    choice = self._port_for(node, is_read, qp)
+                port = choice[1]
+                vkey = (mn, cls, nbytes)
+                service = vcache.get(vkey)
+                if service is None:
+                    service = self._service_time(node, op)
+                    vcache[vkey] = service
+                label = port.label
+                per_port[label] = per_port.get(label, 0) + 1
+                done = port.finish_time(service, not_before=arrive) + one_way
+                if done > finish:
+                    finish = done
+            stats.reads += reads
+            stats.writes += writes
+            stats.atomics += atomics
+            stats.bytes_moved += moved
+            if self.tracer.enabled:
+                self.tracer.on_batch(ops, completions, now, finish,
+                                     unsignaled=unsignaled)
+            return env.timeout(finish - now, value=completions)
         cfg = self.config
-        now = self.env.now
-        arrive = now + cfg.post_overhead_us + cfg.one_way_delay_us
-        completions: List[Completion] = []
+        completions = []
         finish = now
-        self.stats.batches += 1
-        prof = self.env.profiler
         if prof is not None:
             # Fire-and-forget batches (§4.6 selective signaling) are not
             # waited on, so their intervals must not land in the active
@@ -355,7 +468,7 @@ class Fabric:
         t0 = env.now
         self.stats.batches += 1
         span = self.tracer.current_span() if self.tracer.enabled else None
-        prof = env.profiler
+        prof = env._profiler
         pspan = None
         if prof is not None and not unsignaled:
             pspan = prof.current_span()
@@ -420,7 +533,7 @@ class Fabric:
                                "verb.timeout")
                 continue
             # request propagation (plus drawn jitter)
-            prof = env.profiler
+            prof = env._profiler
             if prof is not None:
                 t = env.now
                 t_sent = t + cfg.post_overhead_us
@@ -491,7 +604,7 @@ class Fabric:
         else:
             gen = self._rpc_proc(mn_id, name, payload, qp)
         proc = self.env.process(gen, name=f"rpc:{name}@MN{mn_id}")
-        prof = self.env.profiler
+        prof = self.env._profiler
         if prof is not None:
             # The RPC runs in its own process; bind it to the caller's
             # span so NIC/CPU intervals emitted inside attribute correctly.
@@ -673,11 +786,17 @@ class Fabric:
 
     def _service_time(self, node: MemoryNode, op: Verb) -> float:
         profile = node.nic.profile
+        key = (id(profile), op.__class__, op_bytes(op))
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            return cached
         if isinstance(op, (CasOp, FaaOp)):
             fixed = profile.atomic_overhead
         else:
             fixed = profile.op_overhead
-        return fixed + profile.byte_time(op_bytes(op))
+        service = fixed + profile.byte_time(op_bytes(op))
+        self._service_cache[key] = service
+        return service
 
     def _count(self, op: Verb, node: MemoryNode) -> None:
         stats = self.stats
@@ -703,11 +822,41 @@ class QpFabric:
     inert and behaviour is byte-identical to the raw fabric.
     """
 
-    __slots__ = ("_fabric", "qp")
+    __slots__ = ("_fabric", "qp", "trace_phase", "node")
 
     def __init__(self, fabric: Fabric, qp: int):
         self._fabric = fabric
         self.qp = qp
+        # Pre-bound hot methods: a delegating property would manufacture
+        # a new bound method on every access (several per KV op).
+        self.trace_phase = fabric.trace_phase
+        self.node = fabric.node
+
+    # Hot delegated attributes get direct properties so lookups skip the
+    # __getattr__ miss path; anything else still falls through to it.
+    @property
+    def env(self):
+        return self._fabric.env
+
+    @property
+    def stats(self):
+        return self._fabric.stats
+
+    @property
+    def nodes(self):
+        return self._fabric.nodes
+
+    @property
+    def config(self):
+        return self._fabric.config
+
+    @property
+    def tracer(self):
+        return self._fabric.tracer
+
+    @property
+    def injector(self):
+        return self._fabric.injector
 
     def post(self, ops: Sequence[Verb], unsignaled: bool = False) -> Event:
         return self._fabric.post(ops, unsignaled=unsignaled, qp=self.qp)

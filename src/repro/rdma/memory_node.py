@@ -55,6 +55,10 @@ class MemoryNode:
         self.mn_id = mn_id
         self.capacity = capacity
         self.memory = bytearray(capacity)
+        # Read path: one copy instead of two (bytearray slice + bytes).
+        # The buffer is never resized (length-preserving slice writes and
+        # pack_into only), so a persistent exporting view is safe.
+        self._view = memoryview(self.memory)
         profile = nic_profile or NicProfile()
         # Full-duplex RNIC: inbound (writes, atomics, RPC) and outbound
         # (read payloads) directions serialize independently, as on real
@@ -155,25 +159,38 @@ class MemoryNode:
     # -- verb execution (called by the fabric at the serialisation point) ---
     def apply(self, op):
         """Atomically apply a verb to local memory; returns its raw result."""
-        if isinstance(op, ReadOp):
-            self._check_range(op.addr, op.length)
-            self._note_words(op.addr, op.length, write=False)
-            return bytes(self.memory[op.addr:op.addr + op.length])
-        if isinstance(op, WriteOp):
-            self._check_range(op.addr, len(op.data))
-            self._note_words(op.addr, len(op.data), write=True)
-            self.memory[op.addr:op.addr + len(op.data)] = op.data
+        noting = self.env._access_hook is not None
+        cls = op.__class__
+        if cls is ReadOp:
+            addr = op.addr
+            length = op.length
+            if addr < 0 or addr + length > self.capacity:
+                self._check_range(addr, length)
+            if noting:
+                self._note_words(addr, length, write=False)
+            return bytes(self._view[addr:addr + length])
+        if cls is WriteOp:
+            addr = op.addr
+            data = op.data
+            nbytes = len(data)
+            if addr < 0 or addr + nbytes > self.capacity:
+                self._check_range(addr, nbytes)
+            if noting:
+                self._note_words(addr, nbytes, write=True)
+            self.memory[addr:addr + nbytes] = data
             return None
-        if isinstance(op, CasOp):
+        if cls is CasOp:
             self._check_range(op.addr, WORD)
-            self._note_words(op.addr, WORD, write=True)
+            if noting:
+                self._note_words(op.addr, WORD, write=True)
             old = _U64.unpack_from(self.memory, op.addr)[0]
             if old == op.expected & MASK64:
                 _U64.pack_into(self.memory, op.addr, op.swap & MASK64)
             return old
-        if isinstance(op, FaaOp):
+        if cls is FaaOp:
             self._check_range(op.addr, WORD)
-            self._note_words(op.addr, WORD, write=True)
+            if noting:
+                self._note_words(op.addr, WORD, write=True)
             old = _U64.unpack_from(self.memory, op.addr)[0]
             _U64.pack_into(self.memory, op.addr, (old + op.delta) & MASK64)
             return old

@@ -15,7 +15,6 @@ Semantics mirror the paper's assumptions (§2.1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Union
 
 __all__ = [
@@ -80,47 +79,114 @@ class _TimedOut:
 TIMEOUT = _TimedOut()
 
 
-@dataclass(frozen=True)
+# Verb descriptors are the single hottest allocation in a simulation (a
+# few per RTT per client), so they are hand-written __slots__ classes
+# instead of frozen dataclasses: plain attribute assignment in __init__
+# is several times cheaper than dataclass-frozen object.__setattr__,
+# while __eq__/__hash__/__repr__ keep the value semantics tests rely on.
+
+
 class ReadOp:
     """RDMA_READ of ``length`` bytes at ``(mn_id, addr)``."""
 
-    mn_id: int
-    addr: int
-    length: int
+    __slots__ = ("mn_id", "addr", "length")
+
+    def __init__(self, mn_id: int, addr: int, length: int):
+        self.mn_id = mn_id
+        self.addr = addr
+        self.length = length
+
+    def __repr__(self) -> str:
+        return (f"ReadOp(mn_id={self.mn_id!r}, addr={self.addr!r}, "
+                f"length={self.length!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not ReadOp:
+            return NotImplemented
+        return (self.mn_id == other.mn_id and self.addr == other.addr
+                and self.length == other.length)
+
+    def __hash__(self) -> int:
+        return hash((ReadOp, self.mn_id, self.addr, self.length))
 
 
-@dataclass(frozen=True)
 class WriteOp:
     """RDMA_WRITE of ``data`` at ``(mn_id, addr)``."""
 
-    mn_id: int
-    addr: int
-    data: bytes
+    __slots__ = ("mn_id", "addr", "data")
+
+    def __init__(self, mn_id: int, addr: int, data: bytes):
+        self.mn_id = mn_id
+        self.addr = addr
+        self.data = data
+
+    def __repr__(self) -> str:
+        return (f"WriteOp(mn_id={self.mn_id!r}, addr={self.addr!r}, "
+                f"data={self.data!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not WriteOp:
+            return NotImplemented
+        return (self.mn_id == other.mn_id and self.addr == other.addr
+                and self.data == other.data)
+
+    def __hash__(self) -> int:
+        return hash((WriteOp, self.mn_id, self.addr, self.data))
 
 
-@dataclass(frozen=True)
 class CasOp:
     """8-byte RDMA compare-and-swap; returns the previous value."""
 
-    mn_id: int
-    addr: int
-    expected: int
-    swap: int
+    __slots__ = ("mn_id", "addr", "expected", "swap")
+
+    def __init__(self, mn_id: int, addr: int, expected: int, swap: int):
+        self.mn_id = mn_id
+        self.addr = addr
+        self.expected = expected
+        self.swap = swap
+
+    def __repr__(self) -> str:
+        return (f"CasOp(mn_id={self.mn_id!r}, addr={self.addr!r}, "
+                f"expected={self.expected!r}, swap={self.swap!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not CasOp:
+            return NotImplemented
+        return (self.mn_id == other.mn_id and self.addr == other.addr
+                and self.expected == other.expected
+                and self.swap == other.swap)
+
+    def __hash__(self) -> int:
+        return hash((CasOp, self.mn_id, self.addr, self.expected, self.swap))
 
 
-@dataclass(frozen=True)
 class FaaOp:
     """8-byte RDMA fetch-and-add; returns the previous value."""
 
-    mn_id: int
-    addr: int
-    delta: int
+    __slots__ = ("mn_id", "addr", "delta")
+
+    def __init__(self, mn_id: int, addr: int, delta: int):
+        self.mn_id = mn_id
+        self.addr = addr
+        self.delta = delta
+
+    def __repr__(self) -> str:
+        return (f"FaaOp(mn_id={self.mn_id!r}, addr={self.addr!r}, "
+                f"delta={self.delta!r})")
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not FaaOp:
+            return NotImplemented
+        return (self.mn_id == other.mn_id and self.addr == other.addr
+                and self.delta == other.delta)
+
+    def __hash__(self) -> int:
+        return hash((FaaOp, self.mn_id, self.addr, self.delta))
 
 
 Verb = Union[ReadOp, WriteOp, CasOp, FaaOp]
 
 
-@dataclass(frozen=True)
 class Completion:
     """Result of one verb.
 
@@ -129,12 +195,24 @@ class Completion:
     :data:`TIMEOUT` if transport retries were exhausted (fault injection).
     """
 
-    op: Verb
-    value: object
+    __slots__ = ("op", "value")
+
+    def __init__(self, op: Verb, value: object):
+        self.op = op
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Completion(op={self.op!r}, value={self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not Completion:
+            return NotImplemented
+        return self.op == other.op and self.value == other.value
 
     @property
     def failed(self) -> bool:
-        return self.value is FAIL or self.value is TIMEOUT
+        value = self.value
+        return value is FAIL or value is TIMEOUT
 
     @property
     def timed_out(self) -> bool:

@@ -9,6 +9,8 @@ from .core import (
     Process,
     SimulationError,
     Timeout,
+    default_kernel_mode,
+    kernel_mode,
 )
 from .resources import NicPort, NicProfile, Request, Resource
 
@@ -21,6 +23,8 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "default_kernel_mode",
+    "kernel_mode",
     "NicPort",
     "NicProfile",
     "Request",

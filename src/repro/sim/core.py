@@ -15,12 +15,38 @@ The kernel provides exactly what the FUSEE reproduction needs:
   generator returns (value = return value) or raises (failure).
 * :class:`AllOf` / :class:`AnyOf` — composite conditions.
 * :class:`Interrupt` — thrown into a process by :meth:`Process.interrupt`.
+
+Kernel modes
+------------
+
+The environment runs in one of two modes (see
+``docs/simulation_model.md``, "Kernel fast path & determinism contract"):
+
+* ``"fast"`` (the default) — when no controlled scheduler and no profiler
+  are installed, :meth:`Environment.run` drains the queue through an
+  inlined loop that pools :class:`Timeout`, :class:`Initialize` and
+  resume-proxy events on free lists and recycles them once their sole
+  remaining reference is the drain loop's own local.  Event *identity*
+  is reused but every observable field is reset, the heap tie-break is a
+  monotone insertion id, and the sequence of ``_schedule`` calls is
+  unchanged — so event ordering (time, priority, insertion) is
+  bit-for-bit identical to the reference path.
+* ``"reference"`` — the pre-optimisation allocation behaviour, kept as
+  the oracle for the conformance and differential suites: every proxy /
+  timeout / initialize is a fresh object and ``run`` dispatches through
+  :meth:`Environment.step`.
+
+Installing a scheduler or profiler on a ``"fast"`` environment demotes it
+to the hook-aware path automatically (``env._fast`` goes False); the mode
+only controls whether the demotion is *permanent*.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from contextlib import contextmanager
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -32,7 +58,44 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "kernel_mode",
+    "default_kernel_mode",
 ]
+
+#: Priority bit packed above the insertion id in heap keys.  Interrupt
+#: delivery uses priority 0 (sorts first at equal time); everything else
+#: priority 1.  62 bits of insertion id is ~4.6e18 events — unreachable.
+_PRIO_SHIFT = 62
+_PRIO_NORMAL = 1 << _PRIO_SHIFT
+
+_KERNEL_MODES = ("fast", "reference")
+_DEFAULT_KERNEL = "fast"
+
+
+def default_kernel_mode() -> str:
+    """The mode new :class:`Environment` objects are created with."""
+    return _DEFAULT_KERNEL
+
+
+@contextmanager
+def kernel_mode(mode: str):
+    """Set the default kernel mode for environments created in the block.
+
+    ``with kernel_mode("reference"):`` makes every bed built inside the
+    block run on the retained pre-optimisation code path — the oracle the
+    differential suites diff the fast path against.  The mode is captured
+    at :class:`Environment` construction; leaving the block does not
+    change already-built environments.
+    """
+    global _DEFAULT_KERNEL
+    if mode not in _KERNEL_MODES:
+        raise SimulationError(f"unknown kernel mode {mode!r}")
+    previous = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_KERNEL = previous
 
 
 class SimulationError(Exception):
@@ -93,7 +156,10 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, _PRIO_NORMAL | eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -104,7 +170,10 @@ class Event:
         self._triggered = True
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        eid = env._eid
+        env._eid = eid + 1
+        heappush(env._queue, (env._now, _PRIO_NORMAL | eid, self))
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -142,6 +211,17 @@ class Initialize(Event):
         env._schedule(self)
 
 
+class _Proxy(Event):
+    """Resume-proxy for a yield on an already-processed target.
+
+    Behaviourally identical to the plain :class:`Event` the reference
+    path allocates; a distinct class only so the fast drain loop can
+    recognise and recycle it.
+    """
+
+    __slots__ = ()
+
+
 class Process(Event):
     """A running generator-based process.
 
@@ -161,7 +241,14 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        if env._fast and env._init_pool:
+            init = env._init_pool.pop()
+            init.callbacks.append(self._resume)
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env._now, _PRIO_NORMAL | eid, init))
+        else:
+            Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -171,6 +258,15 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
+        if self is self.env._active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        if self._target is None:
+            # The generator has not run its first step (its Initialize is
+            # still queued): throwing into a fresh generator would kill
+            # it before its body — and the queued Initialize would then
+            # double-resume it.  Reject loudly, like SimPy does.
+            raise SimulationError(
+                "cannot interrupt a process before its first step")
         event = Event(self.env)
         event._defused = True
         event.callbacks.append(self._resume_interrupt)
@@ -223,14 +319,25 @@ class Process(Event):
                 f"process {self.name!r} yielded non-event {target!r}")
         if target._processed:
             # Already fired: resume immediately (next scheduler step).
-            proxy = Event(env)
+            if env._fast:
+                pool = env._proxy_pool
+                proxy = pool.pop() if pool else _Proxy(env)
+                proxy._triggered = True
+            else:
+                proxy = Event(env)
+                proxy._triggered = True
             proxy.callbacks.append(self._resume)
-            proxy._triggered = True
             proxy._ok = target._ok
             proxy._value = target._value
             if not target._ok:
                 target._defused = True
-            env._schedule(proxy)
+            # Park on the proxy: an interrupt racing this resume must be
+            # able to find (and detach from) the pending wakeup, or the
+            # process would be resumed twice.
+            self._target = proxy
+            eid = env._eid
+            env._eid = eid + 1
+            heappush(env._queue, (env._now, _PRIO_NORMAL | eid, proxy))
         else:
             self._target = target
             target.callbacks.append(self._resume)
@@ -241,11 +348,19 @@ class _Condition(Event):
 
     __slots__ = ("events", "_count")
 
+    #: AnyOf overrides this: an empty waiter list would never fire, which
+    #: silently masks bugs in callers that build the list dynamically.
+    _allow_empty = True
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events = list(events)
         self._count = 0
         if not self.events:
+            if not self._allow_empty:
+                raise SimulationError(
+                    f"{type(self).__name__}([]) would never fire: an empty "
+                    "any-of has no event that could trigger it")
             self.succeed(self._build_value())
             return
         for event in self.events:
@@ -279,9 +394,17 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Fires when the first child event fires; value is that event's value."""
+    """Fires when the first child event fires; value is that event's value.
+
+    ``AnyOf([])`` raises :class:`SimulationError`: with no children the
+    condition could never fire, so an empty waiter list is always a bug
+    at the call site (``AllOf([])`` stays vacuously true, matching the
+    usual universal/existential quantifier convention).
+    """
 
     __slots__ = ()
+
+    _allow_empty = False
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -294,12 +417,18 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus event queue.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``kernel`` selects the execution mode (``"fast"`` or ``"reference"``,
+    see the module docstring); ``None`` takes the module default, which
+    :func:`kernel_mode` overrides for a block.
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 kernel: Optional[str] = None):
         self._now = float(initial_time)
         self._queue: List = []
-        self._eid = itertools.count()
+        self._eid = 0
         self._active_process: Optional[Process] = None
         # Controlled-schedule hooks (repro.check): both default to None so
         # the normal path costs one attribute check per step/access.
@@ -309,7 +438,21 @@ class Environment:
         # Latency-attribution hook (repro.obs.profile.Profiler): resources
         # and the fabric emit typed wait/service intervals through it.
         # None keeps the unprofiled path at one attribute check per site.
-        self.profiler = None
+        self._profiler = None
+        if kernel is None:
+            kernel = _DEFAULT_KERNEL
+        elif kernel not in _KERNEL_MODES:
+            raise SimulationError(f"unknown kernel mode {kernel!r}")
+        self._kernel = kernel
+        # Free lists for the fast path.  Events land here only when the
+        # drain loop holds their sole remaining reference, so identity
+        # reuse is unobservable from simulation code.
+        self._timeout_pool: List[Timeout] = []
+        self._proxy_pool: List[_Proxy] = []
+        self._init_pool: List[Initialize] = []
+        # Single hot-path flag: true iff fast mode AND no scheduler AND no
+        # profiler.  Collapses the per-event three-hook check.
+        self._fast = kernel == "fast"
 
     @property
     def now(self) -> float:
@@ -318,6 +461,49 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
+
+    def _update_fast(self) -> None:
+        self._fast = (self._kernel == "fast" and self._scheduler is None
+                      and self._profiler is None)
+
+    def require_fast(self) -> None:
+        """Raise unless the fast drain loop is eligible to run.
+
+        The kernel silently falls back to the hook-aware path when a
+        controlled scheduler, profiler, or access hook is installed.
+        Callers that promised a fast bed (``run_op(fast=True)``, the
+        harness sweeps) call this to surface the fallback as an error
+        instead of paying a hidden order-of-magnitude slowdown.  The
+        retained reference mode (``kernel_mode("reference")``) passes:
+        it is a deliberate differential-testing choice with identical
+        semantics and similar speed, not an accidental hook.
+        """
+        if self._scheduler is not None:
+            raise SimulationError(
+                "fast kernel required, but a controlled scheduler is "
+                "installed; pass fast=False for checked runs")
+        if self._profiler is not None:
+            raise SimulationError(
+                "fast kernel required, but a profiler is installed; "
+                "pass fast=False for profiled runs")
+        if self._access_hook is not None:
+            raise SimulationError(
+                "fast kernel required, but an access hook is installed; "
+                "pass fast=False for schedule-explored runs")
+
+    # -- latency attribution (repro.obs.profile) ----------------------------
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+        self._update_fast()
 
     # -- controlled scheduling (repro.check) --------------------------------
     @property
@@ -336,6 +522,7 @@ class Environment:
         self._scheduler = scheduler
         self._access_hook = None if scheduler is None \
             else scheduler.note_access
+        self._update_fast()
         if scheduler is not None and getattr(scheduler, "env", None) is None:
             scheduler.env = self
 
@@ -359,6 +546,18 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        if self._fast and self._timeout_pool:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay}")
+            tmo = self._timeout_pool.pop()
+            tmo.delay = delay
+            tmo._value = value
+            tmo._triggered = True
+            eid = self._eid
+            self._eid = eid + 1
+            heappush(self._queue,
+                     (self._now + delay, _PRIO_NORMAL | eid, tmo))
+            return tmo
         return Timeout(self, delay, value)
 
     def attributed_timeout(self, delay: float, category: str,
@@ -372,10 +571,10 @@ class Environment:
         that cannot import each other (fabric vs. faults vs. client)
         share one implementation.
         """
-        prof = self.profiler
+        prof = self._profiler
         if prof is not None and delay > 0.0:
             prof.note(category, label, self._now, self._now + delay)
-        return Timeout(self, delay, value=None)
+        return self.timeout(delay)
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -390,9 +589,10 @@ class Environment:
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = 1) -> None:
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._eid), event))
+        eid = self._eid
+        self._eid = eid + 1
+        heappush(self._queue,
+                 (self._now + delay, (priority << _PRIO_SHIFT) | eid, event))
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -405,7 +605,7 @@ class Environment:
             raise SimulationError("no more events")
         scheduler = self._scheduler
         if scheduler is None:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
+            when, _key, event = heappop(self._queue)
             self._now = when
             callbacks, event.callbacks = event.callbacks, None
             event._processed = True
@@ -415,7 +615,7 @@ class Environment:
                 # Unhandled failure: surface it to the run()/step() caller.
                 raise event._value
             return
-        when, _prio, _eid, event = scheduler.select(self)
+        when, _key, event = scheduler.select(self)
         self._now = when
         scheduler.begin_event(event)
         try:
@@ -439,6 +639,12 @@ class Environment:
         (run until that simulated time), or an :class:`Event` (run until it
         fires, returning its value).
         """
+        if self._fast:
+            return self._run_fast(until)
+        return self._run_hooked(until)
+
+    def _run_hooked(self, until: Any = None) -> Any:
+        """The reference/hook-aware loop: dispatch through :meth:`step`."""
         if until is None:
             while self._queue:
                 self.step()
@@ -462,3 +668,91 @@ class Environment:
             self.step()
         self._now = deadline
         return None
+
+    def _run_fast(self, until: Any = None) -> Any:
+        """Inlined drain loop for the no-hook case.
+
+        Per event this costs one heap pop, the callback sweep, and one
+        class check for free-list reclamation — no per-step method
+        dispatch, no scheduler/profiler/access-hook triple check.  An
+        event is recycled only when ``getrefcount`` proves the loop's
+        local is its last reference; events never expose ``__weakref__``
+        (slots-only), so no observer can tell identities were reused.
+        """
+        stop: Optional[Event] = None
+        deadline: Optional[float] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop = until
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    f"until={deadline} is in the past (now={self._now})")
+        queue = self._queue
+        tpool = self._timeout_pool
+        ppool = self._proxy_pool
+        ipool = self._init_pool
+        getrc = getrefcount
+        pop = heappop
+        while True:
+            if stop is not None:
+                if stop._processed:
+                    break
+                if not queue:
+                    raise SimulationError(
+                        "simulation ended before awaited event fired")
+            elif not queue:
+                if deadline is not None:
+                    self._now = deadline
+                return None
+            elif deadline is not None and queue[0][0] > deadline:
+                self._now = deadline
+                return None
+            if not self._fast:
+                # A hook was installed mid-run (e.g. a profiler attached
+                # from a callback): finish on the hook-aware path.
+                return self._run_hooked(
+                    stop if stop is not None else
+                    (deadline if deadline is not None else None))
+            when, _key, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            for callback in callbacks or ():
+                callback(event)
+            if event._ok is False and not event._defused:
+                raise event._value
+            # -- free-list reclamation ---------------------------------
+            cls = event.__class__
+            if cls is Timeout:
+                if getrc(event) == 2 and callbacks is not None:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._processed = False
+                    event._defused = False
+                    event._value = None
+                    tpool.append(event)
+            elif cls is _Proxy:
+                if getrc(event) == 2 and callbacks is not None:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._processed = False
+                    event._triggered = False
+                    event._defused = False
+                    event._ok = None
+                    event._value = None
+                    ppool.append(event)
+            elif cls is Initialize:
+                if getrc(event) == 2 and callbacks is not None:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._processed = False
+                    event._defused = False
+                    ipool.append(event)
+        if stop._ok:
+            return stop._value
+        stop._defused = True
+        raise stop._value

@@ -36,9 +36,10 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
-        self.t_request = resource.env.now
         self.t_grant: Optional[float] = None
-        self.prof_span = None
+        # t_request / prof_span are stamped by Resource.request only when
+        # a profiler is installed — the unprofiled path skips the
+        # bookkeeping entirely (they are profiler-only attribution data).
 
     def release(self) -> None:
         self.resource.release(self)
@@ -73,34 +74,40 @@ class Resource:
         return len(self._waiting)
 
     def request(self) -> Request:
-        self.env.note_access(("res", self._uid), True)
+        env = self.env
+        if env._access_hook is not None:
+            env.note_access(("res", self._uid), True)
         req = Request(self)
-        prof = self.env.profiler
+        prof = env._profiler
         if prof is not None:
+            req.t_request = env._now
             req.prof_span = prof.current_span()
         if self._in_use < self.capacity:
             self._in_use += 1
-            req.t_grant = self.env.now
+            req.t_grant = env._now
             req.succeed()
         else:
             self._waiting.append(req)
         return req
 
     def release(self, request: Request) -> None:
-        self.env.note_access(("res", self._uid), True)
-        now = self.env.now
+        env = self.env
+        if env._access_hook is not None:
+            env.note_access(("res", self._uid), True)
+        now = env._now
         if request.t_grant is not None:
             self.total_busy += now - request.t_grant
-        prof = self.env.profiler
+        prof = env._profiler
         if prof is not None and request.t_grant is not None:
             prof.note("cpu_service", self.label, request.t_grant, now,
-                      span=request.prof_span)
+                      span=getattr(request, "prof_span", None))
         if self._waiting:
             nxt = self._waiting.popleft()
             nxt.t_grant = now
             if prof is not None:
-                prof.note("cpu_wait", self.label, nxt.t_request, now,
-                          span=nxt.prof_span)
+                prof.note("cpu_wait", self.label,
+                          getattr(nxt, "t_request", now), now,
+                          span=getattr(nxt, "prof_span", None))
             nxt.succeed()
         else:
             self._in_use -= 1
@@ -161,30 +168,34 @@ class NicPort:
         ``not_before`` lets the caller model propagation delay before the
         operation reaches the port (service cannot start earlier).
         """
-        earliest = self.env.now if not_before is None else not_before
+        env = self.env
+        earliest = env._now if not_before is None else not_before
         start = max(earliest, self._next_free)
         end = start + service_time
-        if service_time > 0.0:
+        if service_time > 0.0 and not env._fast:
             # With zero service time the line never queues, so occupancy is
             # not observable shared state — keep it out of footprints.
-            self.env.note_access(("nic", self._uid), True)
-            prof = self.env.profiler
+            if env._access_hook is not None:
+                env.note_access(("nic", self._uid), True)
+            prof = env._profiler
             if prof is not None:
                 prof.note_nic(self.label, earliest, start, end)
         self._next_free = end
         self.total_busy += service_time
         self.ops += 1
-        return self.env.timeout(end - self.env.now)
+        return env.timeout(end - env._now)
 
     def finish_time(self, service_time: float,
                     not_before: Optional[float] = None) -> float:
         """Like :meth:`occupy` but returns the absolute completion time."""
-        earliest = self.env.now if not_before is None else not_before
+        env = self.env
+        earliest = env._now if not_before is None else not_before
         start = max(earliest, self._next_free)
         end = start + service_time
-        if service_time > 0.0:
-            self.env.note_access(("nic", self._uid), True)
-            prof = self.env.profiler
+        if service_time > 0.0 and not env._fast:
+            if env._access_hook is not None:
+                env.note_access(("nic", self._uid), True)
+            prof = env._profiler
             if prof is not None:
                 prof.note_nic(self.label, earliest, start, end)
         self._next_free = end

@@ -122,9 +122,22 @@ class LatestGenerator:
         return max(0, self._max - (offset % (self._max + 1)))
 
 
+_KEY_BYTES_CACHE: dict = {}
+
+
 def key_bytes(index: int) -> bytes:
-    """YCSB-style key: 'user' + zero-padded index (24 bytes total)."""
-    return f"user{index:020d}".encode()
+    """YCSB-style key: 'user' + zero-padded index (24 bytes total).
+
+    Memoised: the zipfian choosers revisit hot preloaded indices
+    constantly, and formatting+encoding per op is measurable at scale.
+    The cache is bounded by the preloaded key range in practice (fresh
+    inserts go through the per-client namespaced format instead).
+    """
+    cached = _KEY_BYTES_CACHE.get(index)
+    if cached is None:
+        cached = f"user{index:020d}".encode()
+        _KEY_BYTES_CACHE[index] = cached
+    return cached
 
 
 def make_value(value_size: int, salt: int = 0) -> bytes:
@@ -183,6 +196,11 @@ class YcsbWorkload:
             self._chooser = cls(config.n_keys, config.theta, seed=seed)
         self._next_insert = config.n_keys
         self._op_serial = 0
+        # Per-op hot constants: the config properties re-derive these on
+        # every access (value_size even formats a key), so copy once.
+        self._fractions = config.fractions
+        self._value_size = config.value_size
+        self._n_keys = config.n_keys
 
     def load_keys(self) -> List[bytes]:
         """The keys preloaded before the measured run."""
@@ -193,14 +211,14 @@ class YcsbWorkload:
 
     def next_op(self) -> Tuple[str, bytes, Optional[bytes]]:
         """Returns ``(op, key, value)`` with op in search/update/insert."""
-        search_f, update_f, _insert_f = self.config.fractions
+        search_f, update_f, _insert_f = self._fractions
         r = self._rng.random()
         self._op_serial += 1
         if r < search_f:
             return "search", self._key(self._choose()), None
         if r < search_f + update_f:
             index = self._choose()
-            value = make_value(self.config.value_size,
+            value = make_value(self._value_size,
                                salt=index ^ self._op_serial)
             return "update", key_bytes(index), value
         index = self._next_insert
@@ -212,7 +230,7 @@ class YcsbWorkload:
     def _key(self, index: int) -> bytes:
         """Preloaded keys are global; fresh inserts (YCSB-D) are
         namespaced per client stream so concurrent clients never collide."""
-        if index < self.config.n_keys:
+        if index < self._n_keys:
             return key_bytes(index)
         return f"user{self._tag:05d}n{index:015d}".encode()
 

@@ -274,3 +274,37 @@ class TestRecoveryReport:
         report, _ = recover(cluster, client)
         # 1 insert + 25 updates + 1 crashed update = 27 allocations
         assert report.objects_visited >= 27
+
+
+class TestRecoverySpans:
+    """The Table-1 phases are tagged with nested tracer spans, so
+    ``repro profile`` can break down the recovery budget."""
+
+    def test_recovery_phases_emit_nested_tracer_spans(self):
+        from repro.obs import Tracer
+        tracer = Tracer()
+        cluster = FuseeCluster(small_config(), tracer=tracer)
+        client = crash_during_update(cluster, CrashPoint.C1)
+        report, _state = recover(cluster, client)
+        by_op = {span.op: span for span in tracer.spans}
+        parent = by_op["recover.client"]
+        scan = by_op["recover.metadata_scan"]
+        replay = by_op["recover.log_replay"]
+        # Children nest inside the parent recovery span, in phase order.
+        assert parent.start_us <= scan.start_us <= scan.end_us \
+            <= parent.end_us
+        assert parent.start_us <= replay.start_us <= replay.end_us \
+            <= parent.end_us
+        assert scan.end_us <= replay.start_us
+        # Fabric batches issued inside a phase land in that child span.
+        assert scan.rtts >= 1      # list-head READ
+        assert replay.rtts >= 1    # log-walk READs
+        # The replay span covers exactly the Table-1 traversal budget.
+        assert replay.end_us - replay.start_us == pytest.approx(
+            report.traverse_log_us)
+
+    def test_untraced_recovery_emits_no_spans(self):
+        cluster = FuseeCluster(small_config())
+        client = crash_during_update(cluster, CrashPoint.C1)
+        report, _state = recover(cluster, client)
+        assert report.traverse_log_us >= 0.0  # ran fine without a tracer

@@ -126,8 +126,11 @@ class TestTracerSpans:
         run(cluster, proc())
         span = tracer.last_span("recover.client")
         assert span is not None and span.ok
-        assert "recover.read_heads" in span.phases()
-        assert span.rtts > 0
+        # The read-heads phase lives on the nested metadata-scan span.
+        scan = tracer.last_span("recover.metadata_scan")
+        assert scan is not None and scan.ok
+        assert "recover.read_heads" in scan.phases()
+        assert scan.rtts > 0
 
     def test_clear_drops_recorded_data(self, traced):
         cluster, client, tracer = traced

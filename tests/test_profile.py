@@ -55,7 +55,8 @@ def profiled_ycsb_run(seed=7, duration_us=600.0, n_clients=4, plan=None,
     clients = [bed.new_client() for _ in range(n_clients)]
     run_closed_loop(bed.env, clients,
                     lambda index: YcsbWorkload(config, seed=seed + 1 + index),
-                    bed.execute, duration_us=duration_us)
+                    bed.execute, duration_us=duration_us,
+                    fast=False)
     return tracer, profiler
 
 

@@ -8,6 +8,7 @@ from repro.sim import (
     Environment,
     Interrupt,
     SimulationError,
+    kernel_mode,
 )
 
 
@@ -349,3 +350,234 @@ class TestConditions:
 
         proc_ev = env.process(proc())
         assert env.run(until=proc_ev) == [1, 2]
+
+
+class TestAnyOfEmpty:
+    """Regression: ``AnyOf([])`` must raise, never succeed with ``[]``.
+
+    With no children the condition could never legitimately fire, so an
+    empty waiter list is always a caller bug (a dynamically-built list
+    that came out empty).  Call-site audit at the time of the fix: every
+    dynamic waiter list in the tree (``fabric._replicate``, the check
+    scenarios, the recovery traffic tests) goes through ``all_of``,
+    which stays vacuously true — no caller constructs an ``AnyOf`` from
+    a possibly-empty list.
+    """
+
+    def test_empty_any_of_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.any_of([])
+
+    def test_empty_any_of_class_raises(self, env):
+        with pytest.raises(SimulationError):
+            AnyOf(env, [])
+
+    def test_empty_all_of_still_vacuously_true(self, env):
+        assert env.all_of([]).triggered
+
+
+# ======================================================================
+# Kernel conformance: fast path vs retained reference path
+# ======================================================================
+#
+# The fast drain loop (free-list pooling, packed heap keys, inlined
+# stepping) must be observationally identical to the reference kernel.
+# These properties execute random process graphs under both modes and
+# require the full execution logs to match exactly.
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+# Delays drawn from a small grid with duplicates, so simultaneous
+# events (the interesting ordering cases) are common.
+_DELAYS = st.sampled_from([0.0, 0.0, 0.5, 1.0, 1.0, 2.0, 3.5])
+
+_INSTR = st.one_of(
+    st.tuples(st.just("sleep"), _DELAYS),
+    st.tuples(st.just("signal"), st.integers(0, 3)),
+    st.tuples(st.just("wait"), st.integers(0, 3)),
+    st.tuples(st.just("interrupt"), st.integers(0, 4)),
+    st.tuples(st.just("anyof"), st.integers(0, 3), st.integers(0, 3)),
+    st.tuples(st.just("allof"), st.integers(0, 3), st.integers(0, 3)),
+)
+
+_PROGRAM = st.lists(st.lists(_INSTR, min_size=1, max_size=6),
+                    min_size=1, max_size=5)
+
+
+def _execute_program(mode, program):
+    """Interpret ``program`` (one instruction list per process) under the
+    given kernel mode; returns the full observable execution record."""
+    with kernel_mode(mode):
+        env = Environment()
+        shared = [env.event() for _ in range(4)]
+        log = []
+        procs = []
+
+        def runner(pid, instrs):
+            for idx, instr in enumerate(instrs):
+                op = instr[0]
+                try:
+                    if op == "sleep":
+                        yield env.timeout(instr[1])
+                    elif op == "signal":
+                        ev = shared[instr[1]]
+                        if not ev.triggered:
+                            ev.succeed((pid, idx))
+                    elif op == "wait":
+                        value = yield shared[instr[1]]
+                        log.append((pid, idx, env.now, "got", value))
+                    elif op == "interrupt":
+                        target = instr[1] % len(procs)
+                        if target != pid and procs[target].is_alive:
+                            try:
+                                procs[target].interrupt((pid, idx))
+                            except SimulationError:
+                                # not yet started: rejected by the kernel
+                                log.append((pid, idx, env.now, "rejected"))
+                    elif op == "anyof":
+                        value = yield env.any_of(
+                            [shared[instr[1]], shared[instr[2]]])
+                        log.append((pid, idx, env.now, "any", value))
+                    elif op == "allof":
+                        values = yield env.all_of(
+                            [shared[instr[1]], shared[instr[2]]])
+                        log.append((pid, idx, env.now, "all", values))
+                except Interrupt as exc:
+                    log.append((pid, idx, env.now, "interrupted",
+                                exc.args))
+                log.append((pid, idx, env.now, op))
+            return ("finished", pid)
+
+        for pid, instrs in enumerate(program):
+            procs.append(env.process(runner(pid, instrs), name=f"p{pid}"))
+        env.run()
+        outcomes = [(p.triggered, p.value if p.triggered else None)
+                    for p in procs]
+        return tuple(log), tuple(outcomes), env.now
+
+
+class TestKernelConformance:
+    @given(program=_PROGRAM)
+    @settings(max_examples=60, deadline=None)
+    def test_random_process_graphs_match_reference(self, program):
+        assert (_execute_program("fast", program)
+                == _execute_program("reference", program))
+
+    @given(delays=st.lists(_DELAYS, min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_is_time_then_insertion_stable(self, delays):
+        """Timeout firings are (time, priority, insertion)-stable: equal
+        deadlines resolve in creation order, under both kernels."""
+        def order(mode):
+            with kernel_mode(mode):
+                env = Environment()
+                fired = []
+                timeouts = [env.timeout(d, value=i)
+                            for i, d in enumerate(delays)]
+
+                def watcher(i, ev):
+                    yield ev
+                    fired.append((i, env.now))
+
+                for i, ev in enumerate(timeouts):
+                    env.process(watcher(i, ev), name=f"w{i}")
+                env.run()
+                return fired
+
+        expected = [(i, delays[i]) for i in
+                    sorted(range(len(delays)), key=lambda i: (delays[i], i))]
+        assert order("fast") == order("reference") == expected
+
+    @given(d_sleep=_DELAYS, d_int=_DELAYS)
+    @settings(max_examples=60, deadline=None)
+    def test_interrupt_vs_finish_race_matches_reference(self, d_sleep,
+                                                        d_int):
+        """Whatever an interrupt racing the victim's own finish resolves
+        to (including the d_int == d_sleep tie), both kernels agree."""
+        def run_race(mode):
+            with kernel_mode(mode):
+                env = Environment()
+                log = []
+
+                def victim():
+                    try:
+                        yield env.timeout(d_sleep)
+                        log.append(("done", env.now))
+                    except Interrupt as exc:
+                        log.append(("interrupted", env.now, exc.args))
+
+                def attacker(victim_proc):
+                    yield env.timeout(d_int)
+                    if victim_proc.is_alive:
+                        victim_proc.interrupt("bang")
+                    log.append(("attacked", env.now))
+
+                vp = env.process(victim(), name="victim")
+                env.process(attacker(vp), name="attacker")
+                env.run()
+                return log
+
+        assert run_race("fast") == run_race("reference")
+
+    @given(pre_run=st.floats(min_value=0.0, max_value=4.0),
+           child_delays=st.lists(_DELAYS, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_conditions_with_pre_processed_children(self, pre_run,
+                                                    child_delays):
+        """AnyOf/AllOf built after some children already fired behave
+        identically under both kernels."""
+        def run_cond(mode):
+            with kernel_mode(mode):
+                env = Environment()
+                children = [env.timeout(d, value=i)
+                            for i, d in enumerate(child_delays)]
+                if pre_run > 0.0:
+                    env.run(until=pre_run)  # some children fire here
+                log = []
+
+                def wait_all():
+                    values = yield env.all_of(children)
+                    log.append(("all", env.now, values))
+
+                def wait_any():
+                    value = yield env.any_of(children)
+                    log.append(("any", env.now, value))
+
+                env.process(wait_any(), name="any")
+                env.process(wait_all(), name="all")
+                env.run()
+                return log
+
+        assert run_cond("fast") == run_cond("reference")
+
+    @given(signal_first=st.booleans(), n_zeros=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_timeout_zero_vs_succeed_ordering(self, signal_first, n_zeros):
+        """Timeout(0) wakeups and direct succeed() wakeups interleave the
+        same way under both kernels (pure insertion order at t=0)."""
+        def run_zero(mode):
+            with kernel_mode(mode):
+                env = Environment()
+                ev = env.event()
+                log = []
+
+                def zero_sleeper(i):
+                    yield env.timeout(0.0)
+                    log.append(("t0", i, env.now))
+
+                def ev_waiter():
+                    value = yield ev
+                    log.append(("ev", value, env.now))
+
+                if signal_first:
+                    ev.succeed("sig")
+                for i in range(n_zeros):
+                    env.process(zero_sleeper(i), name=f"z{i}")
+                env.process(ev_waiter(), name="w")
+                if not signal_first:
+                    ev.succeed("sig")
+                env.run()
+                return log
+
+        assert run_zero("fast") == run_zero("reference")
