@@ -20,3 +20,13 @@ def test_fig19_replication_latency(benchmark, scale, record):
     # no-cache pays extra read RTTs on SEARCH/UPDATE/DELETE
     assert table[("fusee-nc", 2)][2] > table[("fusee", 2)][2]
     assert table[("fusee-nc", 2)][3] > table[("fusee", 2)][3]
+    # SWARM's conflict-free fast path saves the separate primary-commit
+    # RTT at every replica count (UPDATE and INSERT alike)...
+    assert table[("fusee-swarm", 2)][1] < table[("fusee", 2)][1]
+    assert table[("fusee-swarm", 4)][1] < table[("fusee", 4)][1]
+    assert table[("fusee-swarm", 2)][0] < table[("fusee", 2)][0]
+    # ...stays flat in the replica count like SNAPSHOT...
+    assert table[("fusee-swarm", 4)][1] < table[("fusee-swarm", 2)][1] * 1.10
+    # ...and leaves the read path untouched: timestamp validation rides
+    # the same single doorbell batch as the cached read
+    assert table[("fusee-swarm", 2)][2] == table[("fusee", 2)][2]

@@ -158,6 +158,7 @@ def cmd_ycsb(args) -> int:
                     nic_ports=args.nic_ports,
                     rpc_shards=args.rpc_shards,
                     port_affinity=args.port_affinity,
+                    replication=args.replication,
                     max_clients=max(256, args.clients + 8))
     config = YcsbConfig(workload=args.workload, n_keys=args.keys)
     seeder = YcsbWorkload(config, seed=args.seed)
@@ -211,7 +212,8 @@ def cmd_profile(args) -> int:
                           max_coalesce_width=args.coalesce_width,
                           nic_ports=args.nic_ports,
                           rpc_shards=args.rpc_shards,
-                          port_affinity=args.port_affinity)
+                          port_affinity=args.port_affinity,
+                          replication=args.replication)
     print(result.report())
     if args.out:
         with open(args.out, "w") as fh:
@@ -325,9 +327,19 @@ def cmd_faults(args) -> int:
     report = run_campaign(args.campaign, seed=args.seed,
                           retries=not args.no_retries,
                           clients=args.clients,
-                          ops_per_client=args.ops_per_client)
+                          ops_per_client=args.ops_per_client,
+                          replication=args.replication,
+                          index_replication=args.index_replication)
     print(report.render())
     return 0 if report.sound else 1
+
+
+def _add_replication_flag(parser, default=None) -> None:
+    from .core.replication import registered_protocols
+    parser.add_argument("--replication", default=default,
+                        choices=registered_protocols(),
+                        help="slot replication strategy (default: the "
+                             "variant's own — snapshot unless noted)")
 
 
 def _add_hotpath_flags(parser) -> None:
@@ -397,7 +409,9 @@ def main(argv=None) -> int:
     ycsb_parser.add_argument("--memory-nodes", type=int, default=2)
     ycsb_parser.add_argument("--replicas", type=int, default=2)
     ycsb_parser.add_argument("--variant", default="fusee",
-                             choices=("fusee", "fusee-cr", "fusee-nc"))
+                             choices=("fusee", "fusee-cr", "fusee-nc",
+                                      "fusee-swarm"))
+    _add_replication_flag(ycsb_parser)
     ycsb_parser.add_argument("--profile", action="store_true",
                              help="attribute span time (profiler) and "
                                   "print the latency breakdown")
@@ -437,6 +451,7 @@ def main(argv=None) -> int:
                                 metavar="OUT.json",
                                 help="write a Chrome trace with counter "
                                      "tracks")
+    _add_replication_flag(profile_parser)
     _add_hotpath_flags(profile_parser)
     profile_parser.set_defaults(func=cmd_profile)
 
@@ -474,6 +489,12 @@ def main(argv=None) -> int:
                                     "(negative control)")
     faults_parser.add_argument("--list", action="store_true",
                                help="list campaign names")
+    _add_replication_flag(faults_parser, default="snapshot")
+    faults_parser.add_argument("--index-replication", type=int, default=1,
+                               help="index replica count (capped at the "
+                                    "MN count); raise to exercise "
+                                    "multi-replica protocol paths under "
+                                    "faults (default: 1)")
     faults_parser.set_defaults(func=cmd_faults)
 
     args = parser.parse_args(argv)

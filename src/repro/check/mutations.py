@@ -21,10 +21,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict
 
 from ..core import client as client_mod
+from ..core import replication as replication_mod
 from ..core import snapshot as snapshot_mod
-from ..core.snapshot import Outcome, RuleDecision, WriteResult
+from ..core.snapshot import Outcome, ReadResult, RuleDecision, WriteResult
 from ..core.wire import OP_DELETE, unpack_slot
-from ..rdma import FAIL, CasOp
+from ..rdma import FAIL, CasOp, ReadOp, WriteOp
 
 __all__ = ["MUTATIONS", "MUTATION_SPECS", "MutationSpec"]
 
@@ -164,20 +165,210 @@ def drop_invalidation_write():
 
 @contextmanager
 def insert_skip_conflict_recheck():
-    """A losing inserter no longer reads the winner's KV block to check
-    whether the same key was inserted; it assumes a foreign key and moves
-    to the next empty slot, double-inserting the key."""
-    original = client_mod.FuseeClient._insert_conflict_recheck
+    """An inserter trusts its empty-slot CAS win unconditionally.
 
-    def mutated(self, key, meta, committed):
+    The insert path has two independent duplicate defenses: the
+    CAS-conflict recheck (a loser reads the winner's KV block before
+    moving to the next empty slot) and the post-install dedup sweep
+    (RACE's bucket re-read, catching two winners in *different* slots).
+    Each masks the other's absence in the common interleavings, so this
+    mutation strips both — modelling an insert path with no duplicate
+    detection at all, which double-inserts the key."""
+    original_recheck = client_mod.FuseeClient._insert_conflict_recheck
+    original_dedup = client_mod.FuseeClient._insert_dedup
+
+    def mutated_recheck(self, key, meta, committed):
         return False
         yield  # pragma: no cover — keeps this a generator like the original
 
-    client_mod.FuseeClient._insert_conflict_recheck = mutated
+    def mutated_dedup(self, key, meta, ref, prepared):
+        return True
+        yield  # pragma: no cover — keeps this a generator like the original
+
+    client_mod.FuseeClient._insert_conflict_recheck = mutated_recheck
+    client_mod.FuseeClient._insert_dedup = mutated_dedup
     try:
         yield
     finally:
-        client_mod.FuseeClient._insert_conflict_recheck = original
+        client_mod.FuseeClient._insert_conflict_recheck = original_recheck
+        client_mod.FuseeClient._insert_dedup = original_dedup
+
+
+# --------------------------------------------------------------------------
+# insert-skip-dedup-sweep — winner skips the post-install duplicate re-read
+# --------------------------------------------------------------------------
+
+@contextmanager
+def insert_skip_dedup_sweep():
+    """A winning inserter skips RACE's post-install bucket re-read.
+
+    The CAS-conflict recheck only fires when two inserters collide on the
+    *same* empty slot.  When a concurrent mutation (a DELETE freeing a
+    slot in a candidate bucket) shifts the bucket view between their
+    reads, the two inserters pick *different* empty slots, both CASes
+    succeed, and only the post-install sweep can notice the duplicate —
+    skipping it yields two ok=True inserts of one key."""
+    original = client_mod.FuseeClient._insert_dedup
+
+    def mutated(self, key, meta, ref, prepared):
+        return True
+        yield  # pragma: no cover — keeps this a generator like the original
+
+    client_mod.FuseeClient._insert_dedup = mutated
+    try:
+        yield
+    finally:
+        client_mod.FuseeClient._insert_dedup = original
+
+
+# --------------------------------------------------------------------------
+# swarm-skip-ts-validation — local reads without the timestamp check
+# --------------------------------------------------------------------------
+
+def _unvalidated_swarm_read(fabric, ref, rotation=0,
+                            max_validate_rounds=4):
+    """A SWARM read that trusts whatever its local replica holds.
+
+    Without comparing the local word to the primary's timestamp, a
+    reader pinned to a backup hands out whatever the backup happens to
+    hold — including a conflicting writer's *uncommitted* debris that
+    never reached the primary and that the validated read would have
+    rejected.  A returned value no write in the history ever committed
+    is non-linearizable by construction.
+    """
+    locations = ref.locations()
+    backups = [loc for loc in locations[1:]
+               if not fabric.node(loc[0]).crashed] or \
+        [loc for loc in locations if not fabric.node(loc[0]).crashed]
+    if not backups:
+        return ReadResult(value=None, from_backups=False, rtts=0)
+    now = fabric.env.now
+    chosen = min(
+        enumerate(backups),
+        key=lambda pair: (fabric.node(pair[1][0]).tx_backlog(now),
+                          (pair[0] + rotation) % len(backups)))[1]
+    comp = yield fabric.post_one(ReadOp(chosen[0], chosen[1], 8))
+    if comp.failed:
+        return ReadResult(value=None, from_backups=True, rtts=1)
+    return ReadResult(value=int.from_bytes(comp.value, "big"),
+                      from_backups=chosen != locations[0], rtts=1,
+                      validated=True)  # BUG: claimed, never checked
+
+
+@contextmanager
+def swarm_skip_ts_validation():
+    original = replication_mod.swarm_read
+    replication_mod.swarm_read = _unvalidated_swarm_read
+    try:
+        yield
+    finally:
+        replication_mod.swarm_read = original
+
+
+# --------------------------------------------------------------------------
+# swarm-early-ack — WIN acknowledged before every replica is written
+# --------------------------------------------------------------------------
+
+def _early_ack_swarm_write(fabric, ref, v_old, v_new, on_win=None,
+                           retry_sleep_us=2.0, max_fixup_rounds=8,
+                           phase_guard=None):
+    """A SWARM write that commits at the primary and hands the backup
+    CASes to a detached replicator: 'the broadcast is in flight, that's
+    as good as done'.
+
+    It is not: the write is acknowledged while every backup may still
+    hold the old value, so a primary crash strands the acked value —
+    the survivors unanimously report the *previous* round, which the
+    completed write forbids.
+    """
+    if v_old == v_new:
+        raise ValueError("out-of-place modification guarantees v_old != v_new")
+    locations = ref.locations()
+    primary_mn, primary_addr = locations[0]
+    comp = yield fabric.post_one(CasOp(primary_mn, primary_addr,
+                                       expected=v_old, swap=v_new))
+    rtts = 1
+    if comp.failed:
+        return WriteResult(Outcome.NEED_MASTER, v_old, v_new, None, rtts)
+    if not comp.cas_succeeded():
+        return WriteResult(Outcome.LOSE, v_old, v_new, comp.value, rtts)
+    if len(locations) > 1:
+        def _replicate_later():
+            yield fabric.post([CasOp(mn, addr, expected=v_old, swap=v_new)
+                               for mn, addr in locations[1:]],
+                              unsignaled=True)
+
+        # Fire-and-forget: the ack below does not wait for this process.
+        fabric.env.process(_replicate_later(), name="early-ack-replicator")
+    if on_win is not None:
+        yield from on_win(v_old)
+        rtts += 1
+    return WriteResult(Outcome.WIN_SWARM, v_old, v_new, v_new, rtts)
+
+
+@contextmanager
+def swarm_early_ack():
+    original = replication_mod.swarm_write
+    replication_mod.swarm_write = _early_ack_swarm_write
+    try:
+        yield
+    finally:
+        replication_mod.swarm_write = original
+
+
+# --------------------------------------------------------------------------
+# swarm-nonmonotonic-fixup — convergence by blind write, not guarded CAS
+# --------------------------------------------------------------------------
+
+def _blind_fixup_swarm_write(fabric, ref, v_old, v_new, on_win=None,
+                             retry_sleep_us=2.0, max_fixup_rounds=8,
+                             phase_guard=None):
+    """A SWARM write whose fixup overwrites divergent backups with a
+    plain RDMA_WRITE instead of the timestamp-guarded CAS.
+
+    The blind write cannot lose to a later round, so a delayed fixup
+    re-installs its stale value over a newer committed round's — the
+    replicas diverge at quiescence and chained readers see time move
+    backwards.
+    """
+    if v_old == v_new:
+        raise ValueError("out-of-place modification guarantees v_old != v_new")
+    locations = ref.locations()
+    if phase_guard is not None:
+        yield from phase_guard()
+    fabric.trace_phase("repl.swarm_broadcast")
+    comps = yield fabric.post([CasOp(mn, addr, expected=v_old, swap=v_new)
+                               for mn, addr in locations])
+    rtts = 1
+    if any(c.failed for c in comps):
+        return WriteResult(Outcome.NEED_MASTER, v_old, v_new, None, rtts)
+    if not comps[0].cas_succeeded():
+        return WriteResult(Outcome.LOSE, v_old, v_new, comps[0].value, rtts)
+    divergent = [loc for loc, comp in zip(locations[1:], comps[1:])
+                 if not comp.cas_succeeded()]
+    outcome = Outcome.WIN_SWARM_FIXUP if divergent else Outcome.WIN_SWARM
+    if divergent:
+        fabric.trace_phase("repl.swarm_fixup")
+        fix_comps = yield fabric.post(
+            [WriteOp(mn, addr, v_new.to_bytes(8, "big"))
+             for mn, addr in divergent])  # BUG: unguarded overwrite
+        rtts += 1
+        if any(c.failed for c in fix_comps):
+            return WriteResult(Outcome.NEED_MASTER, v_old, v_new, None, rtts)
+    if on_win is not None:
+        yield from on_win(v_old)
+        rtts += 1
+    return WriteResult(outcome, v_old, v_new, v_new, rtts)
+
+
+@contextmanager
+def swarm_nonmonotonic_fixup():
+    original = replication_mod.swarm_write
+    replication_mod.swarm_write = _blind_fixup_swarm_write
+    try:
+        yield
+    finally:
+        replication_mod.swarm_write = original
 
 
 # --------------------------------------------------------------------------
@@ -189,6 +380,10 @@ MUTATIONS: Dict[str, Callable] = {
     "reorder-replica-writes": reorder_replica_writes,
     "drop-invalidation-write": drop_invalidation_write,
     "insert-skip-conflict-recheck": insert_skip_conflict_recheck,
+    "insert-skip-dedup-sweep": insert_skip_dedup_sweep,
+    "swarm-skip-ts-validation": swarm_skip_ts_validation,
+    "swarm-early-ack": swarm_early_ack,
+    "swarm-nonmonotonic-fixup": swarm_nonmonotonic_fixup,
 }
 
 MUTATION_SPECS: Dict[str, MutationSpec] = {
@@ -221,5 +416,37 @@ MUTATION_SPECS: Dict[str, MutationSpec] = {
         max_decisions=32,
         description="losing inserter assumes the slot went to a foreign "
                     "key and double-inserts",
+    ),
+    "insert-skip-dedup-sweep": MutationSpec(
+        name="insert-skip-dedup-sweep",
+        scenario="cluster-insert-delete-race",
+        max_schedules=16384,   # catch ~330; clean exhausts ~9.8k (complete)
+        max_decisions=40,
+        description="winning inserter skips the post-install bucket "
+                    "re-read, missing a duplicate in a different slot",
+    ),
+    "swarm-skip-ts-validation": MutationSpec(
+        name="swarm-skip-ts-validation",
+        scenario="swarm-write-race",
+        max_schedules=32768,   # catch ~3.2k; clean exhausts ~25.4k
+        max_decisions=24,
+        description="swarm readers return the local replica's word "
+                    "without validating the primary timestamp",
+    ),
+    "swarm-early-ack": MutationSpec(
+        name="swarm-early-ack",
+        scenario="swarm-crash-read",
+        max_schedules=1024,    # catch ~16; clean exhausts ~150
+        max_decisions=24,
+        description="swarm writer acks after the primary CAS with the "
+                    "backup broadcast still in flight",
+    ),
+    "swarm-nonmonotonic-fixup": MutationSpec(
+        name="swarm-nonmonotonic-fixup",
+        scenario="swarm-write-chain",
+        max_schedules=2048,    # catch ~260; clean exhausts ~380
+        max_decisions=32,
+        description="swarm fixup blindly overwrites divergent backups, "
+                    "re-installing a stale round over a newer one",
     ),
 }

@@ -33,8 +33,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..core import replication as replication_mod
 from ..core import snapshot as snapshot_mod
 from ..core.addressing import RegionConfig
+from ..core.client import ClientConfig
 from ..core.kvstore import ClusterConfig, FuseeCluster
 from ..core.linearizability import (History, check_kv_linearizable,
                                     check_linearizable)
@@ -42,14 +44,17 @@ from ..core.race import RaceConfig, SlotRef
 from ..core.wire import FLAG_INVALID, SLOT_SIZE, unpack_slot
 from ..faults.model import CN, FaultInjector, FaultPlan, LinkFault, Partition
 from ..faults.retry import RetryPolicy
-from ..rdma import Fabric, FabricConfig, MemoryNode
+from ..rdma import CasOp, Fabric, FabricConfig, MemoryNode, ReadOp
 from ..sim import Environment, NicProfile
 from .history import LogicalClockTracer, kv_ops_from_spans
 from .scheduler import ControlledScheduler
 
 __all__ = ["SCENARIOS", "make_slot_write_race", "make_slot_crash_read",
-           "make_cluster_insert_race", "make_cluster_update_invalidate",
-           "make_slot_write_race_lossy", "make_cluster_partition_heal"]
+           "make_cluster_insert_race", "make_cluster_insert_delete_race",
+           "make_cluster_update_invalidate",
+           "make_slot_write_race_lossy", "make_cluster_partition_heal",
+           "make_swarm_write_race", "make_swarm_crash_read",
+           "make_swarm_write_chain", "make_cluster_swarm_race"]
 
 Scenario = Callable[[ControlledScheduler], Optional[str]]
 
@@ -245,6 +250,231 @@ def make_slot_write_race_lossy(writers: int = 2, replicas: int = 3) -> Scenario:
 
 
 # --------------------------------------------------------------------------
+# SWARM slot-level scenarios
+# --------------------------------------------------------------------------
+
+def make_swarm_write_race(writers: int = 2, readers: int = 2,
+                          replicas: int = 3) -> Scenario:
+    """Conflicting SWARM writers + timestamp-validated readers on one slot.
+
+    Each reader is pinned (via ``rotation``) to a different replica, and
+    a straggler plants one raw conflicting ``CAS(0 -> 77)`` on a backup
+    — a same-round competitor whose client died before reaching the
+    primary.  The debris value commits nowhere and is *absent from the
+    history*, so any read returning it is non-linearizable by
+    construction: the validated read rejects it against the primary's
+    timestamp word, while a reader that skips the validation hands it
+    straight to the caller.  Checks at quiescence: unique winner per
+    round, replica convergence whenever nobody escalated to the master,
+    and register linearizability of the whole read/write history.
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env, fabric, ref = _slot_world(sched, replicas)
+        history = History(initial_value=0)
+        results = {}
+
+        def straggler():
+            # Uncommitted loser debris; the round winner converges it.
+            mn, addr = ref.backups()[0]
+            yield env.timeout(0.0)
+            yield fabric.post_one(CasOp(mn, addr, expected=0, swap=77))
+
+        def writer(val: int):
+            invoked = sched.logical_clock()
+            res = yield from replication_mod.swarm_write(
+                fabric, ref, 0, val, retry_sleep_us=1.0)
+            results[val] = res
+            if res.outcome.won:
+                history.record("w", val, invoked, sched.logical_clock())
+            else:
+                # LOSE included: a swarm loser returns in 1 RTT without
+                # waiting out the round, so its invocation may postdate
+                # the winner's commit — pinning it "immediately before
+                # the winner" could fall outside its own window.  Its
+                # value is transient-or-nothing: a pending op.
+                history.record_pending("w", val, invoked)
+
+        def reader(rotation: int):
+            invoked = sched.logical_clock()
+            res = yield from replication_mod.swarm_read(
+                fabric, ref, rotation=rotation, max_validate_rounds=2)
+            if res.value is not None:
+                history.record("r", res.value, invoked,
+                               sched.logical_clock())
+
+        for i in range(writers):
+            env.process(writer(100 + i), name=f"writer-{i}")
+        env.process(straggler(), name="straggler")
+        for i in range(readers):
+            # rotation=i+1 spreads readers across distinct backups on an
+            # idle fabric (reader replicas-1 lands on the debris target).
+            env.process(reader(i + 1), name=f"reader-{i}")
+        env.run()
+
+        winners = sorted(v for v, r in results.items() if r.outcome.won)
+        if len(winners) > 1:
+            return (f"two swarm writers decided they won one round: "
+                    f"{winners} (the primary CAS admits one winner)")
+        if len(results) == writers and not winners:
+            return "no writer won although every writer completed"
+        if all(r.outcome is not snapshot_mod.Outcome.NEED_MASTER
+               for r in results.values()):
+            words = {mn: fabric.node(mn).read_word(0)
+                     for mn in range(replicas)}
+            if len(set(words.values())) > 1:
+                return f"replica divergence at quiescence: {words}"
+            if winners and words[0] != winners[0]:
+                return (f"winner installed {winners[0]} but replicas hold "
+                        f"{words[0]} at quiescence")
+        if not check_linearizable(history):
+            ops = [(op.kind, op.value, op.invoked, op.completed)
+                   for op in history.ops]
+            return f"swarm history not linearizable as a register: {ops}"
+        return None
+
+    return scenario
+
+
+def make_swarm_crash_read(replicas: int = 3) -> Scenario:
+    """One SWARM writer, one reader, and a primary-replica crash.
+
+    The crash is schedulable at every protocol point.  The writer's
+    broadcast must cover *all* replicas before it acknowledges: an
+    early-ack write (primary only, backups fire-and-forget) lets the
+    reader observe the new value from the primary, lose the primary to
+    the crash, and then read the unanimous-stale backups — new-then-old,
+    which no register linearization admits.  (Single writer on purpose:
+    degraded backup-unanimity reads are only sound without a concurrent
+    multi-writer conflict.)
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env, fabric, ref = _slot_world(sched, replicas)
+        history = History(initial_value=0)
+
+        def writer():
+            invoked = sched.logical_clock()
+            res = yield from replication_mod.swarm_write(
+                fabric, ref, 0, 100, retry_sleep_us=1.0)
+            if res.outcome.won:
+                history.record("w", 100, invoked, sched.logical_clock())
+            else:
+                history.record_pending("w", 100, invoked)
+
+        def reader():
+            for _ in range(2):
+                invoked = sched.logical_clock()
+                res = yield from replication_mod.swarm_read(fabric, ref)
+                if res.value is not None:
+                    history.record("r", res.value, invoked,
+                                   sched.logical_clock())
+
+        def crasher():
+            yield env.timeout(0.0)
+            fabric.node(ref.primary()[0]).crash()
+
+        env.process(writer(), name="writer")
+        env.process(reader(), name="reader")
+        env.process(crasher(), name="crasher")
+        env.run()
+
+        if not check_linearizable(history):
+            ops = [(op.kind, op.value, op.invoked, op.completed)
+                   for op in history.ops]
+            return (f"swarm crash-read history not linearizable as a "
+                    f"register: {ops}")
+        return None
+
+    return scenario
+
+
+def make_swarm_write_chain(replicas: int = 3) -> Scenario:
+    """A SWARM writer, a stranded conflicting backup CAS, and a chained
+    round-2 writer.
+
+    The straggler posts one raw ``CAS(0 -> 101)`` to the first backup —
+    a conflicting same-round writer whose client died before reaching
+    the primary.  Its debris forces the winner's broadcast to return a
+    divergent backup, so the *fixup* path actually runs (a doorbell
+    batch applies atomically in this world, so racing whole broadcasts
+    can never diverge on their own).  The chained writer reads the
+    primary and CASes from whatever round it observed, letting a
+    round-1 fixup race a round-2 commit.  The clean fixup re-reads the
+    primary before every CAS round and abandons once it moved past its
+    own value; a non-monotonic (blind-write) fixup re-installs the
+    stale round over the newer committed one and the replicas diverge
+    at quiescence.
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env, fabric, ref = _slot_world(sched, replicas)
+        history = History(initial_value=0)
+        results = []
+
+        def writer(val: int):
+            invoked = sched.logical_clock()
+            res = yield from replication_mod.swarm_write(
+                fabric, ref, 0, val, retry_sleep_us=1.0)
+            results.append((0, val, res))
+            if res.outcome.won:
+                history.record("w", val, invoked, sched.logical_clock())
+            else:
+                history.record_pending("w", val, invoked)
+
+        def straggler():
+            # An uncommitted loser word: never reaches the primary, so no
+            # read path may ever return it — it is deliberately *not* in
+            # the history.  Whoever wins the slot owns converging it away.
+            mn, addr = ref.backups()[0]
+            yield env.timeout(0.0)
+            yield fabric.post_one(CasOp(mn, addr, expected=0, swap=101))
+
+        def chained(val: int):
+            invoked = sched.logical_clock()
+            primary_mn, primary_addr = ref.primary()
+            comp = yield fabric.post_one(ReadOp(primary_mn, primary_addr, 8))
+            observed = int.from_bytes(comp.value, "big")
+            history.record("r", observed, invoked, sched.logical_clock())
+            invoked = sched.logical_clock()
+            res = yield from replication_mod.swarm_write(
+                fabric, ref, observed, val, retry_sleep_us=1.0)
+            results.append((observed, val, res))
+            if res.outcome.won:
+                history.record("w", val, invoked, sched.logical_clock())
+            else:
+                history.record_pending("w", val, invoked)
+
+        env.process(writer(100), name="writer-0")
+        env.process(straggler(), name="straggler")
+        env.process(chained(200), name="chained")
+        env.run()
+
+        rounds: Dict[int, List] = {}
+        for v_old, v_new, res in results:
+            if res.outcome.won:
+                rounds.setdefault(v_old, []).append(v_new)
+        for v_old, winners in rounds.items():
+            if len(winners) > 1:
+                return (f"round v_old={v_old} has {len(winners)} winners: "
+                        f"{sorted(winners)}")
+        if all(res.outcome is not snapshot_mod.Outcome.NEED_MASTER
+               for _o, _n, res in results):
+            words = {mn: fabric.node(mn).read_word(0)
+                     for mn in range(replicas)}
+            if len(set(words.values())) > 1:
+                return (f"replica divergence at quiescence (a stale fixup "
+                        f"clobbered a later round): {words}")
+        if not check_linearizable(history):
+            ops = [(op.kind, op.value, op.invoked, op.completed)
+                   for op in history.ops]
+            return f"chained swarm history not linearizable: {ops}"
+        return None
+
+    return scenario
+
+
+# --------------------------------------------------------------------------
 # Cluster-level scenarios
 # --------------------------------------------------------------------------
 
@@ -323,6 +553,47 @@ def make_cluster_insert_race() -> Scenario:
         # scheduler is still installed, so these run hook-aware.
         cluster.run_op(c1.delete(key), fast=False)
         cluster.run_op(c2.search(key), fast=False)
+        violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+        return str(violation) if violation is not None else None
+
+    return scenario
+
+
+def make_cluster_insert_delete_race() -> Scenario:
+    """Two concurrent INSERTs of one key racing a DELETE of a bucket
+    neighbour.
+
+    The CAS-conflict recheck only defends the *same-slot* collision.
+    Here the DELETE frees a slot inside the contended key's candidate
+    buckets mid-race, shifting the bucket-load tiebreak between the two
+    inserters' reads: they pick **different** empty slots, both empty-slot
+    CASes succeed, and only the post-install dedup sweep (RACE's bucket
+    re-read + master arbitration) can catch the duplicate.  Checked at
+    quiescence (at most one index slot holds the key) and over the whole
+    span history with the KV linearizability checker.
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env = Environment()
+        tracer = LogicalClockTracer(sched.logical_clock, env=env)
+        cluster = FuseeCluster(_small_cluster_config(), env=env,
+                               tracer=tracer)
+        c1, c2, c3 = (cluster.new_client() for _ in range(3))
+        victim, key = b"ck-0", b"ck-2"   # overlapping candidate buckets
+        cluster.run_op(c1.insert(victim, b"seed"))
+        cluster.run_op(c2.insert(b"warmup-2", b"x"))
+        cluster.run_op(c3.insert(b"warmup-3", b"x"))
+
+        env.set_scheduler(sched)
+        p1 = env.process(c1.delete(victim), name="delete-victim")
+        p2 = env.process(c2.insert(key, b"value-one"), name="insert-1")
+        p3 = env.process(c3.insert(key, b"value-two"), name="insert-2")
+        env.run(until=env.all_of([p1, p2, p3]))
+
+        slots = _key_slot_words(cluster, key)
+        if len(slots) > 1:
+            return (f"duplicate insert: key occupies {len(slots)} index "
+                    f"slots {[hex(w) for w in slots]}")
         violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
         return str(violation) if violation is not None else None
 
@@ -424,6 +695,44 @@ def make_cluster_partition_heal() -> Scenario:
     return scenario
 
 
+def make_cluster_swarm_race() -> Scenario:
+    """A SWARM-replicated cluster: concurrent UPDATEs racing a SEARCH.
+
+    The full client stack (index walk, cache, allocator, embedded log)
+    running on the ``swarm`` strategy: two clients update one key while
+    a third searches it, followed by a sequential search epilogue.  The
+    whole span history must be KV-linearizable — the cluster-level
+    proof that the 1-RTT broadcast write plugs into FUSEE's seams
+    without reordering anybody's view of the key.
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        import dataclasses
+        env = Environment()
+        tracer = LogicalClockTracer(sched.logical_clock, env=env)
+        config = dataclasses.replace(
+            _small_cluster_config(),
+            client=ClientConfig(replication_mode="swarm"))
+        cluster = FuseeCluster(config, env=env, tracer=tracer)
+        c1, c2, c3 = (cluster.new_client() for _ in range(3))
+        key = b"swarm-key"
+        cluster.run_op(c1.insert(key, b"old-value"))
+
+        env.set_scheduler(sched)
+        p1 = env.process(c1.update(key, b"new-value-1"), name="update-1")
+        p2 = env.process(c2.update(key, b"new-value-2"), name="update-2")
+        p3 = env.process(c3.search(key), name="search")
+        env.run(until=env.all_of([p1, p2, p3]))
+
+        # Epilogue on the quiesced cluster (scheduler still installed):
+        # the final value must be one the history can explain.
+        cluster.run_op(c3.search(key), fast=False)
+        violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+        return str(violation) if violation is not None else None
+
+    return scenario
+
+
 # --------------------------------------------------------------------------
 # Registry
 # --------------------------------------------------------------------------
@@ -432,7 +741,12 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "slot-write-race": make_slot_write_race,
     "slot-write-race-lossy": make_slot_write_race_lossy,
     "slot-crash-read": make_slot_crash_read,
+    "swarm-write-race": make_swarm_write_race,
+    "swarm-crash-read": make_swarm_crash_read,
+    "swarm-write-chain": make_swarm_write_chain,
     "cluster-insert-race": make_cluster_insert_race,
+    "cluster-insert-delete-race": make_cluster_insert_delete_race,
     "cluster-update-invalidate": make_cluster_update_invalidate,
     "cluster-partition-heal": make_cluster_partition_heal,
+    "cluster-swarm-race": make_cluster_swarm_race,
 }

@@ -23,14 +23,17 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..rdma import Fabric, ReadOp, TIMEOUT, WriteOp
+from ..rdma import CasOp, Fabric, ReadOp, TIMEOUT, WriteOp
 from .addressing import RegionMap
 from .cache import AdaptiveIndexCache, CacheEntry
 from .memory import AllocResult, ClientAllocator, ClientTable
 from .oplog import clear_used_ops, commit_old_value_ops, entry_for_alloc
 from .race import IndexFullError, KeyMeta, RaceHashing, SlotRef
 from .readpolicy import READ_SPREAD_MODES, ReplicaReadPolicy
-from .snapshot import Outcome, snapshot_write, sequential_write
+from .replication import create_protocol, validate_replication_mode
+# snapshot_write/sequential_write are re-exported for backwards
+# compatibility (repro.check.mutations patches them by name here too).
+from .snapshot import Outcome, snapshot_write, sequential_write  # noqa: F401
 from .wire import (
     FLAG_INVALID,
     LOG_ENTRY_SIZE,
@@ -65,7 +68,10 @@ class CrashPoint(str, enum.Enum):
 class ClientConfig:
     """Behavioural switches; defaults are full FUSEE."""
 
-    replication_mode: str = "snapshot"  # "snapshot" | "sequential" (FUSEE-CR)
+    # Slot-replication strategy, resolved against the protocol registry
+    # in repro.core.replication: "snapshot" (default), "sequential"
+    # (FUSEE-CR) or "swarm" (1-RTT in-place broadcast writes).
+    replication_mode: str = "snapshot"
     cache_enabled: bool = True          # False => FUSEE-NC
     cache_capacity: int = 1 << 16
     cache_threshold: float = 0.5        # adaptive bypass threshold (Fig. 16)
@@ -84,9 +90,7 @@ class ClientConfig:
     read_suspect_window_us: float = 500.0
 
     def __post_init__(self):
-        if self.replication_mode not in ("snapshot", "sequential"):
-            raise ValueError(f"unknown replication mode "
-                             f"{self.replication_mode!r}")
+        validate_replication_mode(self.replication_mode)
         if self.read_spread not in READ_SPREAD_MODES:
             raise ValueError(f"unknown read_spread {self.read_spread!r}; "
                              f"pick from {READ_SPREAD_MODES}")
@@ -171,6 +175,8 @@ class FuseeClient:
         self.read_policy = ReplicaReadPolicy(
             fabric, mode=self.config.read_spread, cid=cid,
             suspect_window_us=self.config.read_suspect_window_us)
+        self.protocol = create_protocol(self.config.replication_mode,
+                                        cid=cid)
         self.stats = ClientStats()
         self.crashed = False
         self._crash_point: Optional[CrashPoint] = None
@@ -340,14 +346,10 @@ class FuseeClient:
         on_win = None
         if prepared is not None and len(ref.placement) > 1:
             on_win = self._log_committer(prepared)
-        if self.config.replication_mode == "sequential":
-            result = yield from sequential_write(self.fabric, ref, v_old,
-                                                 v_new, on_win=on_win)
-        else:
-            result = yield from snapshot_write(
-                self.fabric, ref, v_old, v_new, on_win=on_win,
-                retry_sleep_us=self.config.retry_sleep_us,
-                phase_guard=lambda: self._wait_if_blocked(ref.subtable))
+        result = yield from self.protocol.write(
+            self.fabric, ref, v_old, v_new, on_win=on_win,
+            retry_sleep_us=self.config.retry_sleep_us,
+            phase_guard=lambda: self._wait_if_blocked(ref.subtable))
         self._maybe_crash(CrashPoint.C3)
         self.stats.count_outcome(result.outcome)
         return result
@@ -709,11 +711,20 @@ class FuseeClient:
                                                        prepared.slot_word,
                                                        prepared)
             if result.outcome.won:
+                kept = yield from self._insert_dedup(key, meta, ref, prepared)
+                if not kept:
+                    self._discard_object(prepared.alloc, OP_INSERT)
+                    return OpResult(ok=False, existed=True)
                 self.cache.store(key, ref, prepared.slot_word)
                 return OpResult(ok=True, outcome=result.outcome)
             if result.outcome is Outcome.NEED_MASTER:
                 resolved = yield from self._escalate(ref, 0)
                 if resolved == prepared.slot_word:
+                    kept = yield from self._insert_dedup(key, meta, ref,
+                                                         prepared)
+                    if not kept:
+                        self._discard_object(prepared.alloc, OP_INSERT)
+                        return OpResult(ok=False, existed=True)
                     self.cache.store(key, ref, prepared.slot_word)
                     return OpResult(ok=True, outcome=result.outcome)
                 # fall through: treat like a lost round on this slot
@@ -740,6 +751,97 @@ class FuseeClient:
                 empties = list(view.empties)
         self._discard_object(prepared.alloc, OP_INSERT)
         return OpResult(ok=False, error="retries exhausted")
+
+    def _insert_dedup(self, key: bytes, meta: KeyMeta, ref: SlotRef,
+                      prepared: _PreparedKv):
+        """Post-install duplicate sweep — RACE's insert re-read check
+        (generator; returns True to keep the slot, False after conceding).
+
+        Winning an *empty-slot CAS* is not enough to rule out a duplicate:
+        two inserters of the same key can pick **different** empty slots
+        when a concurrent mutation (e.g. a DELETE freeing a slot in a
+        candidate bucket) shifts the bucket view between their reads, so
+        neither the fingerprint pre-check nor the CAS-conflict recheck
+        fires and both CASes succeed.  The cross-protocol linearizability
+        suite (``tests/test_model_based.py``) finds exactly this under
+        every replication strategy.
+
+        So, like RACE hashing's published insert, every winner re-reads its
+        candidate buckets before returning.  A clean re-read (no foreign
+        copy of the key) keeps the slot — and because any later duplicate
+        winner's own re-read necessarily *sees us*, at most one inserter
+        per episode gets a clean re-read.  An observer of a foreign copy
+        escalates to the master, which serialises the verdicts
+        (:meth:`repro.core.master.Master.arbitrate_insert`): last one
+        standing wins, everyone else invalidates its object and zeroes its
+        slot — batched in one post, so readers never see a committed
+        duplicate.
+        """
+        self.fabric.trace_phase("insert.dedup_check")
+        view = yield from self._read_buckets(meta)
+        if view is None:
+            # Bucket read failed (primary crashed mid-failover): keep the
+            # slot; the master's subtable repair owns consistency now.
+            return True
+        own_id = (ref.subtable, ref.slot_index)
+        reads, usable = [], []
+        for snap in view.matches:
+            if (snap.ref.subtable, snap.ref.slot_index) == own_id:
+                continue
+            op = self._kv_read_op(snap.slot.pointer, snap.slot.block_bytes)
+            if op is not None:
+                reads.append(op)
+                usable.append(snap)
+        foreigns = []
+        if reads:
+            self.fabric.trace_phase("insert.dedup_match_read")
+            comps = yield self.fabric.post(reads)
+            for snap, comp in zip(usable, comps):
+                if comp.failed:
+                    continue
+                try:
+                    header, kv_key, _v = decode_kv_payload(comp.value)
+                except ValueError:
+                    continue
+                # Invalidation-marked copies are already mid-concession
+                # (or mid-replacement); they never reach a reader.
+                if kv_key == key and not header.invalid:
+                    foreigns.append(snap)
+        if not foreigns:
+            return True
+        if self.master is None:
+            # No arbiter: deterministic position rule.  Sound only when
+            # every contender observes the other, which the master rule
+            # does not require — master-less deployments are single-writer.
+            verdict = ("win" if own_id < min(
+                (s.ref.subtable, s.ref.slot_index) for s in foreigns)
+                else "concede")
+        else:
+            verdict = yield from self._master_rpc(
+                "arbitrate_insert",
+                lambda token: self.master.arbitrate_insert(
+                    key, own=own_id + (prepared.slot_word,),
+                    foreigns=[(s.ref.subtable, s.ref.slot_index, s.word)
+                              for s in foreigns],
+                    token=token))
+            if verdict is _UNAVAILABLE:
+                return True
+        if verdict == "win":
+            doomed = foreigns
+            clear = [(self.race.slot_ref(s.ref.subtable, s.ref.slot_index),
+                      s.word) for s in doomed]
+        else:
+            clear = [(ref, prepared.slot_word)]
+        ops = []
+        for slot_ref, word in clear:
+            ops.extend(self._invalidate_object_ops(word))
+            for mn_id, addr in slot_ref.locations():
+                if not self.fabric.node(mn_id).crashed:
+                    ops.append(CasOp(mn_id, addr, expected=word, swap=0))
+        if ops:
+            self.fabric.trace_phase("insert.dedup_clear")
+            yield self.fabric.post(ops)
+        return verdict == "win"
 
     def _insert_conflict_recheck(self, key: bytes, meta: KeyMeta,
                                  committed: Optional[int]):
@@ -877,7 +979,7 @@ class FuseeClient:
                 self._retry()
                 continue
             if result.outcome in (Outcome.LOSE, Outcome.FINISH):
-                if self.config.replication_mode == "sequential":
+                if self.protocol.retry_on_lose:
                     # FUSEE-CR serializes: a lost CAS means retry the op.
                     refreshed = yield from self._refresh_v_old(key, meta, ref)
                     if refreshed is _UNAVAILABLE:

@@ -95,9 +95,12 @@ class FuseeCluster:
         self._build_index()
         self._build_client_table()
         self._build_allocators()
+        from .replication import create_protocol
         self.master = Master(self.env, self.fabric, self.region_map,
                              self.race, self.client_table, self.size_classes,
-                             cfg.master)
+                             cfg.master,
+                             replication=create_protocol(
+                                 cfg.client.replication_mode))
         self.master.subtable_allocator = self._allocate_subtable
         self.master.start()
         self._cids = itertools.count(1)

@@ -123,7 +123,10 @@ class Master:
     def __init__(self, env: Environment, fabric: Fabric,
                  region_map: RegionMap, race: RaceHashing,
                  client_table: ClientTable, size_classes: List[int],
-                 config: Optional[MasterConfig] = None):
+                 config: Optional[MasterConfig] = None,
+                 replication=None):
+        from .replication import create_protocol
+
         self.env = env
         self.fabric = fabric
         self.region_map = region_map
@@ -131,6 +134,11 @@ class Master:
         self.client_table = client_table
         self.size_classes = size_classes
         self.config = config or MasterConfig()
+        # The cluster's slot-replication strategy: subtable repair defers
+        # its divergent-word choice to the protocol (SNAPSHOT prefers
+        # backups, SWARM the primary — see ReplicationProtocol.
+        # repair_choice).  Defaults to the paper's SNAPSHOT.
+        self.replication = replication or create_protocol("snapshot")
         self.cpu = Resource(env, capacity=self.config.cpu_cores,
                             label="master.cpu")
         self.epoch = 0
@@ -146,6 +154,11 @@ class Master:
         self.fault_injector = None
         self.rpc_dedup_hits = 0
         self._rpc_results: "OrderedDict[int, tuple]" = OrderedDict()
+        # Insert-duplicate arbitration (RACE's post-install re-read check):
+        # per key, the (subtable, slot_index) -> word of every slot whose
+        # owner has conceded this episode.  See ``arbitrate_insert``.
+        self.insert_arbitrations = 0
+        self._insert_conceded: "OrderedDict[bytes, Dict[Tuple[int, int], int]]" = OrderedDict()
 
     def _dedup_call(self, token: Optional[int], call):
         """Run a client-RPC generator at most once per token (generator)."""
@@ -209,8 +222,10 @@ class Master:
             tracer.end_span(span, ok=True, outcome="reconfigured")
 
     def _repair_subtable(self, subtable: int):
-        """Make all alive replicas of a subtable identical, preferring
-        backup values (they are never older than the committed primary)."""
+        """Make all alive replicas of a subtable identical; which word
+        wins a disagreement is the replication protocol's call (SNAPSHOT:
+        a backup, never older than the committed primary; SWARM: the
+        primary, the commit point — backups may hold loser values)."""
         placement = self.race.placement(subtable)
         alive = [(mn, base) for mn, base in placement
                  if not self.fabric.node(mn).crashed]
@@ -233,9 +248,7 @@ class Master:
             if len(set(words)) == 1:
                 resolved[lo:hi] = arrays[0][lo:hi]
                 continue
-            # Disagreement: pick the first alive *backup* value; fall back
-            # to the primary only when no backup survived.
-            choice_idx = 1 if (primary_alive and len(words) > 1) else 0
+            choice_idx = self.replication.repair_choice(words, primary_alive)
             chosen = words[choice_idx]
             resolved[lo:hi] = chosen.to_bytes(8, "big")
             old = words[0] if primary_alive else chosen
@@ -404,6 +417,64 @@ class Master:
         # 5. publish the new directory
         self.race.commit_split(old, new_id, directory, new_placement)
         return True
+
+    # ------------------------------------------------- insert deduplication
+    def arbitrate_insert(self, key: bytes, own, foreigns,
+                         token: Optional[int] = None):
+        """Client RPC: resolve a duplicate-insert race (generator).
+
+        Two inserters of the same key can win *different* empty slots when
+        a concurrent mutation shifts the bucket view between their reads —
+        no CAS ever collides, so only the post-install re-read (RACE's
+        duplicate check) notices.  The observer reports its own installed
+        slot and every foreign same-key slot it saw; the master serialises
+        the verdicts with a last-man-standing rule:
+
+        * if any reported foreign slot has **not** conceded yet, the caller
+          concedes — its foreign set must include either a clean inserter
+          (one whose own re-read predates every other install, hence may
+          already have returned success; there is at most one, because two
+          clean re-reads would each have to precede the other's install)
+          or a not-yet-resolved peer that will escalate in turn;
+        * if every reported foreign has already conceded, the caller is the
+          last one standing and keeps its slot.
+
+        Returns ``"win"`` (keep the slot; the caller clears the conceded
+        foreign slots before returning success) or ``"concede"`` (the
+        caller invalidates its own object, zeroes its own slot, and reports
+        the key as already present).  The decision below is a single
+        synchronous step, so concurrent escalations cannot interleave
+        inside it.
+        """
+        return (yield from self._dedup_call(
+            token, self._arbitrate_insert(key, tuple(own),
+                                          [tuple(f) for f in foreigns])))
+
+    def _arbitrate_insert(self, key: bytes, own, foreigns):
+        yield self.env.timeout(self.config.rpc_one_way_us)
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.env.timeout(self.config.rpc_service_us)
+        finally:
+            req.release()
+        self.insert_arbitrations += 1
+        conceded = self._insert_conceded.setdefault(key, {})
+        self._insert_conceded.move_to_end(key)
+        if all(conceded.get((st, idx)) == word for st, idx, word in foreigns):
+            # Every foreign already conceded (and was cleared): last one
+            # standing.  Drop the episode's state so a later re-insert of
+            # the key (after a delete) can never match stale concessions.
+            del self._insert_conceded[key]
+            verdict = "win"
+        else:
+            st, idx, word = own
+            conceded[(st, idx)] = word
+            verdict = "concede"
+            if len(self._insert_conceded) > 1024:
+                self._insert_conceded.popitem(last=False)
+        yield self.env.timeout(self.config.rpc_one_way_us)
+        return verdict
 
     # ------------------------------------------------------------ fail_query
     def fail_query(self, ref: SlotRef, v_old: int,

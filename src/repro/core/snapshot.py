@@ -60,13 +60,19 @@ class Outcome(enum.Enum):
     WIN_RULE1 = "rule1"
     WIN_RULE2 = "rule2"
     WIN_RULE3 = "rule3"
+    # SWARM strategy wins (repro.core.replication): the broadcast CAS won
+    # the primary — conflict-free in 1 RTT, or after backup fix-up.
+    WIN_SWARM = "swarm"
+    WIN_SWARM_FIXUP = "swarm_fixup"
     LOSE = "lose"          # another writer won; our write linearized before it
     FINISH = "finish"      # round already committed when Rule 3 was checked
     NEED_MASTER = "need_master"  # a replica failed; escalate (Algorithm 4)
 
     @property
     def won(self) -> bool:
-        return self in (Outcome.WIN_RULE1, Outcome.WIN_RULE2, Outcome.WIN_RULE3)
+        return self in (Outcome.WIN_RULE1, Outcome.WIN_RULE2,
+                        Outcome.WIN_RULE3, Outcome.WIN_SWARM,
+                        Outcome.WIN_SWARM_FIXUP)
 
     @property
     def completed(self) -> bool:
@@ -100,6 +106,10 @@ class ReadResult:
     value: Optional[int]   # None when escalation to the master is required
     from_backups: bool
     rtts: int
+    # SWARM reads only: did the least-loaded local replica's word match
+    # the primary's timestamp word (None for protocols without local
+    # read validation)?
+    validated: Optional[bool] = None
 
 
 def evaluate_rules(v_list: List[object], v_new: int,

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.addressing import RegionConfig
+from ..core.client import ClientConfig
 from ..core.kvstore import ClusterConfig, FuseeCluster
 from ..core.race import RaceConfig
 from ..obs import Tracer
@@ -188,13 +189,16 @@ class CampaignReport:
 # The campaign driver
 # --------------------------------------------------------------------------
 def _small_cluster(n_mns: int, tracer=None, nic_ports: int = 1,
-                   rpc_shards: int = 1) -> FuseeCluster:
+                   rpc_shards: int = 1,
+                   replication: str = "snapshot",
+                   index_replication: int = 1) -> FuseeCluster:
     config = ClusterConfig(
         n_memory_nodes=n_mns,
         replication_factor=min(2, n_mns),
-        index_replication=1,
+        index_replication=min(index_replication, n_mns),
         region=RegionConfig(region_size=1 << 18, block_size=1 << 13),
         race=RaceConfig(n_subtables=4, n_groups=32, slots_per_bucket=7),
+        client=ClientConfig(replication_mode=replication),
         nic_ports=nic_ports,
         rpc_shards=rpc_shards,
     )
@@ -207,7 +211,9 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
                  retry: Optional[RetryPolicy] = None,
                  plan: Optional[FaultPlan] = None,
                  n_mns: int = 3, nic_ports: int = 1,
-                 rpc_shards: int = 1) -> CampaignReport:
+                 rpc_shards: int = 1,
+                 replication: str = "snapshot",
+                 index_replication: int = 1) -> CampaignReport:
     """Run one fault campaign and verify its end state.
 
     ``retries=False`` swaps in :data:`~repro.faults.retry.NO_RETRY` —
@@ -215,14 +221,21 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
     An explicit ``plan`` overrides the named one (used by the Hypothesis
     property tests).  ``nic_ports``/``rpc_shards`` size each MN's
     multi-queue NIC and sharded RPC service, so campaigns can target
-    port-scoped faults (``Partition(port=...)`` etc.).
+    port-scoped faults (``Partition(port=...)`` etc.).  ``replication``
+    selects the slot replication strategy the clients run under faults
+    ("snapshot" | "sequential" | "swarm"), and ``index_replication`` the
+    index replica count (capped at ``n_mns``) — raise it so multi-replica
+    protocol machinery (broadcasts, fixups, validated reads) actually
+    runs under the fault plan.
     """
     if plan is None:
         plan = campaign_plan(name, n_mns, seed)
     if retry is None:
         retry = RetryPolicy() if retries else NO_RETRY
     cluster = _small_cluster(n_mns, nic_ports=nic_ports,
-                             rpc_shards=rpc_shards)
+                             rpc_shards=rpc_shards,
+                             replication=replication,
+                             index_replication=index_replication)
     env = cluster.env
 
     # ---- preload on a clean fabric (not part of the checked history)

@@ -532,9 +532,14 @@ def fig17_allocation(scale: Optional[Scale] = None) -> ExperimentResult:
 def fig18_replication_throughput(scale: Optional[Scale] = None,
                                  factors: Sequence[int] = (1, 2, 3),
                                  workloads: Sequence[str] = ("A", "B",
-                                                             "C", "D")
+                                                             "C", "D"),
+                                 replication: Optional[str] = None
                                  ) -> ExperimentResult:
-    """Fig. 18: FUSEE YCSB throughput vs replication factor."""
+    """Fig. 18: FUSEE YCSB throughput vs replication factor.
+
+    ``replication`` selects the slot replication strategy ("snapshot"
+    default; "sequential" and "swarm" turn this into the shoot-out bed).
+    """
     scale = scale or Scale.bench()
     rows = []
     for r in factors:
@@ -543,12 +548,14 @@ def fig18_replication_throughput(scale: Optional[Scale] = None,
             bed = _loaded_bed(lambda: fusee_bed(
                 n_memory_nodes=max(3, r),
                 replication_factor=r, index_replication=r,
-                dataset_bytes=scale.n_keys * scale.kv_size), scale)
+                dataset_bytes=scale.n_keys * scale.kv_size,
+                replication=replication), scale)
             result = _run_ycsb(bed, scale, workload)
             row.append(result.mops)
         rows.append(row)
     return ExperimentResult(
-        "fig18", "FUSEE YCSB throughput vs replication factor",
+        "fig18", "FUSEE YCSB throughput vs replication factor"
+        + (f" [{replication}]" if replication else ""),
         ["r"] + [f"ycsb_{w.lower()}_mops" for w in workloads], rows,
         notes="expect A/B drop with r, D slightly, C flat (paper Fig. 18)")
 
@@ -557,9 +564,15 @@ def fig19_replication_latency(scale: Optional[Scale] = None,
                               factors: Sequence[int] = (1, 2, 3, 4),
                               variants: Sequence[str] = ("fusee",
                                                          "fusee-nc",
-                                                         "fusee-cr")
+                                                         "fusee-cr",
+                                                         "fusee-swarm")
                               ) -> ExperimentResult:
-    """Fig. 19: median op latency vs replication factor, three variants."""
+    """Fig. 19: median op latency vs replication factor, per variant.
+
+    Beyond the paper's three variants this adds "fusee-swarm" — the
+    1-RTT in-place replication strategy — making this the replication
+    shoot-out bed: SWARM's UPDATE latency should stay flat in ``r`` and
+    beat SNAPSHOT's in the low-conflict single-client regime."""
     scale = scale or Scale.bench()
     dataset = _dataset(scale)
     keys = [k for k, _v in dataset]

@@ -102,6 +102,7 @@ def _make_bed(system: str, scale: Scale, n_memory_nodes: int,
               nic_ports: int = 1,
               rpc_shards: int = 1,
               port_affinity: str = "qp",
+              replication: Optional[str] = None,
               max_clients: int = 256) -> SystemBed:
     dataset_bytes = scale.n_keys * scale.kv_size
     if system == "fusee":
@@ -112,6 +113,7 @@ def _make_bed(system: str, scale: Scale, n_memory_nodes: int,
                          nic_ports=nic_ports,
                          rpc_shards=rpc_shards,
                          port_affinity=port_affinity,
+                         replication=replication,
                          max_clients=max_clients,
                          tracer=tracer)
     if system == "clover":
@@ -137,17 +139,19 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                  max_coalesce_width: int = 1,
                  nic_ports: int = 1,
                  rpc_shards: int = 1,
-                 port_affinity: str = "qp") -> ProfiledRun:
+                 port_affinity: str = "qp",
+                 replication: Optional[str] = None) -> ProfiledRun:
     """Run a profiled closed-loop YCSB mix and attribute its time.
 
     The bulk load runs unprofiled on the fast kernel (the profiler is
     installed after it).  No warmup: every span that *ends* inside the run
     is attributed; spans cut off at the deadline are skipped and counted
     (``RunProfile.unfinished_spans``).  ``read_spread``,
-    ``max_coalesce_width``, ``nic_ports``, ``rpc_shards`` and
-    ``port_affinity`` (FUSEE only) select the replica read-spread
-    policy, the doorbell coalescing width, and the multi-queue NIC /
-    sharded-RPC configuration of the bed.
+    ``max_coalesce_width``, ``nic_ports``, ``rpc_shards``,
+    ``port_affinity`` and ``replication`` (FUSEE only) select the
+    replica read-spread policy, the doorbell coalescing width, the
+    multi-queue NIC / sharded-RPC configuration, and the slot
+    replication strategy of the bed.
     """
     scale = scale or Scale.bench()
     tracer = Tracer()
@@ -158,6 +162,7 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                     nic_ports=nic_ports,
                     rpc_shards=rpc_shards,
                     port_affinity=port_affinity,
+                    replication=replication,
                     # scaled beds run hundreds of clients; keep headroom
                     # for the loader client and background churn
                     max_clients=max(256, want_clients + 8))

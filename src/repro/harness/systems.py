@@ -73,12 +73,17 @@ def fusee_bed(n_memory_nodes: int = 2,
               nic_ports: int = 1,
               rpc_shards: int = 1,
               port_affinity: str = "qp",
+              replication: Optional[str] = None,
               tracer=None) -> SystemBed:
     """A FUSEE deployment sized for a given dataset.
 
     ``variant``: "fusee" (default), "fusee-cr" (sequential replication),
-    or "fusee-nc" (no client cache).  The paper's §6.2/6.3 comparisons use
+    "fusee-nc" (no client cache) or "fusee-swarm" (SWARM-style 1-RTT
+    in-place slot replication).  The paper's §6.2/6.3 comparisons use
     one index replica and two data replicas, hence the defaults.
+    ``replication`` names a registered slot-replication strategy
+    explicitly ("snapshot" | "sequential" | "swarm"), overriding the
+    variant's default.
     ``read_spread`` ("primary" | "round_robin" | "least_loaded") spreads
     KV READs across alive replicas; ``max_coalesce_width`` > 1 enables
     doorbell verb coalescing on the fabric (``coalesce_adaptive`` limits
@@ -96,8 +101,10 @@ def fusee_bed(n_memory_nodes: int = 2,
     need = dataset_bytes * replication_factor * 3 + (64 << 20)
     regions_per_mn = max(
         4, math.ceil(need / (region.region_size * n_memory_nodes)))
+    variant_modes = {"fusee-cr": "sequential", "fusee-swarm": "swarm"}
     client_cfg = ClientConfig(
-        replication_mode="sequential" if variant == "fusee-cr" else "snapshot",
+        replication_mode=replication or variant_modes.get(variant,
+                                                          "snapshot"),
         cache_enabled=variant != "fusee-nc",
         cache_threshold=cache_threshold,
         read_spread=read_spread)

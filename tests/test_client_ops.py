@@ -203,16 +203,17 @@ class TestRttAccounting:
         assert result.ok
         used = self.batches(cluster) - before
         # phase1 (KV write + bucket read), CAS backups, log commit, CAS
-        # primary; allocation RPCs don't post doorbell batches.
-        assert used == 4
+        # primary, dedup bucket re-read (RACE's post-install duplicate
+        # check); allocation RPCs don't post doorbell batches.
+        assert used == 5
 
     def test_first_alloc_publishes_list_head_once(self, cluster, client):
         before = self.batches(cluster)
         run(cluster, client.insert(b"fresh", b"v"))
-        assert self.batches(cluster) - before == 5  # +1 head publish
+        assert self.batches(cluster) - before == 6  # +1 head publish
         before = self.batches(cluster)
         run(cluster, client.insert(b"fresh2", b"v"))
-        assert self.batches(cluster) - before == 4
+        assert self.batches(cluster) - before == 5
 
 
 class TestVariants:

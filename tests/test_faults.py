@@ -371,6 +371,47 @@ def test_every_named_campaign_is_sound(name):
 
 
 # --------------------------------------------------------------------------
+# SWARM under faults: broadcasts, fixups, validated reads on a lossy fabric
+# --------------------------------------------------------------------------
+class TestSwarmCampaigns:
+    """The in-place broadcast protocol must stay sound when its one-batch
+    broadcast actually spans replicas (``index_replication=2``) and the
+    fabric misbehaves: every campaign history linearizes, no op hangs,
+    and allocation balances — the same acceptance bar as SNAPSHOT."""
+
+    def test_partition_heal_campaign_is_sound(self):
+        report = run_campaign("partition-heal", seed=3, clients=3,
+                              ops_per_client=50, replication="swarm",
+                              index_replication=2)
+        assert report.sound, report.render()
+
+    def test_gray_node_campaign_is_sound(self):
+        report = run_campaign("gray", seed=5, clients=3,
+                              ops_per_client=50, replication="swarm",
+                              index_replication=2)
+        assert report.sound, report.render()
+
+    def test_duplicated_broadcast_writes_never_double_apply(self):
+        """Verb-level duplication across the whole campaign window: the
+        MN-side dedup layer must absorb replayed broadcast CASes (a
+        re-delivered CAS(v_old→v_new) after a fixup would resurrect a
+        stale round), keeping the history linearizable and *clean*."""
+        plan = FaultPlan(link_faults=[
+            LinkFault(dup_p=0.25, start_us=200.0, end_us=4000.0)], seed=0)
+        report = run_campaign(seed=7, plan=plan, clients=3,
+                              ops_per_client=50, replication="swarm",
+                              index_replication=2)
+        assert report.fabric.get("duplicates", 0) > 0, report.render()
+        assert report.clean, report.render()
+
+    def test_mixed_campaign_is_sound(self):
+        report = run_campaign("mixed", seed=2, clients=3,
+                              ops_per_client=60, replication="swarm",
+                              index_replication=2)
+        assert report.sound, report.render()
+
+
+# --------------------------------------------------------------------------
 # Read-spreading under faults: the selected replica goes dark mid-read
 # --------------------------------------------------------------------------
 _SHORT_RETRY = RetryPolicy(max_attempts=2, verb_timeout_us=8.0,

@@ -131,11 +131,7 @@ _program = st.lists(
     min_size=1, max_size=4)
 
 
-@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
-       programs=st.tuples(_program, _program, _program))
-@settings(max_examples=25, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-def test_concurrent_clients_linearizable(seed, programs):
+def _run_concurrent_programs(seed, programs, replication_mode):
     """Three clients with genuinely overlapping ops on contended keys.
 
     The world runs at zero latency so every protocol step of every client
@@ -149,7 +145,8 @@ def test_concurrent_clients_linearizable(seed, programs):
     env = Environment()
     tracer = LogicalClockTracer(sched.logical_clock, env=env)
     cluster = FuseeCluster(_small_cluster_config(), env=env, tracer=tracer)
-    clients = [cluster.new_client() for _ in range(3)]
+    clients = [cluster.new_client(replication_mode=replication_mode)
+               for _ in range(3)]
     # A deterministic sequential prefix: one key present, allocators warm.
     cluster.run_op(clients[0].insert(CONCURRENT_KEYS[0], b"seed"))
     for c, warm_key in zip(clients[1:], (b"warm-1", b"warm-2")):
@@ -176,6 +173,57 @@ def test_concurrent_clients_linearizable(seed, programs):
 
     violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
     assert violation is None, f"history not linearizable: {violation}"
+
+
+@pytest.mark.parametrize("mode", ["snapshot", "sequential", "swarm"])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       programs=st.tuples(_program, _program, _program))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_concurrent_clients_linearizable(mode, seed, programs):
+    """Every registered replication strategy must keep overlapping
+    multi-client histories linearizable — the cross-protocol safety
+    property behind the replication shoot-out."""
+    _run_concurrent_programs(seed, programs, mode)
+
+
+_SEQ_PROGRAM = st.lists(
+    st.tuples(st.sampled_from(["insert", "update", "delete", "search"]),
+              st.sampled_from(KEYS), st.sampled_from(VALUES)),
+    min_size=1, max_size=40)
+
+
+@given(ops=_SEQ_PROGRAM)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_protocols_agree_on_sequential_programs(ops):
+    """Cross-protocol equivalence: the same single-client op program
+    yields identical observable results (ok / value / existed) and an
+    identical final key-value state under every replication strategy —
+    replication is an availability knob, never a semantics knob."""
+    outcomes = {}
+    for mode in ("snapshot", "sequential", "swarm"):
+        cluster = FuseeCluster(small_config())
+        client = cluster.new_client(replication_mode=mode)
+        observed = []
+        for op, key, value in ops:
+            if op == "insert":
+                result = cluster.run_op(client.insert(key, value))
+            elif op == "update":
+                result = cluster.run_op(client.update(key, value))
+            elif op == "delete":
+                result = cluster.run_op(client.delete(key))
+            else:
+                result = cluster.run_op(client.search(key))
+            observed.append((result.ok, result.value, result.existed))
+        final = {}
+        for key in KEYS:
+            result = cluster.run_op(client.search(key))
+            if result.ok:
+                final[key] = result.value
+        outcomes[mode] = (observed, final)
+    assert outcomes["snapshot"] == outcomes["sequential"] == \
+        outcomes["swarm"]
 
 
 @given(ops=st.lists(

@@ -20,7 +20,16 @@ UPDATE, r_idx >= 2     4           locate, backup CAS broadcast, log commit,
                                    primary CAS — flat in the replica count
 UPDATE, separate log   +1          the log-entry write gets its own batch
 FUSEE-CR, r_idx >= 2   2 + r_idx   backup CASes serialise: +1 RTT/replica
-INSERT                 UPDATE + 1  alloc batch precedes the KV write
+SWARM, r_idx = 1       2           locate, CAS broadcast (primary only)
+SWARM, r_idx >= 2      3           locate, CAS broadcast to *all* replicas,
+                                   log commit — flat in the replica count
+INSERT                 UPDATE + 2  alloc batch precedes the KV write, and
+                                   the winner re-reads its candidate
+                                   buckets before returning (RACE's
+                                   duplicate check: two same-key inserters
+                                   can win different empty slots, so an
+                                   empty-slot CAS win alone cannot rule
+                                   out a duplicate)
 =====================  ==========  =========================================
 """
 
@@ -156,13 +165,97 @@ class TestChainReplicationBudget:
         assert snap.rtts < seq.rtts
 
 
+class TestSwarmBudget:
+    """SWARM commits inside one CAS broadcast to all replicas: a warm
+    replicated UPDATE is 3 RTTs (locate, broadcast, post-commit log
+    write), one fewer than SNAPSHOT's 4, and flat in the replica count
+    like SNAPSHOT."""
+
+    def test_unreplicated_swarm_update_is_two_rtts(self):
+        cluster, client, tracer = traced_cluster(index_replication=1,
+                                                 replication_mode="swarm")
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 2
+        assert span.phases() == ["write.locate_cached",
+                                 "repl.swarm_broadcast"]
+
+    @pytest.mark.parametrize("replicas", [2, 3])
+    def test_replicated_swarm_update_is_three_rtts(self, replicas):
+        cluster, client, tracer = traced_cluster(
+            replication_factor=replicas, index_replication=replicas,
+            replication_mode="swarm")
+        span = warm_update_span(cluster, client, tracer)
+        assert span.rtts == 3  # flat in the replica count
+        assert span.phases() == ["write.locate_cached",
+                                 "repl.swarm_broadcast", "log.commit"]
+
+    def test_broadcast_batch_covers_every_replica(self):
+        """One doorbell batch carries a CAS per replica — primary
+        included, unlike SNAPSHOT's backups-only broadcast."""
+        cluster, client, tracer = traced_cluster(replication_factor=3,
+                                                 index_replication=3,
+                                                 replication_mode="swarm")
+        span = warm_update_span(cluster, client, tracer)
+        broadcast = next(b for b in span.batches
+                         if b["phase"] == "repl.swarm_broadcast")
+        assert len(broadcast["verbs"]) == 3
+        assert all(v["kind"] == "cas" for v in broadcast["verbs"])
+
+    def test_swarm_beats_snapshot_budget(self):
+        swarm_cluster, swarm_client, swarm_tracer = traced_cluster(
+            replication_factor=3, index_replication=3,
+            replication_mode="swarm")
+        snap_cluster, snap_client, snap_tracer = traced_cluster(
+            replication_factor=3, index_replication=3)
+        swarm = warm_update_span(swarm_cluster, swarm_client, swarm_tracer)
+        snap = warm_update_span(snap_cluster, snap_client, snap_tracer)
+        assert swarm.rtts == snap.rtts - 1
+
+    def test_swarm_insert_delete_follow_update(self):
+        cluster, client, tracer = traced_cluster(index_replication=2,
+                                                 replication_mode="swarm")
+        update = warm_update_span(cluster, client, tracer)
+        insert = tracer.last_span("insert")
+        assert insert.rtts == update.rtts + 2
+        assert insert.phases()[0] == "alloc"
+        assert "insert.dedup_check" in insert.phases()
+        assert cluster.run_op(client.delete(b"key")).ok
+        assert tracer.last_span("delete").rtts == update.rtts
+
+    def test_swarm_cached_search_still_one_rtt(self):
+        """The read path budget is unchanged: swarm validation rides the
+        same single doorbell batch (backup word + primary word)."""
+        cluster, client, tracer = traced_cluster(index_replication=2,
+                                                 replication_mode="swarm")
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        assert cluster.run_op(client.search(b"key")).ok
+        span = tracer.last_span("search")
+        assert span.rtts == 1
+        assert span.phases() == ["search.cached_read"]
+
+
 class TestInsertDeleteBudget:
-    def test_insert_is_update_plus_alloc(self):
+    def test_insert_is_update_plus_alloc_plus_dedup(self):
+        """INSERT = UPDATE + the alloc batch + the post-install duplicate
+        re-read (RACE's insert check — see the module docstring table)."""
         cluster, client, tracer = traced_cluster(index_replication=2)
         update = warm_update_span(cluster, client, tracer)
         insert = tracer.last_span("insert")
-        assert insert.rtts == update.rtts + 1
+        assert insert.rtts == update.rtts + 2
         assert insert.phases()[0] == "alloc"
+        assert insert.phases()[-1] == "insert.dedup_check"
+
+    def test_clean_dedup_sweep_is_one_bucket_read(self):
+        """The duplicate check on an uncontended insert is exactly one
+        extra batch — no KV match reads (no foreign fingerprint hits) and
+        no master arbitration."""
+        cluster, client, tracer = traced_cluster(index_replication=2)
+        assert cluster.run_op(client.insert(b"key", b"val")).ok
+        phases = tracer.last_span("insert").phases()
+        assert phases.count("insert.dedup_check") == 1
+        assert "insert.dedup_match_read" not in phases
+        assert "insert.dedup_clear" not in phases
 
     def test_delete_matches_update_budget(self):
         cluster, client, tracer = traced_cluster(index_replication=2)
@@ -227,7 +320,7 @@ class TestBudgetsUnderHotPathKnobs:
                                    "repl.backup_cas", "log.commit",
                                    "repl.primary_cas"]
         insert = tracer.last_span("insert")
-        assert insert.rtts == update.rtts + 1
+        assert insert.rtts == update.rtts + 2
         assert cluster.run_op(client.delete(b"key")).ok
         assert tracer.last_span("delete").rtts == update.rtts
 
@@ -279,7 +372,7 @@ class TestBudgetsUnderMultiQueue:
                                    "repl.backup_cas", "log.commit",
                                    "repl.primary_cas"]
         insert = tracer.last_span("insert")
-        assert insert.rtts == update.rtts + 1
+        assert insert.rtts == update.rtts + 2
         assert cluster.run_op(client.delete(b"key")).ok
         assert tracer.last_span("delete").rtts == update.rtts
 

@@ -10,6 +10,9 @@ optimisation changed the verb stream).
 
 import json
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
 from repro import Tracer
 from repro.harness.runner import run_closed_loop
 from repro.harness.systems import fusee_bed
@@ -25,13 +28,15 @@ from repro.workloads import YcsbConfig, YcsbWorkload
 
 
 def traced_ycsb_run(seed: int, duration_us: float = 1500.0, profile=False,
-                    metrics=False):
+                    metrics=False, replication=None):
     """Build a small FUSEE bed, run seeded YCSB-A clients, return the
     tracer (bulk load is untraced; only the measured run is recorded).
     With ``profile``/``metrics``, also return a profiler and a sampled
-    metrics registry (in that order)."""
+    metrics registry (in that order).  ``replication`` selects the slot
+    replication strategy (default: the bed's, i.e. snapshot)."""
     bed = fusee_bed(n_memory_nodes=2, replication_factor=2,
-                    dataset_bytes=1 << 18, background_interval_us=0.0)
+                    dataset_bytes=1 << 18, background_interval_us=0.0,
+                    replication=replication)
     config = YcsbConfig(workload="A", n_keys=200)
     seeder = YcsbWorkload(config, seed=seed)
     bed.load((key, seeder.load_value(i))
@@ -159,6 +164,83 @@ class TestFastReferenceDifferential:
         plain = jsonl_lines(traced_ycsb_run(seed=7))
         profiled, _ = traced_ycsb_run(seed=7, profile=True)
         assert plain == jsonl_lines(profiled)
+
+
+def _inline_replicated_write(self, ref, v_old, v_new, prepared):
+    """The pre-seam ``FuseeClient._replicated_write``, copied verbatim:
+    inline if/else dispatch on ``replication_mode`` instead of the
+    ``ReplicationProtocol`` strategy object."""
+    from repro.core.client import CrashPoint, sequential_write, \
+        snapshot_write
+
+    on_win = None
+    if prepared is not None and len(ref.placement) > 1:
+        on_win = self._log_committer(prepared)
+    if self.config.replication_mode == "sequential":
+        result = yield from sequential_write(self.fabric, ref, v_old,
+                                             v_new, on_win=on_win)
+    else:
+        result = yield from snapshot_write(
+            self.fabric, ref, v_old, v_new, on_win=on_win,
+            retry_sleep_us=self.config.retry_sleep_us,
+            phase_guard=lambda: self._wait_if_blocked(ref.subtable))
+    self._maybe_crash(CrashPoint.C3)
+    self.stats.count_outcome(result.outcome)
+    return result
+
+
+class TestReplicationSeamDifferential:
+    """The ``ReplicationProtocol`` seam is a *pure refactor* for the
+    existing protocols: dispatching snapshot/sequential writes through
+    the strategy object must render the exact JSONL trace the
+    pre-refactor inline if/else produced — same verbs, same phases, same
+    timings, byte for byte.  Hypothesis drives the seeds so the property
+    holds across workloads, not just one lucky run."""
+
+    @staticmethod
+    def _with_inline_dispatch(fn):
+        from repro.core.client import FuseeClient
+
+        seam = FuseeClient._replicated_write
+        FuseeClient._replicated_write = _inline_replicated_write
+        try:
+            return fn()
+        finally:
+            FuseeClient._replicated_write = seam
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_snapshot_seam_trace_matches_pre_refactor(self, seed):
+        seam = jsonl_lines(traced_ycsb_run(seed=seed, duration_us=800.0))
+        inline = self._with_inline_dispatch(
+            lambda: jsonl_lines(traced_ycsb_run(seed=seed,
+                                                duration_us=800.0)))
+        assert len(seam) > 30
+        assert seam == inline
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sequential_seam_trace_matches_pre_refactor(self, seed):
+        def run():
+            return jsonl_lines(traced_ycsb_run(seed=seed, duration_us=800.0,
+                                               replication="sequential"))
+
+        assert run() == self._with_inline_dispatch(run)
+
+    def test_swarm_trace_is_deterministic(self):
+        """The new strategy inherits the determinism contract."""
+        first = jsonl_lines(traced_ycsb_run(seed=7, replication="swarm"))
+        second = jsonl_lines(traced_ycsb_run(seed=7, replication="swarm"))
+        assert len(first) > 50
+        assert first == second
+
+    def test_swarm_trace_differs_from_snapshot(self):
+        """Sanity: the mode knob actually changes the verb stream (a
+        silently ignored knob would pass every equivalence test)."""
+        assert jsonl_lines(traced_ycsb_run(seed=7, replication="swarm")) \
+            != jsonl_lines(traced_ycsb_run(seed=7))
 
 
 class TestProfileDeterminism:
