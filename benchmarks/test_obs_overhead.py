@@ -29,7 +29,7 @@ RELATIVE_BUDGET = 1.05
 ABSOLUTE_SLACK_S = 0.010
 
 
-def _make_workload(tracer, profile=False):
+def _make_workload(tracer, profile=False, monitor=False):
     cluster = FuseeCluster(ClusterConfig(
         n_memory_nodes=2, replication_factor=2, regions_per_mn=4,
         region=RegionConfig(region_size=1 << 20, block_size=1 << 14),
@@ -37,6 +37,9 @@ def _make_workload(tracer, profile=False):
         tracer=tracer)
     profiler = (Profiler(tracer=tracer).install(cluster.env)
                 if profile else None)
+    if monitor:
+        from repro.obs import Monitor
+        cluster.attach_monitor(Monitor(cluster.env, cluster.fabric))
     fast = profiler is None   # profiled rounds run hook-aware by design
     client = cluster.new_client()
     cluster.run_op(client.insert(b"bench-key", b"v" * 64), fast=fast)
@@ -84,6 +87,34 @@ def test_disabled_tracer_overhead_under_five_percent():
     # Enabled tracing does real work; just require it stays same-order.
     assert enabled <= baseline * 2.0 + ABSOLUTE_SLACK_S, (
         f"enabled tracer is pathologically slow: {enabled:.4f}s "
+        f"vs {baseline:.4f}s per round")
+
+
+def test_detached_monitor_keeps_disabled_path_free():
+    """The monitor's hook sites (fabric post/deliver/rpc, tracer
+    end_span, client key touch) are all single ``is None`` checks when no
+    monitor is attached — so the no-monitor configuration must stay
+    inside the same 5% budget as the disabled tracer.  The baseline
+    workload here *is* the detached-monitor configuration (``Fabric``
+    initialises ``monitor = None``), making this the enforcement teeth
+    for "monitoring disabled == free"."""
+    baseline_fn = _make_workload(tracer=None)
+    disabled_fn = _make_workload(tracer=Tracer(enabled=False))
+    baseline, disabled = _min_round_time([baseline_fn, disabled_fn])
+    assert disabled <= baseline * RELATIVE_BUDGET + ABSOLUTE_SLACK_S, (
+        f"detached monitor + disabled tracer costs "
+        f"{disabled / baseline - 1:+.1%} (budget "
+        f"{RELATIVE_BUDGET - 1:.0%}): {disabled:.4f}s vs {baseline:.4f}s")
+
+
+def test_enabled_monitor_overhead_is_bounded():
+    """An attached monitor does real per-span/per-verb sketch work; it
+    must stay the same order of magnitude as untraced execution."""
+    baseline_fn = _make_workload(tracer=None)
+    monitored_fn = _make_workload(tracer=Tracer(), monitor=True)
+    baseline, monitored = _min_round_time([baseline_fn, monitored_fn])
+    assert monitored <= baseline * 3.0 + ABSOLUTE_SLACK_S, (
+        f"enabled monitor is pathologically slow: {monitored:.4f}s "
         f"vs {baseline:.4f}s per round")
 
 

@@ -29,6 +29,12 @@ Commands
     seeded-random timeline of packet loss, duplication, partitions and
     gray nodes under a multi-client workload, with a fault/outcome
     report and linearizability verdict.
+``monitor``
+    Exercise the online telemetry plane (see docs/monitoring.md): run a
+    monitored clean-bed YCSB workload (asserting the gray-failure
+    detector raises zero flags) or a monitored fault campaign
+    (``--campaign``, asserting every seeded gray/port fault is caught),
+    printing the end-of-run health report either way.
 
 Observability flags (``demo`` and ``ycsb``)
 -------------------------------------------
@@ -145,8 +151,10 @@ def cmd_ycsb(args) -> int:
     from .harness.systems import fusee_bed
     from .workloads import YcsbConfig, YcsbWorkload
 
+    monitor_config, slos = _monitor_setup(args)
     tracer = metrics = profiler = None
-    if args.trace or args.jsonl or args.profile:
+    if args.trace or args.jsonl or args.profile \
+            or monitor_config is not None:
         from .obs import Tracer
         tracer = Tracer()
     bed = fusee_bed(n_memory_nodes=args.memory_nodes,
@@ -175,15 +183,25 @@ def cmd_ycsb(args) -> int:
     if args.metrics:
         from .obs import Metrics, sample_fabric
         metrics = Metrics()
-        sample_fabric(bed.env, metrics, bed.cluster.fabric)
+        sample_fabric(bed.env, metrics, bed.cluster.fabric,
+                      interval_us=args.sample_interval)
+    monitor = None
+    if monitor_config is not None:
+        from .obs import Monitor
+        monitor = Monitor(bed.env, bed.cluster.fabric,
+                          config=monitor_config, slos=slos,
+                          race=bed.cluster.race)
+        bed.cluster.attach_monitor(monitor)
     clients = [bed.new_client() for _ in range(args.clients)]
     result = run_closed_loop(
         bed.env, clients,
         lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
         bed.execute, duration_us=args.duration_us, metrics=metrics,
-        fast=profiler is None)
+        fast=profiler is None, monitor=monitor)
     print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
           f"-> {result.mops:.3f} Mops ({result.errors} errors)")
+    if result.health is not None:
+        _report_health(args, result.health)
     if profiler is not None:
         from .obs import (RunProfile, analyze_critical_path,
                           critical_report, profile_report)
@@ -202,19 +220,24 @@ def cmd_profile(args) -> int:
     from .harness.profiling import profile_ycsb
     from .obs import write_chrome_trace, write_folded
 
+    monitor_config, slos = _monitor_setup(args)
     result = profile_ycsb(system=args.system, workload=args.workload,
                           scale=_scale_from(args.scale),
                           n_clients=args.clients,
                           n_memory_nodes=args.memory_nodes,
                           metadata_cores=args.metadata_cores,
                           tail_pct=args.tail_pct,
+                          sample_interval_us=args.sample_interval,
                           read_spread=args.read_spread,
                           max_coalesce_width=args.coalesce_width,
                           nic_ports=args.nic_ports,
                           rpc_shards=args.rpc_shards,
                           port_affinity=args.port_affinity,
-                          replication=args.replication)
+                          replication=args.replication,
+                          monitor_config=monitor_config, slos=slos)
     print(result.report())
+    if result.health is not None:
+        _report_health(args, result.health)
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
@@ -324,14 +347,86 @@ def cmd_faults(args) -> int:
         for name in (*CAMPAIGNS, "random"):
             print(name)
         return 0
+    monitor_config, slos = _monitor_setup(args)
     report = run_campaign(args.campaign, seed=args.seed,
                           retries=not args.no_retries,
                           clients=args.clients,
                           ops_per_client=args.ops_per_client,
                           replication=args.replication,
-                          index_replication=args.index_replication)
+                          index_replication=args.index_replication,
+                          monitor_config=monitor_config, slos=slos)
     print(report.render())
+    if report.health is not None:
+        _report_health(args, report.health)
     return 0 if report.sound else 1
+
+
+def cmd_monitor(args) -> int:
+    from .obs import Monitor, render_health, write_health
+
+    monitor_config, slos = _monitor_setup(args)
+    if monitor_config is None:
+        # The subcommand IS the opt-in: monitor with defaults even when
+        # no --windows/--slo/--hotkeys flag was given.
+        from .obs import MonitorConfig
+        monitor_config = MonitorConfig()
+
+    if args.campaign:
+        # Faulted mode: every seeded gray/port fault must be caught.
+        from .faults.campaign import run_campaign
+        report = run_campaign(args.campaign, seed=args.seed,
+                              clients=args.clients,
+                              nic_ports=args.nic_ports,
+                              rpc_shards=args.rpc_shards,
+                              monitor_config=monitor_config, slos=slos)
+        print(report.render())
+        _report_health(args, report.health)
+        det = report.detector or {}
+        if det:
+            verdict = "ok" if det.get("ok") else "FAIL"
+            print(f"\ndetector verdict: {verdict} "
+                  f"({len(det.get('caught', []))}/{det.get('expected', 0)} "
+                  f"caught, {len(det.get('unexplained', []))} unexplained)")
+        return 0 if report.sound else 1
+
+    # Clean-bed mode: a monitored YCSB run on a healthy cluster must
+    # produce zero detector flags (the zero-false-positive guarantee).
+    from .harness.runner import run_closed_loop
+    from .harness.systems import fusee_bed
+    from .obs import Tracer
+    from .workloads import YcsbConfig, YcsbWorkload
+
+    tracer = Tracer()
+    bed = fusee_bed(n_memory_nodes=args.memory_nodes,
+                    dataset_bytes=args.keys * 1024,
+                    nic_ports=args.nic_ports,
+                    rpc_shards=args.rpc_shards,
+                    max_clients=max(256, args.clients + 8))
+    config = YcsbConfig(workload=args.workload, n_keys=args.keys)
+    seeder = YcsbWorkload(config, seed=args.seed)
+    loaded = bed.load((key, seeder.load_value(i))
+                      for i, key in enumerate(seeder.load_keys()))
+    print(f"loaded {loaded}/{args.keys} keys "
+          f"(YCSB-{args.workload}, seed {args.seed})")
+    bed.cluster.attach_tracer(tracer)
+    monitor = Monitor(bed.env, bed.cluster.fabric, config=monitor_config,
+                      slos=slos, race=bed.cluster.race)
+    bed.cluster.attach_monitor(monitor)
+    clients = [bed.new_client() for _ in range(args.clients)]
+    result = run_closed_loop(
+        bed.env, clients,
+        lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
+        bed.execute, duration_us=args.duration_us, monitor=monitor)
+    print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
+          f"-> {result.mops:.3f} Mops ({result.errors} errors)")
+    _report_health(args, result.health)
+    flags = (result.health.get("detector") or {}).get("flags", [])
+    if flags:
+        print(f"\nmonitor verdict: FAIL ({len(flags)} detector flag(s) "
+              f"on a clean bed)")
+        return 1
+    print("\nmonitor verdict: clean (no detector flags)")
+    return 0
 
 
 def _add_replication_flag(parser, default=None) -> None:
@@ -372,6 +467,58 @@ def _add_obs_flags(parser) -> None:
                         help="write one JSON record per span/verb batch")
     parser.add_argument("--metrics", action="store_true",
                         help="print a metrics report after the run")
+
+
+def _add_monitor_flags(parser, default_hotkeys: int = 0) -> None:
+    parser.add_argument("--windows", type=float, default=None,
+                        metavar="US",
+                        help="attach the online monitor with tumbling "
+                             "windows of US simulated microseconds "
+                             "(docs/monitoring.md)")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="SPEC",
+                        help="SLO spec with burn-rate alerting "
+                             "(latency:<op>:p<pct>:<us>, errors:<rate>, "
+                             "availability:<rate>); repeatable; implies "
+                             "--windows")
+    parser.add_argument("--hotkeys", type=int, default=default_hotkeys,
+                        metavar="K",
+                        help="track the top-K hot keys and index buckets "
+                             "per window (Space-Saving sketch); implies "
+                             "--windows"
+                             + (" (default: off)" if not default_hotkeys
+                                else f" (default {default_hotkeys})"))
+    parser.add_argument("--health-out", default=None, metavar="OUT.json",
+                        help="write the end-of-run health report as JSON")
+
+
+def _monitor_setup(args, default_window_us: float = 250.0):
+    """Resolve the monitor flags to ``(MonitorConfig | None, slos)``."""
+    from .obs import MonitorConfig, SloSpec
+
+    slos = [SloSpec.parse(spec) for spec in getattr(args, "slo", ())]
+    hotkeys = getattr(args, "hotkeys", 0)
+    windows = getattr(args, "windows", None)
+    if windows is None and not slos and not hotkeys:
+        return None, []
+    config = MonitorConfig(
+        window_us=windows if windows is not None else default_window_us,
+        hotkey_capacity=hotkeys)
+    return config, slos
+
+
+def _report_health(args, health) -> None:
+    from .obs import render_health, write_health
+
+    # Write the artifact before touching stdout: a downstream consumer
+    # closing the pipe (| head) must not lose the requested JSON.
+    out = getattr(args, "health_out", None)
+    if out:
+        write_health(health, out)
+    print()
+    print(render_health(health))
+    if out:
+        print(f"health json: {out}")
 
 
 def main(argv=None) -> int:
@@ -417,6 +564,11 @@ def main(argv=None) -> int:
                                   "print the latency breakdown")
     _add_hotpath_flags(ycsb_parser)
     _add_obs_flags(ycsb_parser)
+    ycsb_parser.add_argument("--sample-interval", type=float,
+                             default=50.0, metavar="US",
+                             help="fabric counter sampling interval for "
+                                  "--metrics (simulated us, default 50)")
+    _add_monitor_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=cmd_ycsb)
 
     profile_parser = sub.add_parser(
@@ -451,8 +603,13 @@ def main(argv=None) -> int:
                                 metavar="OUT.json",
                                 help="write a Chrome trace with counter "
                                      "tracks")
+    profile_parser.add_argument("--sample-interval", type=float,
+                                default=50.0, metavar="US",
+                                help="fabric counter sampling interval "
+                                     "(simulated us, default 50)")
     _add_replication_flag(profile_parser)
     _add_hotpath_flags(profile_parser)
+    _add_monitor_flags(profile_parser)
     profile_parser.set_defaults(func=cmd_profile)
 
     check_parser = sub.add_parser(
@@ -495,7 +652,32 @@ def main(argv=None) -> int:
                                     "MN count); raise to exercise "
                                     "multi-replica protocol paths under "
                                     "faults (default: 1)")
+    _add_monitor_flags(faults_parser)
     faults_parser.set_defaults(func=cmd_faults)
+
+    monitor_parser = sub.add_parser(
+        "monitor",
+        help="watch a run through the online telemetry plane "
+             "(docs/monitoring.md): windowed quantiles, SLO burn "
+             "rates, hot keys, and the gray-failure detector")
+    monitor_parser.add_argument("--campaign", default=None,
+                                help="monitor a fault campaign instead "
+                                     "of a clean YCSB bed; the seeded "
+                                     "gray/port faults must be caught")
+    monitor_parser.add_argument("--seed", type=int, default=0)
+    monitor_parser.add_argument("--clients", type=int, default=4)
+    monitor_parser.add_argument("--duration-us", type=float,
+                                default=20_000.0)
+    monitor_parser.add_argument("--keys", type=int, default=2000)
+    monitor_parser.add_argument("--workload", default="A",
+                                choices=sorted("ABCD"))
+    monitor_parser.add_argument("--memory-nodes", type=int, default=2)
+    monitor_parser.add_argument("--nic-ports", type=int, default=1,
+                                metavar="N")
+    monitor_parser.add_argument("--rpc-shards", type=int, default=1,
+                                metavar="N")
+    _add_monitor_flags(monitor_parser, default_hotkeys=8)
+    monitor_parser.set_defaults(func=cmd_monitor)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -180,6 +180,10 @@ class FuseeClient:
         self.stats = ClientStats()
         self.crashed = False
         self._crash_point: Optional[CrashPoint] = None
+        # Optional monitor key-touch hook (repro.obs.monitor hot-key
+        # tracking): called with (op, key) at the top of every KV op.
+        # None keeps the hot path at a single attribute check.
+        self.key_hook = None
 
     # ------------------------------------------------------------------ utils
     def arm_crash(self, point: CrashPoint) -> None:
@@ -205,6 +209,8 @@ class FuseeClient:
         concurrent histories can be reconstructed for linearizability
         checking (docs/checking.md).
         """
+        if self.key_hook is not None and key is not None:
+            self.key_hook(op, key)
         tracer = self.fabric.tracer
         if not tracer.enabled:
             return (yield from impl)

@@ -259,6 +259,9 @@ class FuseeCluster:
                              cid=cid,
                              size_classes=self.size_classes,
                              master=self.master, config=base)
+        monitor = getattr(self, "_monitor", None)
+        if monitor is not None and monitor.wants_keys:
+            client.key_hook = monitor.on_key
         self.clients.append(client)
         return client
 
@@ -278,6 +281,37 @@ class FuseeCluster:
         if tracer.env is None:
             tracer.env = self.env
         self.fabric.tracer = tracer
+        monitor = getattr(self, "_monitor", None)
+        if monitor is not None and tracer.enabled:
+            tracer.monitor = monitor
+
+    def attach_monitor(self, monitor):
+        """Attach (or detach, with ``None``) an online telemetry monitor.
+
+        Wires the fabric service/drop hooks, the tracer span hook and
+        the per-client key-touch hook, then starts the monitor's
+        pane-boundary evaluation process (docs/monitoring.md).  Returns
+        the monitor.
+        """
+        if monitor is None:
+            self.fabric.monitor = None
+            tracer = self.fabric.tracer
+            if getattr(tracer, "monitor", None) is not None:
+                tracer.monitor = None
+            for client in self.clients:
+                client.key_hook = None
+            self._monitor = None
+            return None
+        self._monitor = monitor
+        self.fabric.monitor = monitor
+        tracer = self.fabric.tracer
+        if tracer.enabled:
+            tracer.monitor = monitor
+        hook = monitor.on_key if monitor.wants_keys else None
+        for client in self.clients:
+            client.key_hook = hook
+        monitor.start()
+        return monitor
 
     # --------------------------------------------------------------- faults
     def install_faults(self, plan, retry=None):

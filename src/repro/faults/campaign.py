@@ -128,16 +128,27 @@ class CampaignReport:
     blocks_owned: int = 0          # adopted and still held by clients
     linearizable: bool = True
     violation: Optional[str] = None
+    # Gray-failure detector verdict (repro.obs.detect.detector_verdict)
+    # and monitor health report; None when the campaign ran unmonitored.
+    detector: Optional[dict] = None
+    health: Optional[dict] = None
 
     @property
     def balance_ok(self) -> bool:
         return self.blocks_outstanding == self.blocks_owned
 
     @property
+    def detector_ok(self) -> bool:
+        """Monitored campaigns also require the detector verdict: every
+        seeded gray/port fault flagged, no unexplained flags."""
+        return self.detector is None or bool(self.detector.get("ok"))
+
+    @property
     def sound(self) -> bool:
         """The safety verdict: no hangs, no leaks, linearizable."""
         return (self.hung_ops == 0 and not self.exceptions
-                and self.balance_ok and self.linearizable)
+                and self.balance_ok and self.linearizable
+                and self.detector_ok)
 
     @property
     def clean(self) -> bool:
@@ -179,6 +190,19 @@ class CampaignReport:
         lines.append(
             "  linearizable: " + ("yes" if self.linearizable else
                                   f"NO\n{self.violation}"))
+        if self.detector is not None:
+            det = self.detector
+            lines.append(
+                f"  gray detector: {len(det['caught'])}/{det['expected']} "
+                f"expected fault(s) caught, {len(det['missed'])} missed, "
+                f"{len(det['unexplained'])} unexplained flag(s) "
+                f"[{'ok' if det['ok'] else 'FAIL'}]")
+            for row in det["caught"]:
+                lines.append(
+                    f"    caught {row['fault']} on mn{row['mn']}"
+                    + (f".p{row['port']}" if row["port"] is not None else "")
+                    + f" via {row['flag_scope']} after "
+                      f"{row['latency_windows']} window(s)")
         if self.exceptions:
             lines.append(f"  exceptions: {self.exceptions}")
         lines.append(f"  verdict: {'CLEAN' if self.clean else 'sound' if self.sound else 'UNSOUND'}")
@@ -213,7 +237,10 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
                  n_mns: int = 3, nic_ports: int = 1,
                  rpc_shards: int = 1,
                  replication: str = "snapshot",
-                 index_replication: int = 1) -> CampaignReport:
+                 index_replication: int = 1,
+                 monitor_config=None,
+                 slos=(),
+                 detect_windows: int = 3) -> CampaignReport:
     """Run one fault campaign and verify its end state.
 
     ``retries=False`` swaps in :data:`~repro.faults.retry.NO_RETRY` —
@@ -227,6 +254,13 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
     index replica count (capped at ``n_mns``) — raise it so multi-replica
     protocol machinery (broadcasts, fixups, validated reads) actually
     runs under the fault plan.
+
+    ``monitor_config`` (a :class:`repro.obs.MonitorConfig`) attaches the
+    online monitor for the faulted window; the campaign then also
+    scores the gray-failure detector against the seeded plan — every
+    gray node / port-scoped fault must be flagged within
+    ``detect_windows`` windows of onset with no unexplained flags — and
+    folds that verdict into ``CampaignReport.sound``.
     """
     if plan is None:
         plan = campaign_plan(name, n_mns, seed)
@@ -253,6 +287,12 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
 
     tracer = Tracer(env=env)
     cluster.attach_tracer(tracer)
+    monitor = None
+    if monitor_config is not None:
+        from ..obs import Monitor
+        monitor = Monitor(env, cluster.fabric, config=monitor_config,
+                          slos=slos, race=cluster.race)
+        cluster.attach_monitor(monitor)
     report = CampaignReport(name=name, seed=seed, retries=retries, plan=plan)
     free_before = {mn: alloc.free_block_count
                    for mn, alloc in cluster.mn_allocators.items()}
@@ -315,6 +355,19 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
     # ---- verdicts
     spans = [s for s in tracer.spans
              if s.op in ("search", "insert", "update", "delete")]
+
+    if monitor is not None:
+        from ..obs import detector_verdict
+        report.health = monitor.finish()
+        if monitor.detector is not None:
+            # A fault seeded after the last op completes is invisible to
+            # any comparative detector — exclude it from "expected".
+            traffic_end = max((s.end_us for s in spans
+                               if s.end_us is not None), default=None)
+            report.detector = detector_verdict(
+                plan, monitor.detector.flags, monitor.width,
+                windows=detect_windows, traffic_end_us=traffic_end)
+
     report.ops_total = len(spans)
     for span in spans:
         if span.end_us is None:

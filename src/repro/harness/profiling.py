@@ -50,6 +50,9 @@ class ProfiledRun:
     tracer: Tracer
     profiler: Profiler
     metrics: Metrics
+    # Monitor health report (repro.obs.monitor); None when the run was
+    # not monitored.
+    health: Optional[dict] = None
 
     @property
     def spans(self):
@@ -79,6 +82,11 @@ class ProfiledRun:
             "critical_path": self.critical.to_dict(),
             "series": {name: self.metrics.series[name].summary()
                        for name in sorted(self.metrics.series)},
+            # the health report minus its wall-clock "overhead" section,
+            # keeping this payload deterministic across same-seed runs
+            **({"health": {k: v for k, v in self.health.items()
+                           if k != "overhead"}}
+               if self.health is not None else {}),
         }
 
 
@@ -140,7 +148,9 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                  nic_ports: int = 1,
                  rpc_shards: int = 1,
                  port_affinity: str = "qp",
-                 replication: Optional[str] = None) -> ProfiledRun:
+                 replication: Optional[str] = None,
+                 monitor_config=None,
+                 slos=()) -> ProfiledRun:
     """Run a profiled closed-loop YCSB mix and attribute its time.
 
     The bulk load runs unprofiled on the fast kernel (the profiler is
@@ -152,6 +162,11 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
     replica read-spread policy, the doorbell coalescing width, the
     multi-queue NIC / sharded-RPC configuration, and the slot
     replication strategy of the bed.
+
+    ``monitor_config`` (a :class:`repro.obs.MonitorConfig`) attaches the
+    online monitor to the measured window — windowed quantiles, SLO
+    burn-rate alerts from ``slos``, the gray-failure detector — and
+    lands its health report in ``ProfiledRun.health``.
     """
     scale = scale or Scale.bench()
     tracer = Tracer()
@@ -182,14 +197,23 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
     if hasattr(bed.cluster, "fabric"):
         sample_fabric(bed.env, metrics, bed.cluster.fabric,
                       interval_us=sample_interval_us)
+    monitor = None
+    if monitor_config is not None and self_traced:
+        from ..obs import Monitor
+        monitor = Monitor(bed.env, bed.cluster.fabric,
+                          config=monitor_config, slos=slos,
+                          race=getattr(bed.cluster, "race", None))
+        bed.cluster.attach_monitor(monitor)
     clients = [bed.new_client() for _ in range(want_clients)]
     run = run_closed_loop(bed.env, clients,
                           _ycsb_factory(scale, workload),
                           execute, duration_us=scale.duration_us,
                           warmup_us=0.0, metrics=metrics,
-                          fast=False)  # the profiler is the point here
+                          fast=False,  # the profiler is the point here
+                          monitor=monitor)
     profile = RunProfile.collect(profiler, tracer.spans, tail_pct=tail_pct)
     critical = analyze_critical_path(profiler, tracer.spans)
     return ProfiledRun(system=system, workload=workload, run=run,
                        profile=profile, critical=critical, tracer=tracer,
-                       profiler=profiler, metrics=metrics)
+                       profiler=profiler, metrics=metrics,
+                       health=run.health)

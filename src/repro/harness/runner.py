@@ -27,6 +27,9 @@ class RunResult:
     errors: int = 0
     timeline: List[Tuple[float, float]] = field(default_factory=list)
     per_op_counts: Dict[str, int] = field(default_factory=dict)
+    # End-of-run monitor health report (repro.obs.monitor); None when no
+    # monitor was attached to the run.
+    health: Optional[dict] = None
 
     @property
     def mops(self) -> float:
@@ -54,7 +57,8 @@ def run_closed_loop(env: Environment,
                     timeline_bucket_us: Optional[float] = None,
                     events: Sequence[Tuple[float, Callable]] = (),
                     metrics=None,
-                    fast: bool = True) -> RunResult:
+                    fast: bool = True,
+                    monitor=None) -> RunResult:
     """Drive ``clients`` against per-client workloads for ``duration_us``.
 
     ``fast=True`` (the default) asserts the kernel's fast drain loop is
@@ -70,7 +74,13 @@ def run_closed_loop(env: Environment,
     ``metrics`` (a :class:`repro.obs.Metrics`) additionally accumulates
     ``ops.<op>`` / ``ops.errors`` counters and ``latency_us.<op>``
     histograms over the measurement window.
+
+    ``monitor`` (a :class:`repro.obs.Monitor`, usually already attached
+    via ``cluster.attach_monitor``) is started if needed and finished at
+    the deadline; its health report lands in ``RunResult.health``.
     """
+    if monitor is not None:
+        monitor.start()
     if fast:
         env.require_fast()
     start = env.now
@@ -125,6 +135,8 @@ def run_closed_loop(env: Environment,
         env.process(event_proc(at, callback), name="timeline-event")
 
     env.run(until=deadline)
+    if monitor is not None:
+        result.health = monitor.finish()
     if timeline_bucket_us:
         n_buckets = int(duration_us // timeline_bucket_us)
         result.timeline = [

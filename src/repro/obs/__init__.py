@@ -25,6 +25,15 @@ from .metrics import (
     TimeSeries,
     sample_fabric,
 )
+from .detect import DetectorFlag, GrayDetector, detector_verdict
+from .monitor import (
+    Monitor,
+    MonitorConfig,
+    health_fingerprint,
+    load_health,
+    render_health,
+    write_health,
+)
 from .profile import (
     CATEGORIES,
     RESIDUAL,
@@ -33,7 +42,10 @@ from .profile import (
     profile_report,
     span_breakdown,
 )
+from .sketches import DDSketch, SpaceSaving
+from .slo import KV_OPS, SloSpec, SloState
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, verb_kind
+from .windows import WindowStore, windowed_metrics
 
 __all__ = [
     "Tracer",
@@ -64,4 +76,20 @@ __all__ = [
     "critical_report",
     "folded_stacks",
     "write_folded",
+    "DDSketch",
+    "SpaceSaving",
+    "WindowStore",
+    "windowed_metrics",
+    "SloSpec",
+    "SloState",
+    "KV_OPS",
+    "GrayDetector",
+    "DetectorFlag",
+    "detector_verdict",
+    "Monitor",
+    "MonitorConfig",
+    "render_health",
+    "write_health",
+    "load_health",
+    "health_fingerprint",
 ]

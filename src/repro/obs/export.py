@@ -93,8 +93,11 @@ def chrome_trace(tracer: Tracer, metrics: Metrics = None) -> dict:
             mn_tids.add(event["tid"])
             events.append(event)
     for cid in sorted(client_tids):
+        # Monitor alert spans carry cid -1 so they share a track above
+        # the per-client tracks instead of impersonating a client.
+        name = "alerts" if cid == -1 else f"client {cid}"
         events.append({"name": "thread_name", "ph": "M", "pid": _CLIENT_PID,
-                       "tid": cid, "args": {"name": f"client {cid}"}})
+                       "tid": cid, "args": {"name": name}})
     for mn in sorted(mn_tids):
         events.append({"name": "thread_name", "ph": "M", "pid": _FABRIC_PID,
                        "tid": mn, "args": {"name": f"MN {mn}"}})

@@ -52,6 +52,15 @@ class Histogram:
     values at or below ``base`` land in bucket 0.  Percentile queries
     return the upper bound of the bucket holding the requested rank — an
     over-estimate by at most one ``growth`` factor.
+
+    Edge-case contract (pinned by ``tests/test_telemetry.py``):
+
+    * **empty** — ``percentile(p)`` and ``mean`` return the sentinel
+      ``0.0`` for every ``p``; callers distinguish "no data" from "all
+      zero" via ``count == 0``, never via the sentinel value.
+    * **single observation** — ``percentile(p)`` returns exactly the
+      observed value for every ``p`` (the bucket upper bound is clamped
+      to ``max_seen``), and ``mean`` equals the observation.
     """
 
     __slots__ = ("base", "growth", "_log_growth", "buckets", "count",
@@ -109,15 +118,41 @@ class Histogram:
 
 
 class TimeSeries:
-    """Sampled ``(sim_time, value)`` points (NIC utilisation, queues)."""
+    """Sampled ``(sim_time, value)`` points (NIC utilisation, queues).
 
-    __slots__ = ("points",)
+    ``max_points`` bounds memory on long sweeps with stride-doubling
+    uniform downsampling: only every ``stride``-th sample is retained,
+    and whenever the retained set reaches the cap, every other point is
+    dropped and the stride doubles.  Retained samples are always exactly
+    the records whose index is a multiple of the current stride, so they
+    stay uniformly spaced over the whole run, and between
+    ``max_points/2`` and ``max_points`` points are held at any moment.
+    The default ``None`` preserves the historical unbounded behaviour
+    byte-for-byte.
+    """
 
-    def __init__(self):
+    __slots__ = ("points", "max_points", "_stride", "_n")
+
+    def __init__(self, max_points: Optional[int] = None):
+        if max_points is not None and max_points < 2:
+            raise ValueError("max_points must be >= 2")
         self.points: List[Tuple[float, float]] = []
+        self.max_points = max_points
+        self._stride = 1
+        self._n = 0
 
     def record(self, t: float, value: float) -> None:
+        if self.max_points is None:
+            self.points.append((t, value))
+            return
+        index = self._n
+        self._n += 1
+        if index % self._stride:
+            return
         self.points.append((t, value))
+        if len(self.points) >= self.max_points:
+            del self.points[1::2]
+            self._stride *= 2
 
     @property
     def values(self) -> List[float]:
@@ -146,11 +181,15 @@ class Metrics:
         metrics.histogram("latency_us.search").observe(4.2)
     """
 
-    def __init__(self):
+    def __init__(self, max_series_points: Optional[int] = None):
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.series: Dict[str, TimeSeries] = {}
+        # Cap applied to every timeseries created by this registry (see
+        # TimeSeries.max_points); None = unbounded, the historical
+        # default.
+        self.max_series_points = max_series_points
 
     def counter(self, name: str) -> Counter:
         inst = self.counters.get(name)
@@ -174,7 +213,8 @@ class Metrics:
     def timeseries(self, name: str) -> TimeSeries:
         inst = self.series.get(name)
         if inst is None:
-            inst = self.series[name] = TimeSeries()
+            inst = self.series[name] = TimeSeries(
+                max_points=self.max_series_points)
         return inst
 
     def names(self) -> List[str]:

@@ -1,0 +1,280 @@
+"""Streaming sketches: relative-error quantiles and heavy hitters.
+
+The telemetry plane (docs/monitoring.md) keeps per-window state O(1) in
+the number of observations, so 1024-client sweeps can be watched live
+without accumulating sample lists.  Two sketches cover it:
+
+* :class:`DDSketch` — a relative-error quantile sketch in the style of
+  DDSketch (Masson et al., VLDB'19).  Values land in geometric buckets
+  ``gamma**i`` with ``gamma = (1 + alpha) / (1 - alpha)``; any quantile
+  query is answered within relative error ``alpha`` of the exact sample
+  at that rank.  Merging two sketches of equal ``alpha`` is exact bucket
+  addition, hence associative and commutative — tumbling panes merge
+  into sliding windows without losing the error bound.
+* :class:`SpaceSaving` — the Space-Saving heavy-hitter summary (Metwally
+  et al., ICDT'05) over at most ``capacity`` tracked keys.  Estimated
+  counts never under-count, over-count by at most the tracked ``error``,
+  and any key with true frequency above ``n / capacity`` is guaranteed
+  to be tracked.
+
+Both sketches are deterministic: no randomness, no ``id()``/``hash()``
+ordering, stable tie-breaks — required by the repo's byte-identical
+trace/report contract (tests/test_trace_determinism.py).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["DDSketch", "SpaceSaving"]
+
+
+class DDSketch:
+    """Quantile sketch with a guaranteed relative-error bound.
+
+    ``alpha`` is the relative accuracy: for any quantile ``q``,
+    ``|quantile(q) - exact_q| <= alpha * exact_q`` where ``exact_q`` is
+    the exact sample at the same rank.  Non-negative values only; values
+    at or below ``min_value`` (default 1e-9) collapse into an exact zero
+    bucket, so idle-window utilisations and zero latencies cost nothing.
+    """
+
+    __slots__ = ("alpha", "gamma", "_mult", "min_value", "buckets",
+                 "zero_count", "count", "total", "min_seen", "max_seen")
+
+    def __init__(self, alpha: float = 0.01, min_value: float = 1e-9):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if min_value <= 0.0:
+            raise ValueError("min_value must be > 0")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._mult = 1.0 / math.log(self.gamma)
+        self.min_value = min_value
+        self.buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = 0.0
+
+    # -------------------------------------------------------------- feed
+    def _index(self, value: float) -> int:
+        return math.ceil(math.log(value) * self._mult)
+
+    def add(self, value: float, n: int = 1) -> None:
+        if value < 0.0:
+            raise ValueError("DDSketch stores non-negative values")
+        if n <= 0:
+            return
+        self.count += n
+        self.total += value * n
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value <= self.min_value:
+            self.zero_count += n
+            return
+        index = self._index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + n
+
+    # ------------------------------------------------------------ queries
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]; 0.0 when empty.
+
+        Within relative error ``alpha`` of the exact sample at rank
+        ``q * (count - 1)`` (nearest-rank, 0-based).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = self.zero_count
+        if seen > rank:
+            return 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen > rank:
+                # Geometric midpoint of (gamma**(i-1), gamma**i]: within
+                # alpha of every value the bucket can hold.
+                return 2.0 * self.gamma ** index / (self.gamma + 1.0)
+        return self.max_seen  # pragma: no cover - float-edge fallback
+
+    def percentile(self, p: float) -> float:
+        """Percentile in [0, 100] (same accuracy as :meth:`quantile`)."""
+        return self.quantile(p / 100.0)
+
+    def count_above(self, threshold: float) -> int:
+        """How many observed values exceeded ``threshold``.
+
+        Bucket-resolution approximation: the bucket containing
+        ``threshold`` counts as *not* above, so the answer errs low by
+        at most one bucket's population (a ``2*alpha`` value band).
+        """
+        if threshold < 0.0:
+            return self.count
+        if threshold <= self.min_value:
+            return self.count - self.zero_count
+        cut = self._index(threshold)
+        return sum(n for index, n in self.buckets.items() if index > cut)
+
+    # ------------------------------------------------------------- merge
+    def merge(self, other: "DDSketch") -> "DDSketch":
+        """Fold ``other`` into ``self`` (exact, associative) and return
+        ``self``.  Both sketches must share the same ``alpha``."""
+        if other.alpha != self.alpha:
+            raise ValueError("cannot merge DDSketches of different alpha")
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        if other.min_seen < self.min_seen:
+            self.min_seen = other.min_seen
+        if other.max_seen > self.max_seen:
+            self.max_seen = other.max_seen
+        return self
+
+    def copy(self) -> "DDSketch":
+        dup = DDSketch(self.alpha, self.min_value)
+        dup.buckets = dict(self.buckets)
+        dup.zero_count = self.zero_count
+        dup.count = self.count
+        dup.total = self.total
+        dup.min_seen = self.min_seen
+        dup.max_seen = self.max_seen
+        return dup
+
+    @classmethod
+    def merged(cls, sketches: Iterable["DDSketch"],
+               alpha: float = 0.01) -> "DDSketch":
+        """A fresh sketch holding the union of ``sketches``."""
+        out: Optional[DDSketch] = None
+        for sketch in sketches:
+            if out is None:
+                out = sketch.copy()
+            else:
+                out.merge(sketch)
+        return out if out is not None else cls(alpha)
+
+    # ----------------------------------------------------------- export
+    def summary(self) -> dict:
+        return {"count": self.count, "mean": self.mean,
+                "p50": self.quantile(0.50), "p99": self.quantile(0.99),
+                "max": self.max_seen}
+
+    def to_dict(self) -> dict:
+        """Plain-data form (sorted, deterministic; JSONL-safe)."""
+        return {
+            "alpha": self.alpha,
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min_seen if self.count else None,
+            "max": self.max_seen,
+            "buckets": {str(i): self.buckets[i]
+                        for i in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DDSketch":
+        sketch = cls(alpha=data["alpha"])
+        sketch.buckets = {int(i): n for i, n in data["buckets"].items()}
+        sketch.zero_count = data["zero_count"]
+        sketch.count = data["count"]
+        sketch.total = data["total"]
+        sketch.min_seen = (data["min"] if data["min"] is not None
+                           else math.inf)
+        sketch.max_seen = data["max"]
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DDSketch alpha={self.alpha} count={self.count} "
+                f"buckets={len(self.buckets)}>")
+
+
+class SpaceSaving:
+    """Space-Saving heavy-hitter summary over hashable keys.
+
+    Tracks at most ``capacity`` keys.  When a new key arrives at a full
+    summary, the tracked key with the smallest estimated count is
+    evicted (stable tie-break: the least recently *installed* of the
+    minima) and the newcomer inherits its count as ``error``.
+
+    Guarantees (n = total offered weight):
+
+    * ``estimate >= true count`` for every tracked key;
+    * ``estimate - error <= true count`` (error is the possible
+      over-count inherited at installation);
+    * every key with true count > ``n / capacity`` is tracked.
+    """
+
+    __slots__ = ("capacity", "n", "_entries", "_seq")
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.n = 0
+        # key -> [count, error, installed_seq]
+        self._entries: Dict[object, List[int]] = {}
+        self._seq = 0
+
+    def offer(self, key, n: int = 1) -> None:
+        if n <= 0:
+            return
+        self.n += n
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry[0] += n
+            return
+        if len(self._entries) < self.capacity:
+            self._seq += 1
+            self._entries[key] = [n, 0, self._seq]
+            return
+        victim_key, victim = min(self._entries.items(),
+                                 key=lambda kv: (kv[1][0], kv[1][2]))
+        del self._entries[victim_key]
+        self._seq += 1
+        self._entries[key] = [victim[0] + n, victim[0], self._seq]
+
+    def estimate(self, key) -> Tuple[int, int]:
+        """``(count, error)`` for ``key`` (0, 0 when untracked)."""
+        entry = self._entries.get(key)
+        return (entry[0], entry[1]) if entry is not None else (0, 0)
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[object, int, int]]:
+        """``(key, count, error)`` rows, heaviest first (stable order)."""
+        rows = sorted(self._entries.items(),
+                      key=lambda kv: (-kv[1][0], kv[1][2]))
+        if k is not None:
+            rows = rows[:k]
+        return [(key, entry[0], entry[1]) for key, entry in rows]
+
+    def heavy_hitters(self, phi: float) -> List[Tuple[object, int, int]]:
+        """Keys whose *guaranteed* count exceeds ``phi * n``."""
+        floor = phi * self.n
+        return [(key, count, error) for key, count, error in self.top()
+                if count - error > floor]
+
+    def to_dict(self, key_repr=repr) -> dict:
+        return {
+            "capacity": self.capacity,
+            "n": self.n,
+            "top": [{"key": key_repr(key), "count": count, "error": error}
+                    for key, count, error in self.top()],
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SpaceSaving capacity={self.capacity} n={self.n} "
+                f"tracked={len(self._entries)}>")

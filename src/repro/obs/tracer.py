@@ -136,6 +136,15 @@ class Tracer:
         self.orphan_batches: List[dict] = []   # batches outside any span
         self._stacks: Dict[object, List[Span]] = {}
         self._sid = itertools.count()
+        # Alert spans (Monitor.finish / SLO trips) get negative sids from
+        # their own counter, so operation spans keep the exact sids an
+        # unmonitored run would assign (tests/test_trace_determinism.py
+        # compares monitored clean runs minus alerts against unmonitored
+        # runs byte-for-byte).
+        self._alert_sid = itertools.count(1)
+        # Optional online monitor (repro.obs.monitor): receives every
+        # ended span.  None keeps end_span at one attribute check.
+        self.monitor = None
 
     # ------------------------------------------------------------- spans
     def _stack(self) -> Optional[List[Span]]:
@@ -177,6 +186,23 @@ class Tracer:
             stack.remove(span)
         if proc is not None and not stack:
             self._stacks.pop(proc, None)
+        if self.monitor is not None:
+            self.monitor.on_span(span)
+
+    def alert(self, op: str, t0: float, t1: float,
+              outcome: Optional[str] = None) -> Span:
+        """Record a monitor alert as a span over the offending window.
+
+        ``op`` is an ``alert.*`` name (``alert.slo.<slo>``,
+        ``alert.gray.<scope>``); the span lands in ``spans`` (so it is
+        exported to Chrome traces and JSONL alongside the operations
+        that caused it) under a negative sid and cid ``-1``."""
+        span = Span(-next(self._alert_sid), op, -1, t0)
+        span.end_us = t1
+        span.ok = False
+        span.outcome = outcome
+        self.spans.append(span)
+        return span
 
     def phase(self, name: str) -> None:
         """Label the next batches of the innermost active span."""
@@ -277,6 +303,7 @@ class NullTracer:
 
     enabled = False
     env = None
+    monitor = None
     spans: List[Span] = []
     orphan_batches: List[dict] = []
 
@@ -305,6 +332,9 @@ class NullTracer:
 
     def on_rpc(self, mn_id: int, name: str) -> dict:
         return {}
+
+    def alert(self, op: str, t0: float, t1: float, outcome=None) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()

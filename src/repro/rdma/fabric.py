@@ -151,6 +151,12 @@ class FabricStats:
     # the affinity hash spread QPs over a multi-queue MN.  Keys are the
     # port labels the profiler ranks (e.g. ``mn0.nic_tx.p2``).
     per_port_ops: Dict[str, int] = field(default_factory=dict)
+    # Messages the injector dropped, per NIC port label — all zero on a
+    # clean fabric.  The monitor's gray-failure drop rule compares these
+    # against ``per_port_ops`` deltas to catch ports whose requests
+    # vanish (port-scoped partitions / lossy links) and therefore never
+    # produce service-time observations.
+    per_port_drops: Dict[str, int] = field(default_factory=dict)
     # KV-block READs per replica MN, filled by the client's read-spread
     # policy — the per-replica read-skew counter behind the
     # ``kv_read_skew`` metrics series.
@@ -193,6 +199,11 @@ class Fabric:
         # Optional fault injection (repro.faults).  None keeps the clean
         # fast path at one attribute check per post/rpc.
         self.injector = None
+        # Optional online monitor (repro.obs.monitor).  None keeps every
+        # hook site at a single attribute check; attached, the fabric
+        # feeds per-delivery service times and per-port drop counts to
+        # the gray-failure detector.
+        self.monitor = None
         # Hot-path memo tables.  Port/CPU affinity is a pure function of
         # (mn, direction, qp) at salt 0 (ports never change after build),
         # and per-verb service time is a pure function of (NIC profile,
@@ -284,6 +295,10 @@ class Fabric:
         per_port = self.stats.per_port_ops
         per_port[port.label] = per_port.get(port.label, 0) + n
 
+    def _note_drop(self, port) -> None:
+        per_port = self.stats.per_port_drops
+        per_port[port.label] = per_port.get(port.label, 0) + 1
+
     # -- one-sided verbs ------------------------------------------------------
     def post(self, ops: Sequence[Verb], unsignaled: bool = False,
              qp: int = 0) -> Event:
@@ -308,7 +323,8 @@ class Fabric:
         stats = self.stats
         stats.batches += 1
         prof = env._profiler
-        if prof is None and env._access_hook is None and self._coalesce_off:
+        if prof is None and env._access_hook is None \
+                and self._coalesce_off and self.monitor is None:
             # Hot path: no hooks, no coalescing — singleton groups with
             # inlined counting/affinity/service lookups.  Timing and stat
             # totals are identical to the general loop below.
@@ -424,6 +440,11 @@ class Fabric:
                 self.stats.coalesced_verbs += len(group) - 1
             _, port = self._port_for(node, isinstance(group[0], ReadOp), qp)
             self._note_port(port, len(group))
+            if self.monitor is not None:
+                self.monitor.note_verb(node.mn_id, port.label,
+                                       group[0].__class__,
+                                       op_bytes(group[0]), service,
+                                       len(group))
             done = port.finish_time(service, not_before=arrive)
             finish = max(finish, done + cfg.one_way_delay_us)
             if prof is not None:
@@ -529,6 +550,7 @@ class Fabric:
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
+                self._note_drop(port)
                 yield _backoff(env, policy.verb_timeout_us + backoff,
                                "verb.timeout")
                 continue
@@ -554,6 +576,9 @@ class Fabric:
             service = (self._service_time(node, op)
                        * inj.service_factor(op.mn_id, env.now, port=pidx))
             self._note_port(port)
+            if self.monitor is not None:
+                self.monitor.note_verb(op.mn_id, port.label, op.__class__,
+                                       op_bytes(op), service)
             done = port.finish_time(service, not_before=env.now)
             if fate.duplicate:
                 # The fabric delivered the request twice.  The second copy
@@ -567,6 +592,7 @@ class Fabric:
                 port.finish_time(service, not_before=env.now)
             if fate.drop_reply:
                 self.stats.dropped_replies += 1
+                self._note_drop(port)
                 elapsed = env.now - t_attempt
                 yield _backoff(
                     env,
@@ -647,6 +673,8 @@ class Fabric:
             self.env.note_access(("rpc", mn_id, name), True)
             handler = node.rpc_handler(name)
             reply, cpu_time = handler(payload)
+            if self.monitor is not None:
+                self.monitor.note_rpc(mn_id, cpu.label, name, cpu_time)
             yield self.env.timeout(cpu_time)
         finally:
             req.release()
@@ -688,6 +716,7 @@ class Fabric:
             backoff = policy.backoff_us(attempt, fate.backoff_u)
             if fate.drop_request:
                 self.stats.dropped_requests += 1
+                self._note_drop(port)
                 yield _backoff(env, policy.rpc_timeout_us + backoff,
                                "rpc.timeout")
                 continue
@@ -703,15 +732,19 @@ class Fabric:
                 self.stats.rpc_dedup_hits += 1
                 reply = cached[0]
             else:
-                req = self._cpu_for(node, qp).request()
+                cpu = self._cpu_for(node, qp)
+                req = cpu.request()
                 yield req
                 try:
                     self.env.note_access(("rpc", mn_id, name), True)
                     handler = node.rpc_handler(name)
                     reply, cpu_time = handler(payload)
-                    yield env.timeout(
-                        cpu_time * inj.service_factor(mn_id, env.now,
-                                                      port=pidx))
+                    cpu_eff = cpu_time * inj.service_factor(mn_id, env.now,
+                                                            port=pidx)
+                    if self.monitor is not None:
+                        self.monitor.note_rpc(mn_id, cpu.label, name,
+                                              cpu_eff)
+                    yield env.timeout(cpu_eff)
                 finally:
                     req.release()
                 node.cache_rpc_reply(token, reply)
@@ -720,6 +753,7 @@ class Fabric:
                 return FAIL
             if fate.drop_reply:
                 self.stats.dropped_replies += 1
+                self._note_drop(port)
                 elapsed = env.now - t_attempt
                 yield _backoff(
                     env,

@@ -280,6 +280,83 @@ class TestProfileDeterminism:
         assert abs(total - expected) <= 1e-5 * len(lines) + 1e-6
 
 
+def monitored_ycsb_trace(seed: int, duration_us: float = 1500.0,
+                         monitored: bool = True, slos=()):
+    """Like :func:`traced_ycsb_run` but with the online monitor attached;
+    returns ``(jsonl_lines, health)`` (health None when unmonitored)."""
+    from repro.obs import Monitor, MonitorConfig, SloSpec
+
+    bed = fusee_bed(n_memory_nodes=2, replication_factor=2,
+                    dataset_bytes=1 << 18, background_interval_us=0.0)
+    config = YcsbConfig(workload="A", n_keys=200)
+    seeder = YcsbWorkload(config, seed=seed)
+    bed.load((key, seeder.load_value(i))
+             for i, key in enumerate(seeder.load_keys()))
+    tracer = Tracer()
+    bed.cluster.attach_tracer(tracer)
+    monitor = None
+    if monitored:
+        monitor = Monitor(bed.env, bed.cluster.fabric,
+                          config=MonitorConfig(hotkey_capacity=8),
+                          slos=[SloSpec.parse(s) for s in slos],
+                          race=bed.cluster.race)
+        bed.cluster.attach_monitor(monitor)
+    clients = [bed.new_client() for _ in range(2)]
+    result = run_closed_loop(bed.env, clients,
+                             lambda index: YcsbWorkload(config,
+                                                        seed=seed + 1 + index),
+                             bed.execute, duration_us=duration_us,
+                             monitor=monitor)
+    return jsonl_lines(tracer), result.health
+
+
+class TestMonitorDeterminism:
+    """The telemetry plane inherits the determinism contract: window
+    edges are pure functions of simulated time, sketches are exactly
+    mergeable, and the monitor only observes — so health reports are
+    byte-identical across same-seed runs, and a monitored clean run's
+    *operation* records are byte-identical to the unmonitored run."""
+
+    def test_same_seed_gives_identical_health_fingerprint(self):
+        from repro.obs import health_fingerprint
+
+        _lines1, health1 = monitored_ycsb_trace(seed=7)
+        _lines2, health2 = monitored_ycsb_trace(seed=7)
+        fp = health_fingerprint(health1)
+        assert fp == health_fingerprint(health2)
+        assert '"rows":' in fp       # window rows are part of the print
+
+    def test_window_edges_are_seed_stable(self):
+        _lines, health = monitored_ycsb_trace(seed=7)
+        rows = health["windows"]["rows"]
+        width = health["windows"]["width_us"]
+        assert rows
+        for row in rows:
+            assert row["t0"] == row["pane"] * width
+            assert row["t1"] == (row["pane"] + 1) * width
+
+    def test_monitored_clean_run_trace_matches_unmonitored(self):
+        """Alert spans ride negative sids; everything with sid >= 0 (ops
+        and fabric events) must be byte-identical to the bare run."""
+        import json as _json
+
+        plain, _none = monitored_ycsb_trace(seed=7, monitored=False)
+        monitored, health = monitored_ycsb_trace(
+            seed=7, slos=("latency:all:p99:0.001",))
+        assert health["slos"][0]["windows_tripped"] > 0  # alerts emitted
+
+        def op_records(lines):
+            keep = []
+            for line in lines:
+                sid = _json.loads(line).get("sid")
+                if sid is None or sid >= 0:
+                    keep.append(line)
+            return keep
+
+        assert op_records(monitored) != monitored  # filter removed alerts
+        assert op_records(monitored) == plain
+
+
 class TestChromeCounterTracks:
     def test_counter_events_are_valid_and_time_ordered(self):
         tracer, metrics = traced_ycsb_run(seed=7, metrics=True)
