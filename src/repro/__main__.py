@@ -146,11 +146,97 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _resolve_scenario(args):
+    """Resolve ``--scenario [--smoke]`` into a Scenario instance."""
+    from .workloads import SMOKE_TRIM, get_scenario
+
+    overrides = dict(SMOKE_TRIM) if getattr(args, "smoke", False) else {}
+    return get_scenario(args.scenario, seed=args.seed, **overrides)
+
+
+def _cmd_ycsb_scenario(args) -> int:
+    """Paced open-loop run of a production traffic scenario."""
+    from .harness.runner import run_open_loop
+    from .harness.systems import fusee_bed
+    from .obs import Metrics
+    from .workloads import tenant_report
+
+    scn = _resolve_scenario(args)
+    monitor_config, slos = _monitor_setup(args)
+    tracer = profiler = None
+    if args.trace or args.jsonl or args.profile \
+            or monitor_config is not None:
+        from .obs import Tracer
+        tracer = Tracer()
+    bed = fusee_bed(n_memory_nodes=args.memory_nodes,
+                    replication_factor=args.replicas,
+                    dataset_bytes=max(args.keys * 1024, 1 << 21),
+                    variant=args.variant,
+                    read_spread=args.read_spread,
+                    max_coalesce_width=args.coalesce_width,
+                    nic_ports=args.nic_ports,
+                    rpc_shards=args.rpc_shards,
+                    port_affinity=args.port_affinity,
+                    replication=args.replication,
+                    max_clients=max(256, scn.n_clients + 8))
+    loaded = bed.load(scn.preload_items())
+    print(f"loaded {loaded} keys across {len(scn.tenants)} tenant(s) "
+          f"(scenario {scn.name}, family {scn.family}, seed {scn.seed})")
+    # Attach observability only now, so the bulk load stays untraced.
+    if tracer is not None:
+        bed.cluster.attach_tracer(tracer)
+    if args.profile:
+        from .obs import Profiler
+        profiler = Profiler(tracer=tracer).install(bed.env)
+    metrics = Metrics()  # always on: the tenant report reads it
+    if args.metrics:
+        from .obs import sample_fabric
+        sample_fabric(bed.env, metrics, bed.cluster.fabric,
+                      interval_us=args.sample_interval)
+    monitor = None
+    if monitor_config is not None:
+        from .obs import Monitor
+        monitor = Monitor(bed.env, bed.cluster.fabric,
+                          config=monitor_config, slos=slos,
+                          race=bed.cluster.race)
+        bed.cluster.attach_monitor(monitor)
+    clients = [bed.new_client() for _ in range(scn.n_clients)]
+    result = run_open_loop(bed.env, clients, scn.client_stream,
+                           bed.execute, duration_us=scn.duration_us,
+                           metrics=metrics, fast=profiler is None,
+                           monitor=monitor)
+    offered = scn.schedule.integral(0.0, scn.duration_us)
+    print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
+          f"-> {result.mops:.3f} Mops ({result.errors} errors; "
+          f"~{offered:.0f} offered)")
+    print()
+    print(f"{'tenant':>10} {'ops':>6} {'share':>6} {'err':>4} "
+          f"{'p50_us':>8} {'p99_us':>8}")
+    for name, row in tenant_report(metrics, scn).items():
+        print(f"{name:>10} {row['ops']:>6} "
+              f"{row['throughput_share']:>6.2f} {row['errors']:>4} "
+              f"{row['p50_us']:>8.2f} {row['p99_us']:>8.2f}")
+    if result.health is not None:
+        _report_health(args, result.health)
+    if profiler is not None:
+        from .obs import (RunProfile, analyze_critical_path,
+                          critical_report, profile_report)
+        print()
+        print(profile_report(RunProfile.collect(profiler, tracer.spans)))
+        print()
+        print(critical_report(analyze_critical_path(profiler,
+                                                    tracer.spans)))
+    _export_obs(args, tracer, metrics if args.metrics else None)
+    return 0
+
+
 def cmd_ycsb(args) -> int:
     from .harness.runner import run_closed_loop
     from .harness.systems import fusee_bed
     from .workloads import YcsbConfig, YcsbWorkload
 
+    if args.scenario:
+        return _cmd_ycsb_scenario(args)
     monitor_config, slos = _monitor_setup(args)
     tracer = metrics = profiler = None
     if args.trace or args.jsonl or args.profile \
@@ -221,6 +307,7 @@ def cmd_profile(args) -> int:
     from .obs import write_chrome_trace, write_folded
 
     monitor_config, slos = _monitor_setup(args)
+    scenario = _resolve_scenario(args) if args.scenario else None
     result = profile_ycsb(system=args.system, workload=args.workload,
                           scale=_scale_from(args.scale),
                           n_clients=args.clients,
@@ -234,7 +321,8 @@ def cmd_profile(args) -> int:
                           rpc_shards=args.rpc_shards,
                           port_affinity=args.port_affinity,
                           replication=args.replication,
-                          monitor_config=monitor_config, slos=slos)
+                          monitor_config=monitor_config, slos=slos,
+                          scenario=scenario, seed=args.seed)
     print(result.report())
     if result.health is not None:
         _report_health(args, result.health)
@@ -344,17 +432,22 @@ def cmd_faults(args) -> int:
     from .faults.campaign import CAMPAIGNS, run_campaign
 
     if args.list:
+        from .workloads import SCENARIOS
         for name in (*CAMPAIGNS, "random"):
             print(name)
+        for name in sorted(SCENARIOS):
+            print(f"scenario:{name}")
         return 0
     monitor_config, slos = _monitor_setup(args)
+    scenario = _resolve_scenario(args) if args.scenario else None
     report = run_campaign(args.campaign, seed=args.seed,
                           retries=not args.no_retries,
                           clients=args.clients,
                           ops_per_client=args.ops_per_client,
                           replication=args.replication,
                           index_replication=args.index_replication,
-                          monitor_config=monitor_config, slos=slos)
+                          monitor_config=monitor_config, slos=slos,
+                          scenario=scenario)
     print(report.render())
     if report.health is not None:
         _report_health(args, report.health)
@@ -371,14 +464,18 @@ def cmd_monitor(args) -> int:
         from .obs import MonitorConfig
         monitor_config = MonitorConfig()
 
-    if args.campaign:
+    scenario = _resolve_scenario(args) if args.scenario else None
+    if args.campaign or (scenario is not None and scenario.faults):
         # Faulted mode: every seeded gray/port fault must be caught.
+        # A compound scenario (one carrying fault events) routes here
+        # even without --campaign; its own fault plan applies.
         from .faults.campaign import run_campaign
-        report = run_campaign(args.campaign, seed=args.seed,
+        report = run_campaign(args.campaign or "mixed", seed=args.seed,
                               clients=args.clients,
                               nic_ports=args.nic_ports,
                               rpc_shards=args.rpc_shards,
-                              monitor_config=monitor_config, slos=slos)
+                              monitor_config=monitor_config, slos=slos,
+                              scenario=scenario)
         print(report.render())
         _report_health(args, report.health)
         det = report.detector or {}
@@ -389,34 +486,49 @@ def cmd_monitor(args) -> int:
                   f"caught, {len(det.get('unexplained', []))} unexplained)")
         return 0 if report.sound else 1
 
-    # Clean-bed mode: a monitored YCSB run on a healthy cluster must
-    # produce zero detector flags (the zero-false-positive guarantee).
-    from .harness.runner import run_closed_loop
+    # Clean-bed mode: a monitored YCSB (or pure-load scenario) run on a
+    # healthy cluster must produce zero detector flags (the
+    # zero-false-positive guarantee).
+    from .harness.runner import run_closed_loop, run_open_loop
     from .harness.systems import fusee_bed
     from .obs import Tracer
     from .workloads import YcsbConfig, YcsbWorkload
 
     tracer = Tracer()
+    n_clients = scenario.n_clients if scenario is not None \
+        else args.clients
     bed = fusee_bed(n_memory_nodes=args.memory_nodes,
                     dataset_bytes=args.keys * 1024,
                     nic_ports=args.nic_ports,
                     rpc_shards=args.rpc_shards,
-                    max_clients=max(256, args.clients + 8))
-    config = YcsbConfig(workload=args.workload, n_keys=args.keys)
-    seeder = YcsbWorkload(config, seed=args.seed)
-    loaded = bed.load((key, seeder.load_value(i))
-                      for i, key in enumerate(seeder.load_keys()))
-    print(f"loaded {loaded}/{args.keys} keys "
-          f"(YCSB-{args.workload}, seed {args.seed})")
+                    max_clients=max(256, n_clients + 8))
+    if scenario is not None:
+        loaded = bed.load(scenario.preload_items())
+        print(f"loaded {loaded} keys across "
+              f"{len(scenario.tenants)} tenant(s) "
+              f"(scenario {scenario.name}, seed {scenario.seed})")
+    else:
+        config = YcsbConfig(workload=args.workload, n_keys=args.keys)
+        seeder = YcsbWorkload(config, seed=args.seed)
+        loaded = bed.load((key, seeder.load_value(i))
+                          for i, key in enumerate(seeder.load_keys()))
+        print(f"loaded {loaded}/{args.keys} keys "
+              f"(YCSB-{args.workload}, seed {args.seed})")
     bed.cluster.attach_tracer(tracer)
     monitor = Monitor(bed.env, bed.cluster.fabric, config=monitor_config,
                       slos=slos, race=bed.cluster.race)
     bed.cluster.attach_monitor(monitor)
-    clients = [bed.new_client() for _ in range(args.clients)]
-    result = run_closed_loop(
-        bed.env, clients,
-        lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
-        bed.execute, duration_us=args.duration_us, monitor=monitor)
+    clients = [bed.new_client() for _ in range(n_clients)]
+    if scenario is not None:
+        result = run_open_loop(bed.env, clients, scenario.client_stream,
+                               bed.execute,
+                               duration_us=scenario.duration_us,
+                               monitor=monitor)
+    else:
+        result = run_closed_loop(
+            bed.env, clients,
+            lambda index: YcsbWorkload(config, seed=args.seed + 1 + index),
+            bed.execute, duration_us=args.duration_us, monitor=monitor)
     print(f"{result.ops} ops in {result.duration_us:.0f} simulated us "
           f"-> {result.mops:.3f} Mops ({result.errors} errors)")
     _report_health(args, result.health)
@@ -467,6 +579,17 @@ def _add_obs_flags(parser) -> None:
                         help="write one JSON record per span/verb batch")
     parser.add_argument("--metrics", action="store_true",
                         help="print a metrics report after the run")
+
+
+def _add_scenario_flags(parser) -> None:
+    parser.add_argument("--scenario", default=None, metavar="NAME",
+                        help="drive a production traffic scenario "
+                             "instead of the YCSB mix "
+                             "(docs/scenarios.md; 'faults --list' "
+                             "prints the names)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="apply the CI smoke trim to --scenario "
+                             "(short duration, fewer keys/clients)")
 
 
 def _add_monitor_flags(parser, default_hotkeys: int = 0) -> None:
@@ -569,6 +692,7 @@ def main(argv=None) -> int:
                              help="fabric counter sampling interval for "
                                   "--metrics (simulated us, default 50)")
     _add_monitor_flags(ycsb_parser)
+    _add_scenario_flags(ycsb_parser)
     ycsb_parser.set_defaults(func=cmd_ycsb)
 
     profile_parser = sub.add_parser(
@@ -607,9 +731,13 @@ def main(argv=None) -> int:
                                 default=50.0, metavar="US",
                                 help="fabric counter sampling interval "
                                      "(simulated us, default 50)")
+    profile_parser.add_argument("--seed", type=int, default=0,
+                                help="scenario stream seed (with "
+                                     "--scenario)")
     _add_replication_flag(profile_parser)
     _add_hotpath_flags(profile_parser)
     _add_monitor_flags(profile_parser)
+    _add_scenario_flags(profile_parser)
     profile_parser.set_defaults(func=cmd_profile)
 
     check_parser = sub.add_parser(
@@ -653,6 +781,7 @@ def main(argv=None) -> int:
                                     "multi-replica protocol paths under "
                                     "faults (default: 1)")
     _add_monitor_flags(faults_parser)
+    _add_scenario_flags(faults_parser)
     faults_parser.set_defaults(func=cmd_faults)
 
     monitor_parser = sub.add_parser(
@@ -677,6 +806,7 @@ def main(argv=None) -> int:
     monitor_parser.add_argument("--rpc-shards", type=int, default=1,
                                 metavar="N")
     _add_monitor_flags(monitor_parser, default_hotkeys=8)
+    _add_scenario_flags(monitor_parser)
     monitor_parser.set_defaults(func=cmd_monitor)
 
     args = parser.parse_args(argv)

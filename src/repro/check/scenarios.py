@@ -42,7 +42,8 @@ from ..core.linearizability import (History, check_kv_linearizable,
                                     check_linearizable)
 from ..core.race import RaceConfig, SlotRef
 from ..core.wire import FLAG_INVALID, SLOT_SIZE, unpack_slot
-from ..faults.model import CN, FaultInjector, FaultPlan, LinkFault, Partition
+from ..faults.model import (CN, FaultInjector, FaultPlan, GrayNode,
+                            LinkFault, Partition)
 from ..faults.retry import RetryPolicy
 from ..rdma import CasOp, Fabric, FabricConfig, MemoryNode, ReadOp
 from ..sim import Environment, NicProfile
@@ -54,7 +55,8 @@ __all__ = ["SCENARIOS", "make_slot_write_race", "make_slot_crash_read",
            "make_cluster_update_invalidate",
            "make_slot_write_race_lossy", "make_cluster_partition_heal",
            "make_swarm_write_race", "make_swarm_crash_read",
-           "make_swarm_write_chain", "make_cluster_swarm_race"]
+           "make_swarm_write_chain", "make_cluster_swarm_race",
+           "make_cluster_gray_expansion"]
 
 Scenario = Callable[[ControlledScheduler], Optional[str]]
 
@@ -695,6 +697,70 @@ def make_cluster_partition_heal() -> Scenario:
     return scenario
 
 
+def make_cluster_gray_expansion() -> Scenario:
+    """An extendible index split in flight on a *gray* (slow-but-alive)
+    primary MN, racing a client UPDATE and SEARCH.
+
+    The master's ``expand_subtable`` snapshots the old subtable, holds
+    writers off behind the expansion barrier for a lease, rebuilds the
+    images and commits — all against the subtable's primary.  A gray
+    primary stretches every one of those steps arbitrarily, widening
+    the windows between snapshot, client ops and commit.  In this
+    zero-latency world the gray factor multiplies zero service time, so
+    the *scheduler* is what renders the slowness: exploring all
+    interleavings of the split's steps against the clients covers every
+    gray-stretched timing, including ones a real gray window would be
+    unlucky to hit.  The installed gray fault still exercises the
+    injector wiring on the RPC path (master expand + ALLOC share the
+    faulted fabric).
+
+    Checked: the split and both client ops terminate (no hangs), the
+    split actually happened, every preloaded key is still reachable
+    after rehash (epilogue searches), and the whole span history is
+    KV-linearizable.
+    """
+
+    def scenario(sched: ControlledScheduler) -> Optional[str]:
+        env = Environment()
+        tracer = LogicalClockTracer(sched.logical_clock, env=env)
+        cluster = FuseeCluster(_small_cluster_config(), env=env,
+                               tracer=tracer)
+        c1, c2 = cluster.new_client(), cluster.new_client()
+        keys = [f"gk-{i}".encode() for i in range(3)]
+        for i, key in enumerate(keys):
+            cluster.run_op(c1.insert(key, b"v%d" % i))
+        cluster.run_op(c2.insert(b"warmup-2", b"x"))
+        primary_mn = cluster.race.placement(0)[0][0]
+        cluster.install_faults(
+            FaultPlan(gray_nodes=[GrayNode(mn_id=primary_mn, factor=8.0,
+                                           start_us=0.0, end_us=1e9)],
+                      seed=7),
+            retry=RetryPolicy(max_attempts=4, verb_timeout_us=4.0,
+                              rpc_timeout_us=8.0, backoff_base_us=1.0,
+                              backoff_cap_us=8.0))
+        before = cluster.master.splits_performed
+
+        env.set_scheduler(sched)
+        p1 = env.process(cluster.master.expand_subtable(0), name="expand")
+        p2 = env.process(c1.update(keys[0], b"mid-split"), name="update")
+        p3 = env.process(c2.search(keys[1]), name="search")
+        env.run(until=env.all_of([p1, p2, p3]))
+        if not (p1.triggered and p2.triggered and p3.triggered):
+            return "expansion or a client op hung on the gray primary"
+        if cluster.master.splits_performed != before + 1:
+            return "the index split never committed"
+        cluster.clear_faults()
+
+        # Epilogue: every preloaded key must have survived the rehash
+        # (scheduler still installed: hook-aware).
+        for key in keys:
+            cluster.run_op(c2.search(key), fast=False)
+        violation = check_kv_linearizable(kv_ops_from_spans(tracer.spans))
+        return str(violation) if violation is not None else None
+
+    return scenario
+
+
 def make_cluster_swarm_race() -> Scenario:
     """A SWARM-replicated cluster: concurrent UPDATEs racing a SEARCH.
 
@@ -749,4 +815,5 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
     "cluster-update-invalidate": make_cluster_update_invalidate,
     "cluster-partition-heal": make_cluster_partition_heal,
     "cluster-swarm-race": make_cluster_swarm_race,
+    "cluster-gray-expansion": make_cluster_gray_expansion,
 }

@@ -228,6 +228,56 @@ class FuseeCluster:
         self.mn_allocators[mn_id].injector = self.fabric.injector
         return mn_id
 
+    def grow_pool(self, regions: Optional[int] = None):
+        """Timed pool growth (generator): the elasticity cost model.
+
+        :meth:`add_memory_node` is deliberately instantaneous — it
+        answers *what* a grow changes.  This process answers *what it
+        costs*, splitting rebalance time into its two phases and
+        emitting a tracer span per phase so the profiler can attribute
+        them (``fig21_elasticity --saturate``):
+
+        * ``rebalance.snapshot_window`` — the read-only quiesce: the
+          master holds writers off placement changes for one lease
+          (``MasterConfig.lease_us``) while the region map snapshot is
+          taken, exactly the barrier an index split pays.
+        * ``rebalance.copy`` — streaming the client-table replica and
+          the index subtable images onto the new node at the NIC's line
+          rate.
+
+        The actual metadata mutation then reuses
+        :meth:`add_memory_node` unchanged.  Returns the new node id.
+        """
+        cfg = self.config
+        n_regions = cfg.regions_per_mn if regions is None else regions
+        tracer = self.fabric.tracer
+        traced = tracer is not None and getattr(tracer, "enabled", False)
+        parent = tracer.begin_span("rebalance.grow", -1) if traced else None
+
+        span = (tracer.begin_span("rebalance.snapshot_window", -1)
+                if traced else None)
+        yield self.env.timeout(self.master.config.lease_us)
+        if span is not None:
+            tracer.end_span(span, ok=True)
+
+        table_bytes = ClientTable.table_bytes(cfg.max_clients,
+                                              len(self.size_classes))
+        index_bytes = cfg.race.subtable_bytes * cfg.race.n_subtables
+        copy_bytes = table_bytes + index_bytes
+        gbps = cfg.nic.bandwidth_gbps
+        copy_us = (copy_bytes * 8.0 / (gbps * 1e3)
+                   if gbps not in (0, float("inf")) else 0.0)
+        span = tracer.begin_span("rebalance.copy", -1) if traced else None
+        if copy_us > 0.0:
+            yield self.env.timeout(copy_us)
+        if span is not None:
+            tracer.end_span(span, ok=True)
+
+        mn_id = self.add_memory_node(n_regions)
+        if parent is not None:
+            tracer.end_span(parent, ok=True)
+        return mn_id
+
     def _allocate_subtable(self, new_id: int, n_replicas: int):
         """Carve a fresh replicated subtable for an index split."""
         mn_ids = [mn for mn in self.ring.replicas(

@@ -40,7 +40,8 @@ from ..obs import Tracer
 from .model import CN, FaultPlan, GrayNode, LinkFault, Partition
 from .retry import NO_RETRY, RetryPolicy
 
-__all__ = ["CAMPAIGNS", "CampaignReport", "run_campaign", "campaign_plan"]
+__all__ = ["CAMPAIGNS", "CampaignReport", "run_campaign", "campaign_plan",
+           "scenario_fault_plan"]
 
 
 # --------------------------------------------------------------------------
@@ -85,6 +86,37 @@ CAMPAIGNS = {
     "gray": _gray_plan,
     "mixed": _mixed_plan,
 }
+
+
+def scenario_fault_plan(scenario, seed: int = 0) -> FaultPlan:
+    """Translate a scenario's declarative fault windows into a plan.
+
+    :class:`repro.workloads.scenarios.FaultEvent` times are fractions
+    of the scenario duration; campaign traffic starts right after
+    ``install_faults``, so scaling by ``duration_us`` keeps a compound
+    scenario's fault windows aligned with its load events at any trim.
+    """
+    duration = scenario.duration_us
+    link_faults: List[LinkFault] = []
+    partitions: List[Partition] = []
+    gray_nodes: List[GrayNode] = []
+    for event in scenario.faults:
+        start = event.start_frac * duration
+        end = event.end_frac * duration
+        if event.kind == "gray":
+            gray_nodes.append(GrayNode(mn_id=event.mn_id,
+                                       factor=event.factor,
+                                       start_us=start, end_us=end))
+        elif event.kind == "loss":
+            link_faults.append(LinkFault(drop_p=event.drop_p,
+                                         dup_p=event.dup_p,
+                                         jitter_us=event.jitter_us,
+                                         start_us=start, end_us=end))
+        else:
+            partitions.append(Partition(a=CN, b=event.mn_id,
+                                        start_us=start, end_us=end))
+    return FaultPlan(link_faults=link_faults, partitions=partitions,
+                     gray_nodes=gray_nodes, seed=seed)
 
 
 def campaign_plan(name: str, n_mns: int, seed: int = 0) -> FaultPlan:
@@ -240,8 +272,22 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
                  index_replication: int = 1,
                  monitor_config=None,
                  slos=(),
-                 detect_windows: int = 3) -> CampaignReport:
+                 detect_windows: int = 3,
+                 scenario=None,
+                 scenario_overrides: Optional[dict] = None
+                 ) -> CampaignReport:
     """Run one fault campaign and verify its end state.
+
+    ``scenario`` (a :class:`repro.workloads.scenarios.Scenario` or a
+    registry name; ``scenario_overrides`` are factory knobs for the
+    name form) swaps the scripted YCSB-A loop for the scenario's paced,
+    seeded arrival streams: the preload set becomes the scenario's
+    tenant key spaces, the client count the scenario's, and — for
+    compound scenarios carrying fault events — the fault plan is
+    derived from the scenario itself (:func:`scenario_fault_plan`).
+    Pure-load scenarios run under the named campaign plan, so *every*
+    shipped scenario gets a fault-campaign + linearizability verdict,
+    replayable from ``(scenario, seed)``.
 
     ``retries=False`` swaps in :data:`~repro.faults.retry.NO_RETRY` —
     the negative control showing the resilience layer is load-bearing.
@@ -262,8 +308,18 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
     ``detect_windows`` windows of onset with no unexplained flags — and
     folds that verdict into ``CampaignReport.sound``.
     """
+    ambient = name  # the named plan pure-load scenarios run under
+    if scenario is not None:
+        from ..workloads.scenarios import get_scenario
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario, seed=seed,
+                                    **(scenario_overrides or {}))
+        clients = scenario.n_clients
+        name = f"scenario:{scenario.name}"
+        if plan is None and scenario.faults:
+            plan = scenario_fault_plan(scenario, seed)
     if plan is None:
-        plan = campaign_plan(name, n_mns, seed)
+        plan = campaign_plan(ambient, n_mns, seed)
     if retry is None:
         retry = RetryPolicy() if retries else NO_RETRY
     cluster = _small_cluster(n_mns, nic_ports=nic_ports,
@@ -275,10 +331,15 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
     # ---- preload on a clean fabric (not part of the checked history)
     loader = cluster.new_client()
     rng = random.Random(seed ^ 0x5EED)
+    if scenario is not None:
+        preload_items = scenario.preload_items()
+    else:
+        preload_items = [
+            (f"k{i:03d}".encode(),
+             f"v0-{i:03d}".encode().ljust(value_size, b"."))
+            for i in range(preload)]
     initial: Dict[bytes, bytes] = {}
-    for i in range(preload):
-        key = f"k{i:03d}".encode()
-        value = f"v0-{i:03d}".encode().ljust(value_size, b".")
+    for key, value in preload_items:
         result = env.run(until=env.process(loader.insert(key, value)))
         if not result.ok:
             raise RuntimeError(f"preload of {key!r} failed: {result}")
@@ -330,14 +391,45 @@ def run_campaign(name: str = "mixed", seed: int = 0, retries: bool = True,
                     f"client {cid} op {i}: {type(exc).__name__}: {exc}")
                 return
 
+    # Paced scenario loops: sleep to each seeded arrival time, then run
+    # the op; late arrivals (client still mid-op under faults) run
+    # immediately, so fault-stretched latency never drops arrivals.
+    traffic_start = env.now
+
+    def scenario_loop(client, cid: int):
+        for arrival in scenario.client_stream(cid):
+            at = traffic_start + arrival.at_us
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            try:
+                if arrival.op == "search":
+                    yield from client.search(arrival.key)
+                elif arrival.op == "update":
+                    yield from client.update(arrival.key, arrival.value)
+                elif arrival.op == "insert":
+                    yield from client.insert(arrival.key, arrival.value)
+                else:
+                    yield from client.delete(arrival.key)
+            except Exception as exc:  # noqa: BLE001 - campaign verdict data
+                report.exceptions.append(
+                    f"client {cid} {arrival.op} @{arrival.at_us:.1f}: "
+                    f"{type(exc).__name__}: {exc}")
+                return
+
+    loop = client_loop if scenario is None else scenario_loop
     workers = [cluster.new_client() for _ in range(clients)]
-    procs = [env.process(client_loop(client, idx), name=f"campaign-{idx}")
+    procs = [env.process(loop(client, idx), name=f"campaign-{idx}")
              for idx, client in enumerate(workers)]
 
     # Bounded runs: extend past the fault horizon until every client loop
     # finishes (or provably never will — those are the hung ops).
-    deadline = max(plan.horizon_us(), 1000.0) \
-        + 100.0 * clients * ops_per_client
+    if scenario is not None:
+        expected_ops = scenario.schedule.integral(0.0, scenario.duration_us)
+        deadline = max(plan.horizon_us(), scenario.duration_us, 1000.0) \
+            + 100.0 * (expected_ops + clients)
+    else:
+        deadline = max(plan.horizon_us(), 1000.0) \
+            + 100.0 * clients * ops_per_client
     for _round in range(4):
         env.run(until=env.now + deadline)
         if all(p.triggered for p in procs):

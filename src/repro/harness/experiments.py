@@ -13,7 +13,7 @@ simulated time; minutes of wall-clock).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.fig3 import (
@@ -24,9 +24,10 @@ from ..baselines.fig3 import (
 )
 from ..core.client import CrashPoint, ClientCrashed
 from ..workloads import MicroConfig, MicroWorkload, YcsbConfig, YcsbWorkload
+from ..workloads.scenarios import SCENARIOS, get_scenario, tenant_report
 from ..workloads.ycsb import key_bytes, make_value
 from .runner import RunResult, cdf_points, percentile, run_closed_loop, \
-    run_latency
+    run_latency, run_open_loop
 from .systems import SystemBed, clover_bed, fusee_bed, pdpm_bed
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "fig19_replication_latency",
     "fig20_mn_crash",
     "fig21_elasticity",
+    "scenario_suite",
     "table1_recovery",
     "ablation_oplog",
     "ablation_expansion",
@@ -108,6 +110,9 @@ class ExperimentResult:
     headers: List[str]
     rows: List[List]
     notes: str = ""
+    # Structured side-channel for results that don't fit a table (the
+    # fig21 rebalance-phase attribution, per-tenant isolation reports).
+    extras: Dict[str, object] = field(default_factory=dict)
 
     def format(self) -> str:
         widths = [len(h) for h in self.headers]
@@ -629,9 +634,25 @@ def fig20_mn_crash(scale: Optional[Scale] = None,
 
 
 def fig21_elasticity(scale: Optional[Scale] = None,
-                     n_buckets: int = 9) -> ExperimentResult:
-    """Fig. 21: add 16 clients mid-run, remove them later (YCSB-C)."""
+                     n_buckets: int = 9,
+                     saturate: bool = False,
+                     scenario: str = "hot-key-storm",
+                     seed: int = 0) -> ExperimentResult:
+    """Fig. 21: elasticity under load.
+
+    Default mode reproduces the paper's shape: add clients mid-run,
+    remove them later (YCSB-C).  ``saturate=True`` is the production
+    variant (ISSUE 10): drive the bed with a *saturating* scenario
+    workload (closed-loop over a scenario stream, so the hot-set churn
+    is realistic but the offered load is unbounded) and **grow the MN
+    pool at bucket 3** through the timed :meth:`grow_pool` rebalance.
+    The PR-4 profiler attributes where rebalance time goes — the
+    snapshot read-only window vs. the copy — into
+    ``result.extras["rebalance"]``.
+    """
     scale = scale or Scale.bench()
+    if saturate:
+        return _fig21_saturating(scale, n_buckets, scenario, seed)
     bed = _loaded_bed(lambda: fusee_bed(
         dataset_bytes=scale.n_keys * scale.kv_size), scale)
     base = max(4, scale.n_clients // 2)
@@ -673,6 +694,118 @@ def fig21_elasticity(scale: Optional[Scale] = None,
         "fig21", "Elasticity: clients added at bucket 3, removed at 6",
         ["bucket", "t_us", "mops"], rows,
         notes="expect throughput steps up then returns (paper Fig. 21)")
+
+
+def _fig21_saturating(scale: Scale, n_buckets: int, scenario: str,
+                      seed: int) -> ExperimentResult:
+    """fig21 saturating-load mode: grow the pool under saturation and
+    attribute rebalance time with the profiler."""
+    from ..obs import Profiler, RunProfile, Tracer
+
+    bucket_us = scale.duration_us / 2.0
+    duration = bucket_us * n_buckets
+    n_clients = max(4, scale.n_clients // 2)
+    scn = get_scenario(scenario, duration_us=duration,
+                       keys_per_tenant=max(64, scale.n_keys // 4),
+                       n_clients=n_clients, seed=seed)
+    dataset = scn.preload_items()
+    tracer = Tracer()
+    bed = fusee_bed(dataset_bytes=max(1 << 22, len(dataset)
+                                      * scale.kv_size * 4),
+                    tracer=tracer)
+    bed.load(dataset)
+    profiler = Profiler(tracer=tracer).install(bed.env)
+    tracer.clear()
+    grown: Dict[str, int] = {}
+
+    def grow():
+        def proc():
+            # regions=2 matches the bed's growth headroom (backup
+            # replicas carve on the existing nodes)
+            grown["mn_id"] = yield from bed.cluster.grow_pool(regions=2)
+        bed.env.process(proc(), name="grow-pool")
+
+    clients = [bed.new_client() for _ in range(n_clients)]
+    result = run_closed_loop(
+        bed.env, clients, lambda i: scn.saturating_workload(i),
+        bed.execute, duration_us=duration, warmup_us=0.0,
+        timeline_bucket_us=bucket_us,
+        events=[(bucket_us * 3, grow)], fast=False)
+
+    profile = RunProfile.collect(profiler, tracer.spans, tail_pct=99.0)
+    window = profile.ops.get("rebalance.snapshot_window",
+                             {"total_us": 0.0})["total_us"]
+    copy = profile.ops.get("rebalance.copy", {"total_us": 0.0})["total_us"]
+    total = profile.ops.get("rebalance.grow", {"total_us": 0.0})["total_us"]
+    rebalance = {
+        "scenario": scn.name,
+        "seed": seed,
+        "new_mn_id": grown.get("mn_id"),
+        "snapshot_window_us": window,
+        "copy_us": copy,
+        "total_us": total,
+        "window_share": (window / total) if total else 0.0,
+        "copy_share": (copy / total) if total else 0.0,
+    }
+    rows = [[i, t, mops] for i, (t, mops) in enumerate(result.timeline)]
+    return ExperimentResult(
+        "fig21", f"Elasticity under saturation ({scn.name}): MN pool "
+                 "grows at bucket 3",
+        ["bucket", "t_us", "mops"], rows,
+        notes=f"rebalance attribution: snapshot read-only window "
+              f"{window:.1f} us ({rebalance['window_share']:.0%}), "
+              f"copy {copy:.1f} us ({rebalance['copy_share']:.0%}) "
+              f"of {total:.1f} us total; new MN "
+              f"{grown.get('mn_id')}",
+        extras={"rebalance": rebalance})
+
+
+def scenario_suite(scale: Optional[Scale] = None,
+                   scenarios: Optional[Sequence[str]] = None,
+                   seed: int = 0) -> ExperimentResult:
+    """Paced (open-loop) runs of the shipped scenario catalog.
+
+    One clean-fabric FUSEE bed per scenario, driven at the scenario's
+    scheduled arrival times by :func:`run_open_loop`; reports achieved
+    vs offered ops and the per-tenant isolation shares
+    (``extras["tenants"]``).  The *verdicts* for these scenarios —
+    fault-campaign soundness and linearizability — live in the test
+    suite (``tests/test_scenarios.py``); this experiment is the
+    throughput/latency readout.
+    """
+    from ..obs import Metrics
+
+    scale = scale or Scale.bench()
+    names = list(scenarios) if scenarios else sorted(SCENARIOS)
+    rows: List[List] = []
+    extras: Dict[str, object] = {"tenants": {}}
+    for name in names:
+        scn = get_scenario(name, duration_us=scale.duration_us * 4,
+                           keys_per_tenant=max(64, scale.n_keys // 8),
+                           n_clients=min(scale.n_clients, 8), seed=seed)
+        dataset = scn.preload_items()
+        bed = fusee_bed(dataset_bytes=max(1 << 22, len(dataset)
+                                          * scale.kv_size * 4))
+        bed.load(dataset)
+        metrics = Metrics()
+        clients = [bed.new_client() for _ in range(scn.n_clients)]
+        result = run_open_loop(
+            bed.env, clients, lambda i: scn.client_stream(i),
+            bed.execute, duration_us=scn.duration_us, metrics=metrics)
+        offered = scn.schedule.integral(0.0, scn.duration_us)
+        p99 = max((metrics.histogram(f"tenant.{t.name}.latency_us")
+                   .percentile(99.0) for t in scn.tenants), default=0.0)
+        rows.append([name, scn.family, round(offered, 1), result.ops,
+                     result.errors, round(p99, 2)])
+        extras["tenants"][name] = tenant_report(metrics, scn)
+    return ExperimentResult(
+        "scenarios", "Production scenario suite (paced open-loop)",
+        ["scenario", "family", "offered_ops", "done_ops", "errors",
+         "worst_tenant_p99_us"], rows,
+        notes="per-tenant isolation shares in extras['tenants']; "
+              "verdicts (faults + linearizability) in "
+              "tests/test_scenarios.py",
+        extras=extras)
 
 
 def table1_recovery(scale: Optional[Scale] = None,
@@ -849,6 +982,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig19": fig19_replication_latency,
     "fig20": fig20_mn_crash,
     "fig21": fig21_elasticity,
+    "scenarios": scenario_suite,
     "table1": table1_recovery,
     "ablation_oplog": ablation_oplog,
     "ablation_expansion": ablation_expansion,

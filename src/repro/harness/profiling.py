@@ -29,6 +29,7 @@ from ..obs import (
     profile_report,
     sample_fabric,
 )
+from ..workloads.scenarios import get_scenario
 from .experiments import Scale, _dataset, _ycsb_factory
 from .runner import RunResult, run_closed_loop
 from .systems import SystemBed, clover_bed, fusee_bed, pdpm_bed
@@ -150,7 +151,9 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                  port_affinity: str = "qp",
                  replication: Optional[str] = None,
                  monitor_config=None,
-                 slos=()) -> ProfiledRun:
+                 slos=(),
+                 scenario: Optional[object] = None,
+                 seed: int = 0) -> ProfiledRun:
     """Run a profiled closed-loop YCSB mix and attribute its time.
 
     The bulk load runs unprofiled on the fast kernel (the profiler is
@@ -167,10 +170,21 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
     online monitor to the measured window — windowed quantiles, SLO
     burn-rate alerts from ``slos``, the gray-failure detector — and
     lands its health report in ``ProfiledRun.health``.
+
+    ``scenario`` (a name from ``repro.workloads.SCENARIOS`` or a
+    :class:`~repro.workloads.Scenario`) replaces the YCSB mix with the
+    scenario's multi-tenant key population driven at saturation
+    (closed-loop, so the profiler attributes pure service time rather
+    than pacing idle).
     """
     scale = scale or Scale.bench()
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario, seed=seed)
     tracer = Tracer()
-    want_clients = n_clients or scale.n_clients
+    if scenario is not None:
+        want_clients = n_clients or scenario.n_clients
+    else:
+        want_clients = n_clients or scale.n_clients
     bed = _make_bed(system, scale, n_memory_nodes, metadata_cores, tracer,
                     read_spread=read_spread,
                     max_coalesce_width=max_coalesce_width,
@@ -188,7 +202,10 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
     # identical and much faster).  require_fast() guards against a
     # check hook accidentally left on the bed.
     bed.env.require_fast()
-    bed.load(_dataset(scale))
+    if scenario is not None:
+        bed.load(scenario.preload_items())
+    else:
+        bed.load(_dataset(scale))
     profiler = Profiler(tracer=tracer).install(bed.env)
     tracer.clear()
 
@@ -205,9 +222,15 @@ def profile_ycsb(system: str = "fusee", workload: str = "A",
                           race=getattr(bed.cluster, "race", None))
         bed.cluster.attach_monitor(monitor)
     clients = [bed.new_client() for _ in range(want_clients)]
-    run = run_closed_loop(bed.env, clients,
-                          _ycsb_factory(scale, workload),
-                          execute, duration_us=scale.duration_us,
+    if scenario is not None:
+        factory = scenario.saturating_workload
+        duration_us = scenario.duration_us
+        workload = f"scenario:{scenario.name}"
+    else:
+        factory = _ycsb_factory(scale, workload)
+        duration_us = scale.duration_us
+    run = run_closed_loop(bed.env, clients, factory,
+                          execute, duration_us=duration_us,
                           warmup_us=0.0, metrics=metrics,
                           fast=False,  # the profiler is the point here
                           monitor=monitor)

@@ -15,8 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..sim import Environment
 
-__all__ = ["RunResult", "run_closed_loop", "run_latency", "percentile",
-           "cdf_points"]
+__all__ = ["RunResult", "run_closed_loop", "run_open_loop", "run_latency",
+           "percentile", "cdf_points"]
 
 
 @dataclass
@@ -148,6 +148,114 @@ def run_closed_loop(env: Environment,
 
 class StopLoop(Exception):
     """Raised inside ``execute`` to retire a client from the loop."""
+
+
+def run_open_loop(env: Environment,
+                  clients: Sequence,
+                  stream_factory: Callable[[int], object],
+                  execute: Callable,
+                  duration_us: float,
+                  warmup_us: float = 0.0,
+                  collect_latency: bool = False,
+                  timeline_bucket_us: Optional[float] = None,
+                  events: Sequence[Tuple[float, Callable]] = (),
+                  metrics=None,
+                  fast: bool = True,
+                  monitor=None) -> RunResult:
+    """Drive paced (open-loop) scenario streams against ``clients``.
+
+    ``stream_factory(index)`` yields an iterable of timed arrivals —
+    objects with ``at_us``, ``tenant``, ``op``, ``key``, ``value``
+    attributes (:class:`repro.workloads.scenarios.ScenarioOp`).  Each
+    client sleeps until the scheduled arrival time and then executes;
+    arrivals that fall behind (the client is still busy) run
+    immediately, so overload shows up as queueing latency rather than
+    a rate reduction — the open-loop property the closed-loop driver
+    cannot express.
+
+    Per-tenant isolation metrics are recorded when ``metrics`` is
+    given: ``tenant.<name>.ops`` / ``tenant.<name>.errors`` counters
+    and ``tenant.<name>.latency_us`` histograms, alongside the usual
+    ``ops.<op>`` / ``latency_us.<op>`` instruments (which a windowed
+    metrics adapter can pane as in closed-loop runs).
+    """
+    if monitor is not None:
+        monitor.start()
+    if fast:
+        env.require_fast()
+    start = env.now
+    measure_from = start + warmup_us
+    deadline = start + duration_us
+    result = RunResult(ops=0, duration_us=duration_us - warmup_us)
+    buckets: Dict[int, int] = {}
+
+    def record(op: str, tenant: Optional[str], began: float,
+               ok: bool) -> None:
+        now = env.now
+        if now < measure_from or now > deadline:
+            return
+        if not ok:
+            result.errors += 1
+            if metrics is not None:
+                metrics.counter("ops.errors").inc()
+                if tenant is not None:
+                    metrics.counter(f"tenant.{tenant}.errors").inc()
+            return
+        result.ops += 1
+        result.per_op_counts[op] = result.per_op_counts.get(op, 0) + 1
+        if metrics is not None:
+            metrics.counter(f"ops.{op}").inc()
+            metrics.histogram(f"latency_us.{op}").observe(now - began)
+            if tenant is not None:
+                metrics.counter(f"tenant.{tenant}.ops").inc()
+                metrics.histogram(
+                    f"tenant.{tenant}.latency_us").observe(now - began)
+        if collect_latency:
+            result.latencies.setdefault(op, []).append(now - began)
+        if timeline_bucket_us:
+            bucket = int((now - start) // timeline_bucket_us)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    def client_proc(index: int, client, stream):
+        for arrival in stream:
+            at = start + arrival.at_us
+            if at > env.now:
+                yield env.timeout(at - env.now)
+            if env.now >= deadline:
+                return
+            began = env.now
+            try:
+                ok = yield from execute(client, arrival.op, arrival.key,
+                                        arrival.value)
+            except StopLoop:
+                return
+            record(arrival.op, getattr(arrival, "tenant", None), began,
+                   bool(ok))
+
+    for index, client in enumerate(clients):
+        env.process(client_proc(index, client, iter(stream_factory(index))),
+                    name=f"paced-client-{index}")
+
+    def event_proc(at: float, callback):
+        yield env.timeout(at)
+        new = callback() or ()
+        for client, stream in new:
+            env.process(client_proc(id(client), client, iter(stream)),
+                        name="late-paced-client")
+
+    for at, callback in events:
+        env.process(event_proc(at, callback), name="timeline-event")
+
+    env.run(until=deadline)
+    if monitor is not None:
+        result.health = monitor.finish()
+    if timeline_bucket_us:
+        n_buckets = int(duration_us // timeline_bucket_us)
+        result.timeline = [
+            (bucket * timeline_bucket_us,
+             buckets.get(bucket, 0) / timeline_bucket_us)
+            for bucket in range(n_buckets)]
+    return result
 
 
 def run_latency(env: Environment, client, execute: Callable,

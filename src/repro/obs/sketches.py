@@ -64,8 +64,12 @@ class DDSketch:
         return math.ceil(math.log(value) * self._mult)
 
     def add(self, value: float, n: int = 1) -> None:
-        if value < 0.0:
-            raise ValueError("DDSketch stores non-negative values")
+        # Validate BEFORE touching any state: a NaN passes `value < 0.0`
+        # (False) and used to corrupt count/total/min/max on its way to
+        # blowing up in _index, poisoning every later mean/quantile.
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"DDSketch stores finite non-negative values, got {value!r}")
         if n <= 0:
             return
         self.count += n

@@ -27,6 +27,7 @@ the operations that caused them (docs/monitoring.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -84,17 +85,23 @@ class SloSpec:
                 percentile = float(pct[1:])
                 if not 0.0 < percentile <= 100.0:
                     raise ValueError("percentile out of range")
+                threshold_us = float(threshold)
+                if not math.isfinite(threshold_us) or threshold_us <= 0.0:
+                    raise ValueError("latency threshold must be a finite "
+                                     "positive number")
                 return cls(kind="latency", name=f"latency.{op}.{pct}",
                            op=op, percentile=percentile,
-                           threshold_us=float(threshold))
+                           threshold_us=threshold_us)
             if kind == "errors":
                 rate = float(parts[1])
-                if not 0.0 <= rate < 1.0:
+                # NaN fails both range checks below, but spell the
+                # rejection out: a NaN target makes every burn rate NaN.
+                if not math.isfinite(rate) or not 0.0 <= rate < 1.0:
                     raise ValueError("error rate out of range")
                 return cls(kind="errors", name="errors", target=rate)
             if kind == "availability":
                 rate = float(parts[1])
-                if not 0.0 < rate <= 1.0:
+                if not math.isfinite(rate) or not 0.0 < rate <= 1.0:
                     raise ValueError("availability out of range")
                 return cls(kind="availability", name="availability",
                            target=rate)
@@ -172,6 +179,11 @@ class SloState:
             return None
         burn_fast = self._burn(bad_fast, total_fast)
         burn_slow = self._burn(bad_slow, total_slow)
+        # NaN burns compare False against any threshold and would slip
+        # past the gate below as a nonsense alert; an idle pane (zero
+        # arrivals in a diurnal trough) must simply not trip.
+        if math.isnan(burn_fast) or math.isnan(burn_slow):
+            return None
         if burn_fast < self.burn_threshold \
                 or burn_slow < self.burn_threshold:
             return None

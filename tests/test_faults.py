@@ -566,3 +566,43 @@ def test_long_random_campaign(seed):
     report = run_campaign("random", seed=seed, clients=3,
                           ops_per_client=150)
     assert report.sound, report.render()
+
+
+# --------------------------------------------------------------------------
+# Duplicated ALLOC RPCs under packet loss (idempotency-token dedup)
+# --------------------------------------------------------------------------
+def test_duplicated_alloc_under_loss_keeps_balance_sound():
+    """A lossy, heavily-duplicating link replays ALLOC RPCs at the MNs.
+    Without the idempotency-token reply cache each replayed ALLOC would
+    hand out a second block the client never adopts — a leak the
+    alloc-balance audit (blocks outstanding at MNs vs owned by clients)
+    would catch.  Large values force block churn so ALLOC/FREE traffic
+    actually rides the faulty window."""
+    plan = FaultPlan(link_faults=[LinkFault(drop_p=0.05, dup_p=0.30,
+                                            start_us=50.0,
+                                            end_us=8_000.0)],
+                     seed=2)
+    report = run_campaign(seed=2, plan=plan, clients=3,
+                          ops_per_client=150, value_size=768)
+    assert report.sound, report.render()
+    assert report.balance_ok, \
+        f"alloc leak: {report.blocks_outstanding} != {report.blocks_owned}"
+    # the fault window really duplicated traffic, and dedup really hit
+    assert report.fabric["duplicates"] > 0
+    assert report.fabric["dedup_hits"] > 0
+    assert report.fabric["rpc_dedup_hits"] > 0
+
+
+def test_duplicated_alloc_balance_across_seeds():
+    """The dedup guarantee is not one lucky schedule: every seed in a
+    small sweep stays balanced and linearizable."""
+    for seed in range(4):
+        plan = FaultPlan(link_faults=[LinkFault(drop_p=0.05, dup_p=0.30,
+                                                start_us=50.0,
+                                                end_us=8_000.0)],
+                         seed=seed)
+        report = run_campaign(seed=seed, plan=plan, clients=3,
+                              ops_per_client=80, value_size=768)
+        assert report.sound, f"seed {seed}:\n{report.render()}"
+        assert report.balance_ok, f"seed {seed}: alloc leak"
+        assert report.fabric["duplicates"] > 0

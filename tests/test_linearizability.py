@@ -117,3 +117,83 @@ class TestNonTrivialCases:
             h.record("w", i, i, i + 0.5)
         with pytest.raises(ValueError):
             check_linearizable(h)
+
+
+# --------------------------------------------------------------------------
+# KV checker: quiescent-cut decomposition of long paced histories
+# --------------------------------------------------------------------------
+from repro.core.linearizability import KvOp, check_kv_linearizable
+
+
+class TestQuiescentCutDecomposition:
+    """Production traffic scenarios put thousands of paced ops on a hot
+    key.  The per-key search decomposes at quiescent cuts (no op in
+    flight), so the bitmask cap applies to genuine concurrent bursts,
+    not run length — and the set of legally reachable states is
+    threaded across each cut."""
+
+    def _sequential(self, n):
+        ops, t = [], 0.0
+        for i in range(n):
+            val = f"v{i}".encode()
+            ops.append(KvOp("update", b"k", t, t + 1.0, ok=True,
+                            wrote=val))
+            ops.append(KvOp("search", b"k", t + 2.0, t + 3.0, ok=True,
+                            value=val))
+            t += 4.0
+        return ops
+
+    def test_long_sequential_history_checks_linearizable(self):
+        # 200 ops on one key: far beyond the 63-op burst cap.
+        ops = self._sequential(100)
+        assert check_kv_linearizable(ops, initial={b"k": b"x"}) is None
+
+    def test_stale_read_caught_across_a_cut(self):
+        ops = self._sequential(100)
+        t = ops[-1].completed + 10.0
+        ops.append(KvOp("search", b"k", t, t + 1.0, ok=True,
+                        value=b"v1"))
+        violation = check_kv_linearizable(ops, initial={b"k": b"x"})
+        assert violation is not None and violation.key == b"k"
+
+    def test_ambiguous_burst_state_threads_across_the_cut(self):
+        # Two concurrent updates; a later sequential read may observe
+        # either winner — both end states must survive the cut.
+        for observed in (b"a", b"b"):
+            ops = [
+                KvOp("update", b"k", 0.0, 10.0, ok=True, wrote=b"a"),
+                KvOp("update", b"k", 0.0, 10.0, ok=True, wrote=b"b"),
+                KvOp("search", b"k", 20.0, 21.0, ok=True,
+                     value=observed),
+            ]
+            assert check_kv_linearizable(
+                ops, initial={b"k": b"x"}) is None
+
+    def test_overwritten_initial_value_is_not_readable_after_cut(self):
+        ops = [
+            KvOp("update", b"k", 0.0, 10.0, ok=True, wrote=b"a"),
+            KvOp("update", b"k", 0.0, 10.0, ok=True, wrote=b"b"),
+            KvOp("search", b"k", 20.0, 21.0, ok=True, value=b"x"),
+        ]
+        assert check_kv_linearizable(ops, initial={b"k": b"x"}) \
+            is not None
+
+    def test_oversized_concurrent_burst_still_rejected(self):
+        # 64 genuinely overlapping ops: no cut exists, the cap trips.
+        ops = [KvOp("update", b"k", 0.0, 100.0, ok=True,
+                    wrote=f"v{i}".encode()) for i in range(64)]
+        with pytest.raises(ValueError):
+            check_kv_linearizable(ops)
+
+    def test_pending_op_glues_its_tail_into_one_burst(self):
+        # A pending update may land anywhere after invocation (or
+        # never): a later read of either value is legal.
+        for observed in (b"old", b"new"):
+            ops = [
+                KvOp("insert", b"k", 0.0, 1.0, ok=True, wrote=b"old"),
+                KvOp("update", b"k", 5.0, float("inf"), wrote=b"new",
+                     required=False),
+                KvOp("search", b"k", 50.0, 51.0, ok=True,
+                     value=observed),
+            ]
+            assert check_kv_linearizable(ops) is None

@@ -439,6 +439,75 @@ class TestSloBurnRate:
 
 
 # ---------------------------------------------------------------------------
+# Zero-arrival panes and non-finite inputs must never become NaN
+# ---------------------------------------------------------------------------
+class TestZeroArrivalPanes:
+    """A diurnal trough produces panes with zero arrivals.  Nothing in
+    the telemetry plane may turn that into a NaN: ``nan < threshold``
+    is False, so a NaN burn rate would sail through every alert gate as
+    a nonsense alert (or silently suppress a real one)."""
+
+    def test_burn_of_empty_window_is_exactly_zero(self):
+        state = SloState(SloSpec.parse("errors:0.01"))
+        burn = state._burn(0, 0)
+        assert burn == 0.0 and not math.isnan(burn)
+
+    def test_all_empty_panes_never_trip(self):
+        env = _FakeEnv()
+        store = WindowStore(env, width_us=100.0)
+        state = SloState(SloSpec.parse("errors:0.01"), min_volume=0)
+        for pane in range(8):
+            assert state.evaluate(store, pane=pane) is None
+        assert state.windows_evaluated == 8
+        assert state.windows_tripped == 0
+
+    def test_empty_fast_pane_amid_traffic_does_not_nan(self):
+        # Traffic in earlier panes, then a dead pane: the slow window
+        # clears min_volume, the fast pane is empty -> burn_fast must
+        # be 0.0 (not 0/0) and the evaluation must not trip.
+        env = _FakeEnv()
+        store = WindowStore(env, width_us=100.0)
+        for pane in range(5):
+            env.now = pane * 100.0 + 1.0
+            store.inc(OK_STREAM, 90)
+            store.inc(ERR_STREAM, 10)
+        state = SloState(SloSpec.parse("errors:0.01"), fast_panes=1,
+                         slow_panes=6, burn_threshold=2.0, min_volume=20)
+        assert state.evaluate(store, pane=5) is None
+        assert not state.alerts
+
+    def test_latency_slo_on_idle_panes_does_not_trip(self):
+        env = _FakeEnv()
+        store = WindowStore(env, width_us=100.0)
+        state = SloState(SloSpec.parse("latency:search:p99:10"),
+                         min_volume=0)
+        for pane in range(6):
+            assert state.evaluate(store, pane=pane) is None
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf"), -1.0])
+    def test_ddsketch_rejects_bad_values_without_corruption(self, value):
+        sketch = DDSketch()
+        sketch.add(3.0)
+        before = sketch.to_dict()
+        with pytest.raises(ValueError):
+            sketch.add(value)
+        # The failed add must not have touched count/total/min/max:
+        # a half-applied NaN poisons every later mean and quantile.
+        assert sketch.to_dict() == before
+        assert sketch.count == 1
+        assert not math.isnan(sketch.mean)
+
+    @pytest.mark.parametrize("spec", ["errors:nan", "errors:inf",
+                                      "availability:nan",
+                                      "latency:search:p99:nan",
+                                      "latency:search:p99:inf"])
+    def test_slo_parse_rejects_non_finite_targets(self, spec):
+        with pytest.raises(ValueError):
+            SloSpec.parse(spec)
+
+
+# ---------------------------------------------------------------------------
 # Gray detector unit behaviour
 # ---------------------------------------------------------------------------
 class TestGrayDetector:
